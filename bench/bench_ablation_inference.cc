@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Experiment A1 — Ablation of the inference-engine design choices
+ * DESIGN.md calls out:
+ *
+ *  (a) binary-search vs linear survival probing (measurement cost of
+ *      permutation inference);
+ *  (b) the composed-prediction early spot check (cost of *refuting*
+ *      non-permutation policies);
+ *  (c) random-only vs random+targeted candidate search (whether
+ *      closely related QLRU variants can be separated at all).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "recap/common/table.hh"
+#include "recap/hw/machine.hh"
+#include "recap/infer/candidate_search.hh"
+#include "recap/infer/permutation_infer.hh"
+#include "recap/infer/set_prober.hh"
+
+namespace
+{
+
+using namespace recap;
+
+hw::MachineSpec
+singleLevelSpec(const std::string& policy, unsigned ways)
+{
+    hw::MachineSpec spec;
+    spec.name = "rig";
+    spec.description = "single-level rig";
+    hw::CacheLevelSpec lvl;
+    lvl.name = "L1";
+    lvl.capacityBytes = uint64_t{64} * 64 * ways;
+    lvl.ways = ways;
+    lvl.hitLatency = 4;
+    lvl.policySpec = policy;
+    spec.levels = {lvl};
+    spec.memoryLatency = 100;
+    return spec;
+}
+
+infer::PermutationInferenceResult
+runPermutation(const std::string& policy, unsigned ways,
+               bool binarySearch, bool spotCheck)
+{
+    const auto spec = singleLevelSpec(policy, ways);
+    hw::Machine machine(spec);
+    infer::MeasurementContext ctx(machine);
+    infer::DiscoveredGeometry geom;
+    geom.lineSize = 64;
+    geom.levels.push_back({64, 64, ways});
+    infer::SetProber prober(ctx, geom, 0);
+    infer::PermutationInferenceConfig cfg;
+    cfg.binarySearchSurvival = binarySearch;
+    cfg.earlySpotCheck = spotCheck;
+    infer::PermutationInference inference(prober, cfg);
+    return inference.run();
+}
+
+void
+printAblationA()
+{
+    std::cout << "====================================================\n";
+    std::cout << " A1a: survival probing — binary search vs linear\n";
+    std::cout << "      (loads to identify LRU)\n";
+    std::cout << "====================================================\n\n";
+    TextTable table({"k", "linear scan", "binary search", "saving"});
+    for (unsigned k : {4u, 8u, 16u}) {
+        const auto linear = runPermutation("lru", k, false, true);
+        const auto binary = runPermutation("lru", k, true, true);
+        table.addRow({std::to_string(k),
+                      std::to_string(linear.loadsUsed),
+                      std::to_string(binary.loadsUsed),
+                      formatPercent(1.0 -
+                                    static_cast<double>(
+                                        binary.loadsUsed) /
+                                        static_cast<double>(
+                                            linear.loadsUsed),
+                                    1)});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+}
+
+void
+printAblationB()
+{
+    std::cout << "====================================================\n";
+    std::cout << " A1b: early spot check — cost of refuting a\n";
+    std::cout << "      non-permutation policy (hidden NRU)\n";
+    std::cout << "====================================================\n\n";
+    TextTable table({"k", "no spot check", "with spot check",
+                     "saving"});
+    for (unsigned k : {8u, 16u, 24u}) {
+        const auto without = runPermutation("nru", k, true, false);
+        const auto with = runPermutation("nru", k, true, true);
+        table.addRow({std::to_string(k),
+                      std::to_string(without.loadsUsed),
+                      std::to_string(with.loadsUsed),
+                      formatPercent(1.0 -
+                                    static_cast<double>(
+                                        with.loadsUsed) /
+                                        static_cast<double>(
+                                            without.loadsUsed),
+                                    1)});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+}
+
+void
+printAblationC()
+{
+    std::cout << "====================================================\n";
+    std::cout << " A1c: candidate search — random-only vs with\n";
+    std::cout << "      synthesized distinguishing experiments\n";
+    std::cout << "      (hidden qlru:H1,M3,R0,U2, k=8)\n";
+    std::cout << "====================================================\n\n";
+    TextTable table({"mode", "decided", "survivors", "rounds",
+                     "loads"});
+    for (bool targeted : {false, true}) {
+        const auto spec = singleLevelSpec("qlru:H1,M3,R0,U2", 8);
+        hw::Machine machine(spec);
+        infer::MeasurementContext ctx(machine);
+        infer::DiscoveredGeometry geom;
+        geom.lineSize = 64;
+        geom.levels.push_back({64, 64, 8});
+        infer::SetProber prober(ctx, geom, 0);
+        infer::CandidateSearchConfig cfg;
+        cfg.targetedPhase = targeted;
+        infer::CandidateSearch search(
+            prober, infer::defaultCandidateSpecs(8), cfg);
+        const auto result = search.run();
+        table.addRow({targeted ? "random + targeted" : "random only",
+                      result.decided ? "yes" : "NO",
+                      std::to_string(result.survivors.size()),
+                      std::to_string(result.roundsRun),
+                      std::to_string(result.loadsUsed)});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+}
+
+void
+BM_PermutationLinear(benchmark::State& state)
+{
+    for (auto unused : state) {
+        benchmark::DoNotOptimize(
+            runPermutation("lru", 8, false, true).loadsUsed);
+        (void)unused;
+    }
+}
+BENCHMARK(BM_PermutationLinear)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+void
+BM_PermutationBinary(benchmark::State& state)
+{
+    for (auto unused : state) {
+        benchmark::DoNotOptimize(
+            runPermutation("lru", 8, true, true).loadsUsed);
+        (void)unused;
+    }
+}
+BENCHMARK(BM_PermutationBinary)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    printAblationA();
+    printAblationB();
+    printAblationC();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

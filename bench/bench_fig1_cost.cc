@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Experiment F1 — Measurement cost of permutation inference vs
+ * associativity (reconstruction).
+ *
+ * Series: for k = 2..16, the number of experiments (sequence
+ * replays) and loads the permutation inference needs to recover the
+ * policy of a single-level machine.
+ *
+ * Expected shape: polynomial growth (the survival probing is
+ * O(k^2 log k) experiments of O(k) loads each), far below the
+ * exponential cost of exhaustive automaton identification.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "recap/common/table.hh"
+#include "recap/hw/machine.hh"
+#include "recap/infer/naming.hh"
+#include "recap/infer/permutation_infer.hh"
+#include "recap/infer/set_prober.hh"
+
+namespace
+{
+
+using namespace recap;
+
+hw::MachineSpec
+singleLevelSpec(const std::string& policy, unsigned ways)
+{
+    hw::MachineSpec spec;
+    spec.name = "rig";
+    spec.description = "single-level rig";
+    hw::CacheLevelSpec lvl;
+    lvl.name = "L1";
+    lvl.capacityBytes = uint64_t{64} * 64 * ways;
+    lvl.ways = ways;
+    lvl.hitLatency = 4;
+    lvl.policySpec = policy;
+    spec.levels = {lvl};
+    spec.memoryLatency = 100;
+    return spec;
+}
+
+infer::PermutationInferenceResult
+inferOn(const std::string& policy, unsigned ways)
+{
+    const auto spec = singleLevelSpec(policy, ways);
+    hw::Machine machine(spec);
+    infer::MeasurementContext ctx(machine);
+    infer::DiscoveredGeometry geom;
+    geom.lineSize = 64;
+    geom.levels.push_back({64, 64, ways});
+    infer::SetProber prober(ctx, geom, 0);
+    infer::PermutationInference inference(prober);
+    return inference.run();
+}
+
+void
+printFigure1()
+{
+    std::cout << "====================================================\n";
+    std::cout << " F1: Permutation-inference cost vs associativity\n";
+    std::cout << "     (series: experiments and loads per policy)\n";
+    std::cout << "====================================================\n\n";
+
+    TextTable table({"k", "lru: experiments", "lru: loads",
+                     "fifo: experiments", "fifo: loads",
+                     "plru: experiments", "plru: loads"});
+    for (unsigned k = 2; k <= 16; k *= 2) {
+        std::vector<std::string> row{std::to_string(k)};
+        for (const std::string policy : {"lru", "fifo", "plru"}) {
+            const auto result = inferOn(policy, k);
+            if (!result.isPermutation) {
+                row.push_back("fail");
+                row.push_back("fail");
+                continue;
+            }
+            row.push_back(std::to_string(result.experimentsUsed));
+            row.push_back(std::to_string(result.loadsUsed));
+        }
+        table.addRow(std::move(row));
+    }
+    table.print(std::cout);
+
+    // Also show odd (non-power-of-two) associativities for LRU/FIFO.
+    std::cout << "\nNon-power-of-two associativities (LRU):\n";
+    TextTable odd({"k", "experiments", "loads", "verdict"});
+    for (unsigned k : {3u, 6u, 12u}) {
+        const auto result = inferOn("lru", k);
+        odd.addRow({std::to_string(k),
+                    std::to_string(result.experimentsUsed),
+                    std::to_string(result.loadsUsed),
+                    result.isPermutation
+                        ? infer::canonicalPermutationName(
+                              *result.policy)
+                        : "fail"});
+    }
+    odd.print(std::cout);
+    std::cout << "\n";
+}
+
+void
+BM_PermutationInference(benchmark::State& state)
+{
+    const auto ways = static_cast<unsigned>(state.range(0));
+    for (auto unused : state) {
+        const auto result = inferOn("plru", ways);
+        benchmark::DoNotOptimize(result.isPermutation);
+        (void)unused;
+    }
+}
+BENCHMARK(BM_PermutationInference)
+    ->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    printFigure1();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

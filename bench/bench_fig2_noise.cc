@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Experiment F2 — Inference robustness vs measurement noise
+ * (reconstruction).
+ *
+ * Series: fraction of correct policy identifications over repeated
+ * trials, as a function of the disturbance probability (a stray
+ * same-set access injected per load, modelling prefetcher/SMT
+ * interference), with and without majority voting.
+ *
+ * Expected shape: single-shot inference degrades as noise grows;
+ * majority voting restores accuracy until the noise dominates.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "recap/common/table.hh"
+#include "recap/hw/machine.hh"
+#include "recap/infer/naming.hh"
+#include "recap/infer/permutation_infer.hh"
+#include "recap/infer/set_prober.hh"
+
+namespace
+{
+
+using namespace recap;
+
+hw::MachineSpec
+singleLevelSpec(unsigned ways)
+{
+    hw::MachineSpec spec;
+    spec.name = "rig";
+    spec.description = "single-level rig";
+    hw::CacheLevelSpec lvl;
+    lvl.name = "L1";
+    lvl.capacityBytes = uint64_t{64} * 64 * ways;
+    lvl.ways = ways;
+    lvl.hitLatency = 4;
+    lvl.policySpec = "lru";
+    spec.levels = {lvl};
+    spec.memoryLatency = 100;
+    return spec;
+}
+
+/** One inference trial; true iff LRU was correctly identified. */
+bool
+trial(double disturb, unsigned votes, uint64_t seed)
+{
+    const auto spec = singleLevelSpec(4);
+    hw::NoiseConfig noise;
+    noise.disturbProbability = disturb;
+    hw::Machine machine(spec, seed, noise);
+    infer::MeasurementContext ctx(machine);
+    infer::DiscoveredGeometry geom;
+    geom.lineSize = 64;
+    geom.levels.push_back({64, 64, 4});
+    infer::SetProberConfig pc;
+    pc.voteRepeats = votes;
+    infer::SetProber prober(ctx, geom, 0, pc);
+    infer::PermutationInferenceConfig cfg;
+    cfg.validationRounds = 8;
+    infer::PermutationInference inference(prober);
+    const auto result = inference.run();
+    return result.isPermutation &&
+           infer::canonicalPermutationName(*result.policy) == "LRU";
+}
+
+void
+printFigure2()
+{
+    std::cout << "====================================================\n";
+    std::cout << " F2: Inference accuracy vs measurement noise\n";
+    std::cout << "     (LRU, k=4; 20 trials per cell)\n";
+    std::cout << "====================================================\n\n";
+
+    constexpr unsigned kTrials = 20;
+    TextTable table({"disturb prob", "1 vote", "5 votes", "11 votes"});
+    for (double p : {0.0, 0.001, 0.003, 0.01, 0.03}) {
+        std::vector<std::string> row{formatDouble(p, 3)};
+        for (unsigned votes : {1u, 5u, 11u}) {
+            unsigned correct = 0;
+            for (unsigned t = 0; t < kTrials; ++t)
+                if (trial(p, votes, 1000 + t))
+                    ++correct;
+            row.push_back(formatPercent(
+                static_cast<double>(correct) / kTrials, 0));
+        }
+        table.addRow(std::move(row));
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+}
+
+void
+BM_NoisyInferenceSingleShot(benchmark::State& state)
+{
+    uint64_t seed = 1;
+    for (auto unused : state) {
+        benchmark::DoNotOptimize(trial(0.01, 1, seed++));
+        (void)unused;
+    }
+}
+BENCHMARK(BM_NoisyInferenceSingleShot)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(5);
+
+void
+BM_NoisyInferenceVoted(benchmark::State& state)
+{
+    uint64_t seed = 1;
+    for (auto unused : state) {
+        benchmark::DoNotOptimize(trial(0.01, 5, seed++));
+        (void)unused;
+    }
+}
+BENCHMARK(BM_NoisyInferenceVoted)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(5);
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    printFigure2();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Experiment F3 — Policy miss ratios across the workload suite
+ * (reconstruction of the paper's evaluation figure).
+ *
+ * Series: per workload, each policy's miss ratio normalized to LRU
+ * (LRU = 1.00), plus OPT as the lower bound.
+ *
+ * Expected shape: PLRU and BitPLRU track LRU within a few percent;
+ * FIFO/Random trail on reuse-friendly workloads; LIP/BIP and the
+ * M3-insertion QLRU variant win on thrashing workloads and lose mildly
+ * on reuse-friendly ones; nothing beats OPT.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <iostream>
+
+#include "recap/common/table.hh"
+#include "recap/eval/opt.hh"
+#include "recap/eval/simulate.hh"
+#include "recap/policy/factory.hh"
+#include "recap/trace/generators.hh"
+
+namespace
+{
+
+using namespace recap;
+
+const cache::Geometry kGeom = cache::Geometry{64, 64, 8}; // 32 KiB
+
+void
+printFigure3()
+{
+    std::cout << "====================================================\n";
+    std::cout << " F3: Miss ratio by policy and workload, relative\n";
+    std::cout << "     to LRU (cache: " << kGeom.describe() << ")\n";
+    std::cout << "====================================================\n\n";
+
+    trace::SuiteConfig cfg;
+    cfg.cacheBytes = kGeom.sizeBytes();
+    cfg.accessesPerWorkload = 150000;
+    const auto suite = trace::specLikeSuite(cfg);
+
+    std::vector<std::string> headers{"policy"};
+    for (const auto& w : suite)
+        headers.push_back(w.name);
+    headers.push_back("geomean");
+    TextTable table(headers);
+
+    // LRU reference row first.
+    std::vector<double> lru_ratio;
+    for (const auto& w : suite)
+        lru_ratio.push_back(
+            eval::simulateTrace(kGeom, "lru", w.trace).missRatio());
+
+    auto add_row = [&](const std::string& label,
+                       const std::vector<double>& ratios) {
+        std::vector<std::string> row{label};
+        double log_sum = 0.0;
+        unsigned counted = 0;
+        for (size_t i = 0; i < ratios.size(); ++i) {
+            const double rel = lru_ratio[i] > 0
+                ? ratios[i] / lru_ratio[i] : 1.0;
+            row.push_back(formatDouble(rel, 3));
+            if (rel > 0) {
+                log_sum += std::log(rel);
+                ++counted;
+            }
+        }
+        row.push_back(formatDouble(
+            counted ? std::exp(log_sum / counted) : 1.0, 3));
+        table.addRow(std::move(row));
+    };
+
+    add_row("LRU (reference)", lru_ratio);
+    for (const auto& spec : policy::baselineSpecs()) {
+        if (spec == "lru" || !policy::specSupportsWays(spec,
+                                                       kGeom.ways))
+            continue;
+        std::vector<double> ratios;
+        for (const auto& w : suite)
+            ratios.push_back(
+                eval::simulateTrace(kGeom, spec, w.trace).missRatio());
+        add_row(policy::makePolicy(spec, kGeom.ways)->name(), ratios);
+    }
+    {
+        std::vector<double> ratios;
+        for (const auto& w : suite)
+            ratios.push_back(
+                eval::simulateOpt(kGeom, w.trace).missRatio());
+        add_row("OPT (offline)", ratios);
+    }
+    table.print(std::cout);
+
+    std::cout << "\nAbsolute LRU miss ratios per workload:\n";
+    TextTable abs({"workload", "LRU miss ratio"});
+    for (size_t i = 0; i < suite.size(); ++i)
+        abs.addRow({suite[i].name, formatPercent(lru_ratio[i])});
+    abs.print(std::cout);
+    std::cout << "\n";
+}
+
+void
+BM_SimulateTraceThroughput(benchmark::State& state)
+{
+    const auto t = trace::zipf(128 * 1024, 200000, 0.9, 1);
+    for (auto unused : state) {
+        benchmark::DoNotOptimize(
+            eval::simulateTrace(kGeom, "plru", t).misses);
+        (void)unused;
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * t.size()));
+}
+BENCHMARK(BM_SimulateTraceThroughput)->Unit(benchmark::kMillisecond);
+
+void
+BM_OptSimulation(benchmark::State& state)
+{
+    const auto t = trace::zipf(128 * 1024, 200000, 0.9, 1);
+    for (auto unused : state) {
+        benchmark::DoNotOptimize(eval::simulateOpt(kGeom, t).misses);
+        (void)unused;
+    }
+}
+BENCHMARK(BM_OptSimulation)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    printFigure3();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Experiment F4 — Miss ratio vs cache size (crossover study,
+ * reconstruction).
+ *
+ * Series: for cache sizes 8 KiB .. 1 MiB (8-way, 64 B lines), the
+ * miss ratio of each policy plus OPT on a fixed mixed workload.
+ *
+ * Expected shape: large gaps between policies while the working set
+ * exceeds the cache; curves converge once the cache swallows the
+ * working set; the thrash-resistant insertion policies cross over
+ * the recency policies around the working-set-equals-cache point.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "recap/common/table.hh"
+#include "recap/eval/opt.hh"
+#include "recap/eval/simulate.hh"
+#include "recap/policy/factory.hh"
+#include "recap/trace/generators.hh"
+
+namespace
+{
+
+using namespace recap;
+
+trace::Trace
+mixedWorkload()
+{
+    // Footprint anchored to 64 KiB so the sweep crosses it: Zipf
+    // reuse plus periodic streaming sweeps.
+    return trace::concatTraces({
+        trace::zipf(96 * 1024, 120000, 0.9, 11),
+        trace::sequentialScan(128 * 1024, 3),
+        trace::zipf(96 * 1024, 120000, 0.9, 12),
+        trace::sequentialScan(128 * 1024, 3),
+    });
+}
+
+void
+printFigure4()
+{
+    std::cout << "====================================================\n";
+    std::cout << " F4: Miss ratio vs cache size (8-way, 64 B lines)\n";
+    std::cout << "     mixed Zipf + streaming workload\n";
+    std::cout << "====================================================\n\n";
+
+    const auto workload = mixedWorkload();
+    const std::vector<std::string> specs = {
+        "lru", "fifo", "plru", "nru", "random", "bip",
+        "qlru:H1,M1,R0,U2", "qlru:H1,M3,R0,U2",
+    };
+
+    std::vector<std::string> headers{"cache size"};
+    for (const auto& s : specs)
+        headers.push_back(policy::makePolicy(s, 8)->name());
+    headers.push_back("OPT");
+    TextTable table(headers);
+
+    for (uint64_t kib = 8; kib <= 1024; kib *= 2) {
+        const auto geom =
+            cache::Geometry::fromCapacity(kib * 1024, 8);
+        std::vector<std::string> row{formatBytes(kib * 1024)};
+        for (const auto& s : specs) {
+            const auto stats =
+                eval::simulateTrace(geom, s, workload);
+            row.push_back(formatPercent(stats.missRatio(), 2));
+        }
+        row.push_back(formatPercent(
+            eval::simulateOpt(geom, workload).missRatio(), 2));
+        table.addRow(std::move(row));
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+}
+
+void
+BM_SweepPoint(benchmark::State& state)
+{
+    const auto workload = mixedWorkload();
+    const auto geom = cache::Geometry::fromCapacity(
+        static_cast<uint64_t>(state.range(0)) * 1024, 8);
+    for (auto unused : state) {
+        benchmark::DoNotOptimize(
+            eval::simulateTrace(geom, "plru", workload).misses);
+        (void)unused;
+    }
+}
+BENCHMARK(BM_SweepPoint)->Arg(8)->Arg(64)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    printFigure4();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Experiment T1 — "Machines under test" (reconstruction).
+ *
+ * Prints the catalog of simulated Intel-like machines with their
+ * cache parameters and latencies, then times raw machine-model
+ * throughput with google-benchmark.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "recap/common/table.hh"
+#include "recap/hw/catalog.hh"
+#include "recap/hw/machine.hh"
+
+namespace
+{
+
+using namespace recap;
+
+void
+printTable1()
+{
+    std::cout << "==============================================\n";
+    std::cout << " T1: Machines under test (simulated catalog)\n";
+    std::cout << "==============================================\n\n";
+
+    TextTable table({"machine", "description", "level", "geometry",
+                     "latency", "ground-truth policy (hidden)"});
+    for (const auto& spec : hw::intelCatalog()) {
+        bool first = true;
+        for (const auto& lvl : spec.levels) {
+            std::string policy = lvl.policySpec;
+            if (lvl.isAdaptive()) {
+                policy += " vs " + lvl.policySpecB + " (dueling, " +
+                          std::to_string(lvl.duel.leaderSetsPerPolicy)
+                          + "+" +
+                          std::to_string(lvl.duel.leaderSetsPerPolicy)
+                          + " leaders)";
+            }
+            table.addRow({
+                first ? spec.name : "",
+                first ? spec.description : "",
+                lvl.name,
+                lvl.geometry().describe(),
+                std::to_string(lvl.hitLatency) + " cy",
+                policy,
+            });
+            first = false;
+        }
+        table.addRow({"", "", "mem", "-",
+                      std::to_string(spec.memoryLatency) + " cy", "-"});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+}
+
+void
+BM_MachineConstruction(benchmark::State& state)
+{
+    const auto spec = hw::catalogMachine("ivybridge-i5");
+    for (auto unused : state) {
+        hw::Machine machine(spec);
+        benchmark::DoNotOptimize(machine.depth());
+        (void)unused;
+    }
+}
+BENCHMARK(BM_MachineConstruction)->Unit(benchmark::kMillisecond);
+
+void
+BM_MachineAccessThroughput(benchmark::State& state)
+{
+    const auto spec =
+        hw::reducedSpec(hw::catalogMachine("ivybridge-i5"), 1024);
+    hw::Machine machine(spec);
+    uint64_t addr = 0;
+    for (auto unused : state) {
+        machine.access(addr);
+        addr += 64;
+        (void)unused;
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MachineAccessThroughput);
+
+void
+BM_TimedAccessWithCounters(benchmark::State& state)
+{
+    const auto spec =
+        hw::reducedSpec(hw::catalogMachine("nehalem-i5"), 1024);
+    hw::Machine machine(spec);
+    for (auto unused : state) {
+        benchmark::DoNotOptimize(machine.timedAccess(4096));
+        (void)unused;
+    }
+}
+BENCHMARK(BM_TimedAccessWithCounters);
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    printTable1();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

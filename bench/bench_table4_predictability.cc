@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Experiment T4 — Predictability metrics of the reverse-engineered
+ * policies (reconstruction; the WCET-analysis payoff motivating the
+ * paper).
+ *
+ * For each policy and associativity, prints:
+ *  - missTurnover: worst-case consecutive conflict misses until the
+ *    whole set content is displaced, and
+ *  - evictBound: the adversarial survival bound of a line (number of
+ *    misses an adversary interleaving hits can make it survive).
+ *
+ * Expected shape (classic results): LRU evict bound = k-1 and
+ * turnover = k; FIFO likewise; tree-PLRU turnover = k but evict
+ * bound UNBOUNDED for k >= 4 — reverse-engineering the policy is
+ * what makes this analysis possible at all.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "recap/common/table.hh"
+#include "recap/eval/predictability.hh"
+#include "recap/policy/factory.hh"
+
+namespace
+{
+
+using namespace recap;
+
+void
+printTable4()
+{
+    std::cout << "====================================================\n";
+    std::cout << " T4: Predictability metrics per policy\n";
+    std::cout << "     (state-space exploration of the automata)\n";
+    std::cout << "====================================================\n\n";
+
+    const std::vector<std::string> specs = {
+        "lru", "fifo", "plru", "bitplru", "nru", "lip",
+        "srrip", "qlru:H1,M1,R0,U2", "qlru:H1,M3,R0,U2",
+    };
+
+    TextTable table({"policy", "k", "missTurnover", "evictBound",
+                     "states explored"});
+    for (const auto& spec : specs) {
+        for (unsigned k : {2u, 4u, 8u}) {
+            if (!policy::specSupportsWays(spec, k))
+                continue;
+            // Bound the exploration for the wide-state families.
+            eval::PredictabilityConfig cfg;
+            cfg.maxStates = k >= 8 ? 200'000 : 500'000;
+            const auto proto = policy::makePolicy(spec, k);
+            const auto turnover = eval::missTurnover(*proto, cfg);
+            const auto evict = eval::evictBound(*proto, cfg);
+            table.addRow({
+                proto->name(),
+                std::to_string(k),
+                turnover.render(),
+                evict.render(),
+                std::to_string(evict.statesExplored),
+            });
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\nReading: evictBound 'unbounded' means a WCET "
+                 "analysis cannot bound\nthe survival of a line "
+                 "against adversarial interference (tree-PLRU's\n"
+                 "classic weakness, k >= 4).\n\n";
+}
+
+void
+BM_EvictBound(benchmark::State& state)
+{
+    const auto ways = static_cast<unsigned>(state.range(0));
+    const auto proto = policy::makePolicy("lru", ways);
+    for (auto unused : state) {
+        benchmark::DoNotOptimize(eval::evictBound(*proto).value);
+        (void)unused;
+    }
+}
+BENCHMARK(BM_EvictBound)->Arg(2)->Arg(4)->Arg(6)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_MissTurnover(benchmark::State& state)
+{
+    const auto proto = policy::makePolicy("plru", 8);
+    for (auto unused : state) {
+        benchmark::DoNotOptimize(eval::missTurnover(*proto).value);
+        (void)unused;
+    }
+}
+BENCHMARK(BM_MissTurnover)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    printTable4();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

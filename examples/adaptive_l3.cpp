@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Demonstrates set-dueling adaptivity, the Ivy Bridge finding: an
+ * adaptive last-level cache switches between an LRU-like and a
+ * thrash-resistant QLRU variant as the workload's phases change,
+ * tracking the better constituent in each phase. The program prints
+ * the windowed miss ratios and the PSEL trajectory.
+ */
+
+#include <iostream>
+
+#include "recap/cache/cache.hh"
+#include "recap/common/table.hh"
+#include "recap/eval/simulate.hh"
+#include "recap/trace/generators.hh"
+
+int
+main()
+{
+    using namespace recap;
+
+    // A reduced Ivy-Bridge-like L3 slice.
+    const cache::Geometry geom{64, 512, 12};
+    const std::string lru_like = "qlru:H1,M1,R0,U2";
+    const std::string scan_resistant = "qlru:H1,M3,R0,U2";
+    cache::DuelingConfig duel;
+    duel.leaderSetsPerPolicy = 16;
+    duel.pselBits = 10;
+
+    // Phase-alternating workload: cache-friendly reuse, then a
+    // streaming sweep beyond the cache, repeated.
+    const auto workload = trace::phaseMix(geom.sizeBytes(), 3, 4, 7);
+    const size_t window = workload.size() / 24;
+
+    std::cout << "Cache: " << geom.describe() << "\n";
+    std::cout << "Duel: " << lru_like << "  vs  " << scan_resistant
+              << "  (" << duel.leaderSetsPerPolicy
+              << " leader sets each, " << duel.pselBits
+              << "-bit PSEL)\n\n";
+
+    cache::Cache adaptive(geom, lru_like, scan_resistant, duel, "L3");
+    cache::Cache static_a(geom, lru_like, "A");
+    cache::Cache static_b(geom, scan_resistant, "B");
+
+    TextTable table({"window", "adaptive", lru_like, scan_resistant,
+                     "PSEL"});
+    size_t pos = 0;
+    unsigned index = 0;
+    while (pos < workload.size()) {
+        const size_t end = std::min(pos + window, workload.size());
+        unsigned miss_ad = 0;
+        unsigned miss_a = 0;
+        unsigned miss_b = 0;
+        for (size_t i = pos; i < end; ++i) {
+            miss_ad += !adaptive.access(workload[i]);
+            miss_a += !static_a.access(workload[i]);
+            miss_b += !static_b.access(workload[i]);
+        }
+        const double n = static_cast<double>(end - pos);
+        table.addRow({std::to_string(index++),
+                      formatPercent(miss_ad / n),
+                      formatPercent(miss_a / n),
+                      formatPercent(miss_b / n),
+                      std::to_string(adaptive.psel())});
+        pos = end;
+    }
+    table.print(std::cout);
+
+    std::cout << "\nTotals: adaptive "
+              << formatPercent(adaptive.stats().missRatio()) << ", "
+              << lru_like << " "
+              << formatPercent(static_a.stats().missRatio()) << ", "
+              << scan_resistant << " "
+              << formatPercent(static_b.stats().missRatio()) << "\n";
+    std::cout << "PSEL above "
+              << adaptive.pselMidpoint()
+              << " selects the second policy.\n";
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Compares every baseline replacement policy (plus Belady's OPT)
+ * across the SPEC-like workload suite on one cache configuration —
+ * the evaluation half of the paper in one program.
+ *
+ * Usage: policy_showdown [cache-KiB] [ways]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "recap/common/table.hh"
+#include "recap/eval/opt.hh"
+#include "recap/eval/simulate.hh"
+#include "recap/policy/factory.hh"
+#include "recap/trace/generators.hh"
+
+int
+main(int argc, char** argv)
+{
+    using namespace recap;
+
+    const unsigned kib = argc > 1 ? std::atoi(argv[1]) : 32;
+    const unsigned ways = argc > 2 ? std::atoi(argv[2]) : 8;
+    const auto geom =
+        cache::Geometry::fromCapacity(uint64_t{kib} * 1024, ways);
+
+    trace::SuiteConfig cfg;
+    cfg.cacheBytes = geom.sizeBytes();
+    cfg.accessesPerWorkload = 150000;
+    const auto suite = trace::specLikeSuite(cfg);
+
+    std::cout << "Cache: " << geom.describe() << "\n";
+    std::cout << "Cells: miss ratio (percent)\n\n";
+
+    std::vector<std::string> headers{"policy"};
+    for (const auto& w : suite)
+        headers.push_back(w.name);
+    TextTable table(headers);
+
+    for (const auto& spec : policy::baselineSpecs()) {
+        if (!policy::specSupportsWays(spec, geom.ways))
+            continue;
+        std::vector<std::string> row{
+            policy::makePolicy(spec, geom.ways)->name()};
+        for (const auto& w : suite) {
+            const auto stats =
+                eval::simulateTrace(geom, spec, w.trace);
+            row.push_back(formatDouble(stats.missRatio() * 100, 2));
+        }
+        table.addRow(std::move(row));
+    }
+    {
+        std::vector<std::string> row{"OPT (offline)"};
+        for (const auto& w : suite) {
+            const auto stats = eval::simulateOpt(geom, w.trace);
+            row.push_back(formatDouble(stats.missRatio() * 100, 2));
+        }
+        table.addRow(std::move(row));
+    }
+
+    table.print(std::cout);
+    std::cout << "\nWorkloads:\n";
+    for (const auto& w : suite)
+        std::cout << "  " << w.name << ": " << w.description << "\n";
+    return 0;
+}

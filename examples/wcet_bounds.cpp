@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The payoff the paper's authors care about: once a cache's
+ * replacement policy has been reverse-engineered, a WCET (worst-case
+ * execution time) analysis can compute hard bounds on its behaviour.
+ * This example reverse-engineers a machine's L1 policy and then runs
+ * the predictability analysis on the *recovered* model, comparing it
+ * against other policies.
+ */
+
+#include <iostream>
+
+#include "recap/common/table.hh"
+#include "recap/eval/predictability.hh"
+#include "recap/hw/catalog.hh"
+#include "recap/infer/pipeline.hh"
+#include "recap/policy/factory.hh"
+
+int
+main(int argc, char** argv)
+{
+    using namespace recap;
+
+    const std::string name = argc > 1 ? argv[1] : "core2-e6300";
+    auto spec = hw::reducedSpec(hw::catalogMachine(name), 512);
+
+    std::cout << "Step 1: reverse-engineer " << spec.name
+              << "'s L1 policy from measurements...\n";
+    hw::Machine machine(spec);
+    infer::InferenceOptions opts;
+    opts.adaptive.windowSets = 32;
+    const auto report = infer::inferMachine(machine, opts);
+    const auto& l1 = report.levels.front();
+    std::cout << "  -> " << l1.verdict << " ("
+              << l1.geometry.toGeometry().describe() << ")\n\n";
+
+    std::cout << "Step 2: predictability analysis of the recovered "
+                 "policy vs alternatives\n\n";
+
+    // Map the verdict back to an executable policy spec. For the
+    // permutation verdicts the canonical names map directly.
+    std::string recovered_spec;
+    if (l1.verdict == "LRU")
+        recovered_spec = "lru";
+    else if (l1.verdict == "FIFO")
+        recovered_spec = "fifo";
+    else if (l1.verdict == "PLRU")
+        recovered_spec = "plru";
+    else if (!l1.survivors.empty())
+        recovered_spec = l1.survivors.front();
+    if (recovered_spec.empty()) {
+        std::cout << "could not map the verdict to a policy spec\n";
+        return 1;
+    }
+
+    const unsigned k = l1.geometry.ways;
+    TextTable table({"policy", "k", "missTurnover",
+                     "evictBound (adversarial)"});
+    std::vector<std::string> specs{recovered_spec};
+    for (const std::string alt : {"lru", "fifo", "nru"})
+        if (alt != recovered_spec)
+            specs.push_back(alt);
+    for (const auto& spec_name : specs) {
+        if (!policy::specSupportsWays(spec_name, k))
+            continue;
+        const auto proto = policy::makePolicy(spec_name, k);
+        const auto turnover = eval::missTurnover(*proto);
+        const auto evict = eval::evictBound(*proto);
+        std::string label = proto->name();
+        if (spec_name == recovered_spec)
+            label += " (recovered)";
+        table.addRow({label, std::to_string(k), turnover.render(),
+                      evict.render()});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nReading: a WCET analysis can bound a line's "
+                 "eviction only if evictBound is finite —\n"
+                 "tree-PLRU's 'unbounded' is the classic "
+                 "predictability pitfall that makes knowing\n"
+                 "the real policy (rather than assuming LRU) "
+                 "essential.\n";
+    return 0;
+}

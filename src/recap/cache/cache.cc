@@ -1,0 +1,250 @@
+#include "recap/cache/cache.hh"
+
+#include <algorithm>
+
+#include "recap/common/bitops.hh"
+#include "recap/common/error.hh"
+#include "recap/policy/factory.hh"
+
+namespace recap::cache
+{
+
+Cache::Cache(const Geometry& geom, const std::string& policySpec,
+             std::string name, uint64_t seed)
+    : geom_(geom), name_(std::move(name)), specA_(policySpec)
+{
+    geom_.validate();
+    sets_.reserve(geom_.numSets);
+    for (unsigned s = 0; s < geom_.numSets; ++s) {
+        Set set;
+        set.tags.assign(geom_.ways, 0);
+        set.valid.assign(geom_.ways, false);
+        set.dirty.assign(geom_.ways, false);
+        set.policyA = policy::makePolicy(policySpec, geom_.ways,
+                                         seed + s);
+        sets_.push_back(std::move(set));
+    }
+}
+
+Cache::Cache(const Geometry& geom, const std::string& specA,
+             const std::string& specB, const DuelingConfig& duel,
+             std::string name, uint64_t seed)
+    : geom_(geom), name_(std::move(name)), specA_(specA), specB_(specB),
+      adaptive_(true), duel_(duel)
+{
+    geom_.validate();
+    require(duel_.pselBits >= 1 && duel_.pselBits <= 16,
+            "Cache: PSEL width must be in [1,16]");
+    require(duel_.leaderSetsPerPolicy >= 1,
+            "Cache: need at least one leader set per policy");
+    require(geom_.numSets >= 2 * duel_.leaderSetsPerPolicy,
+            "Cache: too few sets for the requested leader count");
+    pselMax_ = (1u << duel_.pselBits) - 1;
+    psel_ = pselMidpoint();
+    sets_.reserve(geom_.numSets);
+    for (unsigned s = 0; s < geom_.numSets; ++s) {
+        Set set;
+        set.tags.assign(geom_.ways, 0);
+        set.valid.assign(geom_.ways, false);
+        set.dirty.assign(geom_.ways, false);
+        set.policyA = policy::makePolicy(specA, geom_.ways, seed + s);
+        set.policyB = policy::makePolicy(specB, geom_.ways,
+                                         seed + geom_.numSets + s);
+        sets_.push_back(std::move(set));
+    }
+}
+
+bool
+Cache::access(Addr addr, bool write)
+{
+    return accessDetailed(addr, write).hit;
+}
+
+AccessResult
+Cache::accessDetailed(Addr addr, bool write)
+{
+    const unsigned set = geom_.setIndex(addr);
+    const uint64_t tag = geom_.tag(addr);
+    return accessSet(set, tag, write);
+}
+
+bool
+Cache::isDirty(Addr addr) const
+{
+    const unsigned set = geom_.setIndex(addr);
+    const uint64_t tag = geom_.tag(addr);
+    const Set& s = sets_[set];
+    for (unsigned w = 0; w < geom_.ways; ++w)
+        if (s.valid[w] && s.tags[w] == tag)
+            return s.dirty[w];
+    return false;
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    const unsigned set = geom_.setIndex(addr);
+    const uint64_t tag = geom_.tag(addr);
+    const Set& s = sets_[set];
+    for (unsigned w = 0; w < geom_.ways; ++w)
+        if (s.valid[w] && s.tags[w] == tag)
+            return true;
+    return false;
+}
+
+void
+Cache::flush()
+{
+    for (auto& set : sets_) {
+        for (unsigned w = 0; w < geom_.ways; ++w)
+            if (set.valid[w] && set.dirty[w])
+                ++stats_.writebacks;
+        std::fill(set.valid.begin(), set.valid.end(), false);
+        std::fill(set.dirty.begin(), set.dirty.end(), false);
+        set.policyA->reset();
+        if (set.policyB)
+            set.policyB->reset();
+    }
+    // Note: PSEL is deliberately NOT reset. It models a global
+    // selector register, which an invalidation instruction leaves
+    // alone on real hardware; inference relies on training it across
+    // flushes.
+}
+
+void
+Cache::invalidate(Addr addr)
+{
+    const unsigned set = geom_.setIndex(addr);
+    const uint64_t tag = geom_.tag(addr);
+    Set& s = sets_[set];
+    for (unsigned w = 0; w < geom_.ways; ++w) {
+        if (s.valid[w] && s.tags[w] == tag) {
+            if (s.dirty[w])
+                ++stats_.writebacks;
+            s.valid[w] = false;
+            s.dirty[w] = false;
+            return;
+        }
+    }
+}
+
+unsigned
+Cache::psel() const
+{
+    require(adaptive_, "Cache::psel: cache is not adaptive");
+    return psel_;
+}
+
+unsigned
+Cache::pselMidpoint() const
+{
+    require(adaptive_, "Cache::pselMidpoint: cache is not adaptive");
+    return (pselMax_ + 1) / 2;
+}
+
+Cache::SetRole
+Cache::setRole(unsigned set) const
+{
+    require(set < geom_.numSets, "Cache::setRole: set out of range");
+    if (!adaptive_)
+        return SetRole::kFollower;
+    // Leaders are spread evenly: each interval of sets contributes
+    // one A-leader at its start and one B-leader at its midpoint.
+    const unsigned interval = geom_.numSets / duel_.leaderSetsPerPolicy;
+    if (set % interval == 0)
+        return SetRole::kLeaderA;
+    if (set % interval == interval / 2)
+        return SetRole::kLeaderB;
+    return SetRole::kFollower;
+}
+
+const policy::ReplacementPolicy&
+Cache::decider(unsigned set) const
+{
+    const Set& s = sets_[set];
+    if (!adaptive_)
+        return *s.policyA;
+    switch (setRole(set)) {
+      case SetRole::kLeaderA:
+        return *s.policyA;
+      case SetRole::kLeaderB:
+        return *s.policyB;
+      case SetRole::kFollower:
+        break;
+    }
+    return psel_ >= pselMidpoint() ? *s.policyB : *s.policyA;
+}
+
+AccessResult
+Cache::accessSet(unsigned set, uint64_t tag, bool write)
+{
+    Set& s = sets_[set];
+    ++stats_.accesses;
+    if (write)
+        ++stats_.writes;
+
+    AccessResult result;
+    result.setIndex = set;
+
+    // Hit path: update every automaton so their state stays in sync
+    // with the true contents.
+    for (unsigned w = 0; w < geom_.ways; ++w) {
+        if (s.valid[w] && s.tags[w] == tag) {
+            ++stats_.hits;
+            s.policyA->touch(w);
+            if (s.policyB)
+                s.policyB->touch(w);
+            if (write)
+                s.dirty[w] = true;
+            result.hit = true;
+            result.way = w;
+            return result;
+        }
+    }
+
+    // Miss path.
+    ++stats_.misses;
+    if (adaptive_)
+        trainPsel(setRole(set));
+
+    policy::Way way = geom_.ways;
+    for (unsigned w = 0; w < geom_.ways; ++w) {
+        if (!s.valid[w]) {
+            way = w;
+            break;
+        }
+    }
+    if (way == geom_.ways) {
+        way = decider(set).victim();
+        ++stats_.evictions;
+        result.evictedBlock =
+            ((s.tags[way] << log2Floor(geom_.numSets) | set)
+             << log2Floor(geom_.lineSize));
+        if (s.dirty[way]) {
+            ++stats_.writebacks;
+            result.writeback = true;
+        }
+    }
+
+    s.tags[way] = tag;
+    s.valid[way] = true;
+    s.dirty[way] = write; // write-allocate
+    s.policyA->fill(way);
+    if (s.policyB)
+        s.policyB->fill(way);
+
+    result.way = way;
+    return result;
+}
+
+void
+Cache::trainPsel(SetRole role)
+{
+    // A miss in an A-leader is evidence for B (and vice versa).
+    if (role == SetRole::kLeaderA && psel_ < pselMax_)
+        ++psel_;
+    else if (role == SetRole::kLeaderB && psel_ > 0)
+        --psel_;
+}
+
+} // namespace recap::cache

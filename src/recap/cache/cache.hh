@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Set-associative single-level cache model, including the set-dueling
+ * adaptive mode used by the Ivy-Bridge-style last-level cache.
+ */
+
+#ifndef RECAP_CACHE_CACHE_HH_
+#define RECAP_CACHE_CACHE_HH_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "recap/cache/geometry.hh"
+#include "recap/policy/policy.hh"
+
+namespace recap::cache
+{
+
+/** Counters for one cache level. */
+struct LevelStats
+{
+    uint64_t accesses = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;  ///< misses that displaced a valid line
+    uint64_t writes = 0;     ///< accesses that were stores
+    uint64_t writebacks = 0; ///< dirty lines displaced or flushed
+
+    /** misses / accesses; 0 when no accesses. */
+    double missRatio() const
+    {
+        return accesses ? static_cast<double>(misses) /
+                          static_cast<double>(accesses) : 0.0;
+    }
+
+    void reset() { *this = LevelStats{}; }
+};
+
+/** Set-dueling configuration for adaptive caches (DIP-style). */
+struct DuelingConfig
+{
+    unsigned leaderSetsPerPolicy = 32; ///< leaders dedicated to each
+    unsigned pselBits = 10;            ///< saturating-counter width
+};
+
+/** Result of one cache access, for callers that need details. */
+struct AccessResult
+{
+    bool hit = false;
+    unsigned setIndex = 0;
+    policy::Way way = 0;               ///< way hit or filled
+    std::optional<Addr> evictedBlock;  ///< base addr of displaced line
+    bool writeback = false;            ///< displaced line was dirty
+};
+
+/**
+ * A single cache level with one replacement-policy automaton per set.
+ *
+ * In adaptive mode every set carries *two* policy automatons (both
+ * observe every access so their state always reflects the true
+ * contents); leader sets always decide victims with their dedicated
+ * policy, and follower sets follow the PSEL counter, which is trained
+ * by misses in leader sets.
+ */
+class Cache
+{
+  public:
+    /**
+     * Static-policy cache.
+     *
+     * @param geom       Geometry (validated).
+     * @param policySpec Policy spec per policy::makePolicy().
+     * @param name       Display name, e.g. "L1".
+     * @param seed       Seed for stochastic policies; each set derives
+     *                   its own stream from it.
+     */
+    Cache(const Geometry& geom, const std::string& policySpec,
+          std::string name = "cache", uint64_t seed = 1);
+
+    /**
+     * Adaptive (set-dueling) cache choosing between two policies.
+     *
+     * @param specA First constituent policy (PSEL low half).
+     * @param specB Second constituent policy (PSEL high half).
+     */
+    Cache(const Geometry& geom, const std::string& specA,
+          const std::string& specB, const DuelingConfig& duel,
+          std::string name = "cache", uint64_t seed = 1);
+
+    Cache(Cache&&) noexcept = default;
+    Cache& operator=(Cache&&) noexcept = default;
+
+    /**
+     * Performs one access; fills on miss. Stores mark the line dirty
+     * (write-back, write-allocate). @return true on hit.
+     */
+    bool access(Addr addr, bool write = false);
+
+    /** Like access(), but reports details. */
+    AccessResult accessDetailed(Addr addr, bool write = false);
+
+    /** True iff the line containing @p addr is resident and dirty. */
+    bool isDirty(Addr addr) const;
+
+    /** True iff the line containing @p addr is resident (no update). */
+    bool probe(Addr addr) const;
+
+    /** Invalidates all lines and resets every policy automaton. */
+    void flush();
+
+    /** Invalidates the line containing @p addr, if present. */
+    void invalidate(Addr addr);
+
+    const Geometry& geometry() const { return geom_; }
+    const std::string& name() const { return name_; }
+    const LevelStats& stats() const { return stats_; }
+    void resetStats() { stats_.reset(); }
+
+    /** True iff this cache was built in set-dueling mode. */
+    bool isAdaptive() const { return adaptive_; }
+
+    /** Current PSEL value (adaptive mode only). */
+    unsigned psel() const;
+
+    /** PSEL midpoint; PSEL >= midpoint selects policy B. */
+    unsigned pselMidpoint() const;
+
+    /** Role of a set in the duel. */
+    enum class SetRole { kFollower, kLeaderA, kLeaderB };
+
+    /** Role of set @p set (kFollower for static caches). */
+    SetRole setRole(unsigned set) const;
+
+    /** Policy spec(s) this cache was built with. */
+    const std::string& policySpec() const { return specA_; }
+    const std::string& policySpecB() const { return specB_; }
+
+  private:
+    struct Set
+    {
+        std::vector<uint64_t> tags;
+        std::vector<bool> valid;
+        std::vector<bool> dirty;
+        policy::PolicyPtr policyA;
+        policy::PolicyPtr policyB; ///< null for static caches
+    };
+
+    /** Chooses the automaton that decides victims for @p set. */
+    const policy::ReplacementPolicy& decider(unsigned set) const;
+
+    /** Applies one access to set @p set; shared implementation. */
+    AccessResult accessSet(unsigned set, uint64_t tag, bool write);
+
+    /** Nudges PSEL after a miss in a leader set. */
+    void trainPsel(SetRole role);
+
+    Geometry geom_;
+    std::string name_;
+    std::string specA_;
+    std::string specB_;
+    bool adaptive_ = false;
+    DuelingConfig duel_;
+    unsigned psel_ = 0;
+    unsigned pselMax_ = 0;
+    std::vector<Set> sets_;
+    LevelStats stats_;
+};
+
+} // namespace recap::cache
+
+#endif // RECAP_CACHE_CACHE_HH_

@@ -1,0 +1,80 @@
+#include "recap/cache/geometry.hh"
+
+#include "recap/common/bitops.hh"
+#include "recap/common/error.hh"
+#include "recap/common/table.hh"
+
+namespace recap::cache
+{
+
+void
+Geometry::validate() const
+{
+    require(lineSize >= 1 && isPowerOfTwo(lineSize),
+            "Geometry: line size must be a power of two");
+    require(numSets >= 1 && isPowerOfTwo(numSets),
+            "Geometry: set count must be a power of two");
+    require(ways >= 1, "Geometry: associativity must be >= 1");
+}
+
+uint64_t
+Geometry::sizeBytes() const
+{
+    return static_cast<uint64_t>(lineSize) * numSets * ways;
+}
+
+uint64_t
+Geometry::blockNumber(Addr addr) const
+{
+    return addr >> log2Floor(lineSize);
+}
+
+unsigned
+Geometry::setIndex(Addr addr) const
+{
+    return static_cast<unsigned>(blockNumber(addr) & (numSets - 1));
+}
+
+uint64_t
+Geometry::tag(Addr addr) const
+{
+    return blockNumber(addr) >> log2Floor(numSets);
+}
+
+Addr
+Geometry::blockBase(Addr addr) const
+{
+    return alignDown(addr, lineSize);
+}
+
+Geometry
+Geometry::fromCapacity(uint64_t capacityBytes, unsigned ways,
+                       unsigned lineSize)
+{
+    require(ways >= 1, "Geometry::fromCapacity: ways must be >= 1");
+    require(lineSize >= 1 && isPowerOfTwo(lineSize),
+            "Geometry::fromCapacity: line size must be a power of two");
+    const uint64_t way_bytes = static_cast<uint64_t>(lineSize) * ways;
+    require(way_bytes > 0 && capacityBytes % way_bytes == 0,
+            "Geometry::fromCapacity: capacity not divisible by "
+            "ways * lineSize");
+    const uint64_t sets = capacityBytes / way_bytes;
+    require(isPowerOfTwo(sets),
+            "Geometry::fromCapacity: derived set count is not a power "
+            "of two");
+    Geometry g;
+    g.lineSize = lineSize;
+    g.numSets = static_cast<unsigned>(sets);
+    g.ways = ways;
+    g.validate();
+    return g;
+}
+
+std::string
+Geometry::describe() const
+{
+    return formatBytes(sizeBytes()) + ", " + std::to_string(ways) +
+           "-way, " + std::to_string(lineSize) + " B lines";
+}
+
+} // namespace recap::cache

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Cache geometry: line size, set count, associativity, and the
+ * address bit-slicing derived from them.
+ */
+
+#ifndef RECAP_CACHE_GEOMETRY_HH_
+#define RECAP_CACHE_GEOMETRY_HH_
+
+#include <cstdint>
+#include <string>
+
+namespace recap::cache
+{
+
+/** Physical byte address. */
+using Addr = uint64_t;
+
+/**
+ * Geometry of one cache level. Line size and set count must be
+ * powers of two; addresses are sliced as [tag | set index | offset].
+ */
+struct Geometry
+{
+    unsigned lineSize = 64; ///< bytes per line (power of two)
+    unsigned numSets = 64;  ///< sets (power of two)
+    unsigned ways = 8;      ///< associativity
+
+    /** Validates the constraints above; throws UsageError. */
+    void validate() const;
+
+    /** Total capacity in bytes. */
+    uint64_t sizeBytes() const;
+
+    /** Line-granular block number of @p addr. */
+    uint64_t blockNumber(Addr addr) const;
+
+    /** Set index of @p addr. */
+    unsigned setIndex(Addr addr) const;
+
+    /** Tag of @p addr (block number with set bits stripped). */
+    uint64_t tag(Addr addr) const;
+
+    /** First byte address of the block containing @p addr. */
+    Addr blockBase(Addr addr) const;
+
+    /**
+     * Builds a geometry from a capacity: numSets is derived as
+     * capacity / (lineSize * ways). The division must be exact and
+     * yield a power of two.
+     */
+    static Geometry fromCapacity(uint64_t capacityBytes, unsigned ways,
+                                 unsigned lineSize = 64);
+
+    /** "32 KiB, 8-way, 64 B lines" style description. */
+    std::string describe() const;
+
+    bool operator==(const Geometry& other) const = default;
+};
+
+} // namespace recap::cache
+
+#endif // RECAP_CACHE_GEOMETRY_HH_

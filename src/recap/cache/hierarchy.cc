@@ -1,0 +1,82 @@
+#include "recap/cache/hierarchy.hh"
+
+#include "recap/common/error.hh"
+
+namespace recap::cache
+{
+
+Hierarchy::Hierarchy(unsigned memoryLatency)
+    : memoryLatency_(memoryLatency)
+{
+    require(memoryLatency >= 1,
+            "Hierarchy: memory latency must be >= 1");
+}
+
+void
+Hierarchy::addLevel(Cache cache, unsigned hitLatency)
+{
+    require(hitLatency >= 1, "Hierarchy: hit latency must be >= 1");
+    if (!levels_.empty()) {
+        require(hitLatency >= levels_.back().hitLatency,
+                "Hierarchy: outer levels must not be faster");
+    }
+    levels_.push_back(Level{std::move(cache), hitLatency});
+}
+
+unsigned
+Hierarchy::access(Addr addr, bool write)
+{
+    require(!levels_.empty(), "Hierarchy::access: no levels");
+    for (unsigned i = 0; i < levels_.size(); ++i) {
+        // A missing level fills itself as part of access(), which is
+        // exactly the fill-on-miss behaviour we want.
+        if (levels_[i].cache.access(addr, write))
+            return i;
+    }
+    return depth();
+}
+
+unsigned
+Hierarchy::latencyOf(unsigned level) const
+{
+    require(level <= depth(), "Hierarchy::latencyOf: level range");
+    if (level == depth())
+        return memoryLatency_;
+    return levels_[level].hitLatency;
+}
+
+unsigned
+Hierarchy::accessLatency(Addr addr)
+{
+    return latencyOf(access(addr));
+}
+
+void
+Hierarchy::flushAll()
+{
+    for (auto& lvl : levels_)
+        lvl.cache.flush();
+}
+
+Level&
+Hierarchy::level(unsigned idx)
+{
+    require(idx < depth(), "Hierarchy::level: index range");
+    return levels_[idx];
+}
+
+const Level&
+Hierarchy::level(unsigned idx) const
+{
+    require(idx < depth(), "Hierarchy::level: index range");
+    return levels_[idx];
+}
+
+void
+Hierarchy::resetStats()
+{
+    for (auto& lvl : levels_)
+        lvl.cache.resetStats();
+}
+
+} // namespace recap::cache

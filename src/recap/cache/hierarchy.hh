@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Multi-level cache hierarchy: an ordered stack of Cache levels plus
+ * a memory latency, the structure the simulated machines are made of.
+ */
+
+#ifndef RECAP_CACHE_HIERARCHY_HH_
+#define RECAP_CACHE_HIERARCHY_HH_
+
+#include <string>
+#include <vector>
+
+#include "recap/cache/cache.hh"
+
+namespace recap::cache
+{
+
+/** One level of a hierarchy: the cache plus its hit latency. */
+struct Level
+{
+    Cache cache;
+    unsigned hitLatency; ///< cycles for a hit in this level
+};
+
+/**
+ * A non-inclusive, fill-on-miss hierarchy.
+ *
+ * An access walks the levels from L1 outward until it hits (or
+ * reaches memory); every level it missed in fills the line, so upper
+ * levels always end up holding recently touched lines, as on the
+ * modelled machines.
+ */
+class Hierarchy
+{
+  public:
+    /**
+     * @param memoryLatency Cycles for an access that misses all
+     *                      levels.
+     */
+    explicit Hierarchy(unsigned memoryLatency = 200);
+
+    /** Appends a level (L1 first). */
+    void addLevel(Cache cache, unsigned hitLatency);
+
+    /** Number of cache levels. */
+    unsigned depth() const { return static_cast<unsigned>(
+        levels_.size()); }
+
+    /**
+     * Performs one access; stores mark lines dirty at every level
+     * they fill (write-back, write-allocate).
+     * @return Index of the level that hit, or depth() for memory.
+     */
+    unsigned access(Addr addr, bool write = false);
+
+    /** Cycles the last access pattern would take for a hit at level
+     *  @p level (depth() = memory). */
+    unsigned latencyOf(unsigned level) const;
+
+    /** Access + latency in one call. */
+    unsigned accessLatency(Addr addr);
+
+    /** Flushes every level (the machine's wbinvd). */
+    void flushAll();
+
+    /** Mutable level access for configuration and inspection. */
+    Level& level(unsigned idx);
+    const Level& level(unsigned idx) const;
+
+    unsigned memoryLatency() const { return memoryLatency_; }
+
+    /** Clears the statistics of every level. */
+    void resetStats();
+
+  private:
+    std::vector<Level> levels_;
+    unsigned memoryLatency_;
+};
+
+} // namespace recap::cache
+
+#endif // RECAP_CACHE_HIERARCHY_HH_

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used by the cache geometry code.
+ */
+
+#ifndef RECAP_COMMON_BITOPS_HH_
+#define RECAP_COMMON_BITOPS_HH_
+
+#include <cstdint>
+
+namespace recap
+{
+
+/** Returns true iff @p x is a power of two (0 is not). */
+constexpr bool
+isPowerOfTwo(uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** Returns floor(log2(x)); requires x > 0. */
+constexpr unsigned
+log2Floor(uint64_t x)
+{
+    unsigned r = 0;
+    while (x >>= 1)
+        ++r;
+    return r;
+}
+
+/** Returns ceil(log2(x)); requires x > 0. */
+constexpr unsigned
+log2Ceil(uint64_t x)
+{
+    return x <= 1 ? 0 : log2Floor(x - 1) + 1;
+}
+
+/** Rounds @p x down to a multiple of @p align (align must be pow2). */
+constexpr uint64_t
+alignDown(uint64_t x, uint64_t align)
+{
+    return x & ~(align - 1);
+}
+
+/** Rounds @p x up to a multiple of @p align (align must be pow2). */
+constexpr uint64_t
+alignUp(uint64_t x, uint64_t align)
+{
+    return (x + align - 1) & ~(align - 1);
+}
+
+/** Extracts bits [lo, lo+len) of @p x. */
+constexpr uint64_t
+bitField(uint64_t x, unsigned lo, unsigned len)
+{
+    return len >= 64 ? (x >> lo) : ((x >> lo) & ((uint64_t{1} << len) - 1));
+}
+
+/** Returns the number of set bits in @p x. */
+constexpr unsigned
+popCount(uint64_t x)
+{
+    unsigned n = 0;
+    while (x) {
+        x &= x - 1;
+        ++n;
+    }
+    return n;
+}
+
+} // namespace recap
+
+#endif // RECAP_COMMON_BITOPS_HH_

@@ -1,0 +1,110 @@
+#include "recap/common/rng.hh"
+
+#include <cmath>
+
+#include "recap/common/error.hh"
+
+namespace recap
+{
+
+namespace
+{
+
+/** SplitMix64 step, used only to expand the user seed. */
+uint64_t
+splitMix64(uint64_t& state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto& word : s_)
+        word = splitMix64(sm);
+    // xoshiro must not start in the all-zero state.
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0)
+        s_[0] = 1;
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+
+    return result;
+}
+
+uint64_t
+Rng::nextBelow(uint64_t bound)
+{
+    require(bound > 0, "Rng::nextBelow: bound must be positive");
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t limit = bound * (UINT64_MAX / bound);
+    uint64_t x = next();
+    while (x >= limit)
+        x = next();
+    return x % bound;
+}
+
+uint64_t
+Rng::nextInRange(uint64_t lo, uint64_t hi)
+{
+    require(lo <= hi, "Rng::nextInRange: lo must be <= hi");
+    const uint64_t width = hi - lo;
+    if (width == UINT64_MAX)
+        return next();
+    return lo + nextBelow(width + 1);
+}
+
+double
+Rng::nextDouble()
+{
+    // 53 random mantissa bits give a uniform double in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return nextDouble() < p;
+}
+
+uint64_t
+Rng::nextGeometric(double mu)
+{
+    require(mu > 0.0, "Rng::nextGeometric: mean must be positive");
+    // Inverse-CDF sampling of a geometric distribution with mean mu.
+    const double p = 1.0 / (1.0 + mu);
+    double u = nextDouble();
+    // Guard against log(0).
+    if (u >= 1.0)
+        u = 0.9999999999999999;
+    return static_cast<uint64_t>(std::log1p(-u) / std::log1p(-p));
+}
+
+} // namespace recap

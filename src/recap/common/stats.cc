@@ -1,0 +1,95 @@
+#include "recap/common/stats.hh"
+
+#include <cmath>
+
+#include "recap/common/error.hh"
+
+namespace recap
+{
+
+void
+RunningStat::add(double x)
+{
+    ++n_;
+    sum_ += x;
+    if (n_ == 1) {
+        mean_ = x;
+        min_ = x;
+        max_ = x;
+        m2_ = 0.0;
+        return;
+    }
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_)
+        min_ = x;
+    if (x > max_)
+        max_ = x;
+}
+
+double
+RunningStat::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+Histogram::add(int64_t value, uint64_t weight)
+{
+    buckets_[value] += weight;
+    total_ += weight;
+}
+
+uint64_t
+Histogram::countOf(int64_t value) const
+{
+    auto it = buckets_.find(value);
+    return it == buckets_.end() ? 0 : it->second;
+}
+
+int64_t
+Histogram::mode() const
+{
+    require(total_ > 0, "Histogram::mode: empty histogram");
+    int64_t best_value = 0;
+    uint64_t best_weight = 0;
+    for (const auto& [value, weight] : buckets_) {
+        if (weight > best_weight) {
+            best_weight = weight;
+            best_value = value;
+        }
+    }
+    return best_value;
+}
+
+int64_t
+Histogram::quantile(double q) const
+{
+    require(total_ > 0, "Histogram::quantile: empty histogram");
+    require(q >= 0.0 && q <= 1.0, "Histogram::quantile: q outside [0,1]");
+    const double target = q * static_cast<double>(total_);
+    uint64_t cumulative = 0;
+    for (const auto& [value, weight] : buckets_) {
+        cumulative += weight;
+        if (static_cast<double>(cumulative) >= target)
+            return value;
+    }
+    return buckets_.rbegin()->first;
+}
+
+std::vector<std::pair<int64_t, uint64_t>>
+Histogram::buckets() const
+{
+    return {buckets_.begin(), buckets_.end()};
+}
+
+} // namespace recap

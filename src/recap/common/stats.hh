@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Streaming statistics accumulators used throughout the evaluation
+ * harness and the noisy-measurement machinery.
+ */
+
+#ifndef RECAP_COMMON_STATS_HH_
+#define RECAP_COMMON_STATS_HH_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace recap
+{
+
+/**
+ * Welford-style running mean/variance with min/max tracking.
+ */
+class RunningStat
+{
+  public:
+    RunningStat() = default;
+
+    /** Adds one sample. */
+    void add(double x);
+
+    /** Number of samples added. */
+    uint64_t count() const { return n_; }
+
+    /** Sample mean; 0 when empty. */
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** Unbiased sample variance; 0 with fewer than two samples. */
+    double variance() const;
+
+    /** Standard deviation; 0 with fewer than two samples. */
+    double stddev() const;
+
+    /** Smallest sample seen; 0 when empty. */
+    double min() const { return n_ ? min_ : 0.0; }
+
+    /** Largest sample seen; 0 when empty. */
+    double max() const { return n_ ? max_ : 0.0; }
+
+    /** Sum of all samples. */
+    double sum() const { return sum_; }
+
+  private:
+    uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/**
+ * Exact integer-valued histogram (map-backed; suitable for the modest
+ * cardinalities recap deals with, e.g. latency classes).
+ */
+class Histogram
+{
+  public:
+    /** Increments the bucket for @p value by @p weight. */
+    void add(int64_t value, uint64_t weight = 1);
+
+    /** Total weight across all buckets. */
+    uint64_t total() const { return total_; }
+
+    /** Weight recorded for exactly @p value. */
+    uint64_t countOf(int64_t value) const;
+
+    /** The value with the largest weight; requires a nonempty histogram. */
+    int64_t mode() const;
+
+    /** Smallest value v such that cumulative weight >= q * total. */
+    int64_t quantile(double q) const;
+
+    /** All (value, weight) pairs in increasing value order. */
+    std::vector<std::pair<int64_t, uint64_t>> buckets() const;
+
+  private:
+    std::map<int64_t, uint64_t> buckets_;
+    uint64_t total_ = 0;
+};
+
+} // namespace recap
+
+#endif // RECAP_COMMON_STATS_HH_

@@ -1,0 +1,113 @@
+#include "recap/common/table.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+
+#include "recap/common/error.hh"
+
+namespace recap
+{
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    require(!headers_.empty(), "TextTable: need at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    require(cells.size() == headers_.size(),
+            "TextTable::addRow: cell count does not match header count");
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::print(std::ostream& os) const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto& row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string>& row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << (c == 0 ? "| " : " ");
+            os << std::left << std::setw(static_cast<int>(widths[c]))
+               << row[c] << " |";
+        }
+        os << '\n';
+    };
+
+    emit_row(headers_);
+    for (size_t c = 0; c < headers_.size(); ++c) {
+        os << (c == 0 ? "|" : "") << std::string(widths[c] + 2, '-') << "|";
+    }
+    os << '\n';
+    for (const auto& row : rows_)
+        emit_row(row);
+}
+
+void
+TextTable::printCsv(std::ostream& os) const
+{
+    auto emit_cell = [&](const std::string& cell) {
+        if (cell.find_first_of(",\"\n") == std::string::npos) {
+            os << cell;
+            return;
+        }
+        os << '"';
+        for (char ch : cell) {
+            if (ch == '"')
+                os << '"';
+            os << ch;
+        }
+        os << '"';
+    };
+    auto emit_row = [&](const std::vector<std::string>& row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                os << ',';
+            emit_cell(row[c]);
+        }
+        os << '\n';
+    };
+    emit_row(headers_);
+    for (const auto& row : rows_)
+        emit_row(row);
+}
+
+std::string
+formatDouble(double value, int digits)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(digits) << value;
+    return oss.str();
+}
+
+std::string
+formatPercent(double ratio, int digits)
+{
+    return formatDouble(ratio * 100.0, digits) + "%";
+}
+
+std::string
+formatBytes(uint64_t bytes)
+{
+    static const char* const units[] = {"B", "KiB", "MiB", "GiB"};
+    int unit = 0;
+    uint64_t value = bytes;
+    while (value >= 1024 && value % 1024 == 0 && unit < 3) {
+        value /= 1024;
+        ++unit;
+    }
+    std::ostringstream oss;
+    oss << value << ' ' << units[unit];
+    return oss.str();
+}
+
+} // namespace recap

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Plain-text table printer used by the bench binaries to reproduce the
+ * paper's tables and figure series in a uniform format.
+ */
+
+#ifndef RECAP_COMMON_TABLE_HH_
+#define RECAP_COMMON_TABLE_HH_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace recap
+{
+
+/**
+ * Accumulates rows of string cells and renders them either as an
+ * aligned ASCII table or as CSV.
+ *
+ * Example:
+ * @code
+ *   TextTable t({"policy", "miss ratio"});
+ *   t.addRow({"LRU", "0.231"});
+ *   t.print(std::cout);
+ * @endcode
+ */
+class TextTable
+{
+  public:
+    /** Creates a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Appends one row; must have exactly as many cells as headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Number of data rows added so far. */
+    size_t rowCount() const { return rows_.size(); }
+
+    /** Renders an aligned ASCII table with a header separator. */
+    void print(std::ostream& os) const;
+
+    /** Renders RFC-4180-ish CSV (cells with commas get quoted). */
+    void printCsv(std::ostream& os) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Formats a double with @p digits digits after the decimal point. */
+std::string formatDouble(double value, int digits = 4);
+
+/** Formats a ratio as a percentage string, e.g. 0.1234 -> "12.34%". */
+std::string formatPercent(double ratio, int digits = 2);
+
+/** Formats a byte count using binary units, e.g. 32768 -> "32 KiB". */
+std::string formatBytes(uint64_t bytes);
+
+} // namespace recap
+
+#endif // RECAP_COMMON_TABLE_HH_

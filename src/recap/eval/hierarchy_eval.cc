@@ -1,0 +1,93 @@
+#include "recap/eval/hierarchy_eval.hh"
+
+#include "recap/common/error.hh"
+
+namespace recap::eval
+{
+
+cache::Hierarchy
+buildHierarchy(const hw::MachineSpec& spec, uint64_t seed)
+{
+    spec.validate();
+    cache::Hierarchy hierarchy(spec.memoryLatency);
+    uint64_t level_seed = seed;
+    for (const auto& lvl : spec.levels) {
+        if (lvl.isAdaptive()) {
+            hierarchy.addLevel(
+                cache::Cache(lvl.geometry(), lvl.policySpec,
+                             lvl.policySpecB, lvl.duel, lvl.name,
+                             level_seed),
+                lvl.hitLatency);
+        } else {
+            hierarchy.addLevel(
+                cache::Cache(lvl.geometry(), lvl.policySpec, lvl.name,
+                             level_seed),
+                lvl.hitLatency);
+        }
+        level_seed += 0x10001;
+    }
+    return hierarchy;
+}
+
+namespace
+{
+
+template <typename AccessFn>
+HierarchyResult
+runHierarchy(const hw::MachineSpec& spec, size_t count,
+             uint64_t seed, AccessFn&& access_one)
+{
+    cache::Hierarchy hierarchy = buildHierarchy(spec, seed);
+
+    HierarchyResult result;
+    result.servedBy.assign(hierarchy.depth() + 1, 0);
+    for (size_t i = 0; i < count; ++i) {
+        const unsigned level = access_one(hierarchy, i);
+        ++result.servedBy[level];
+        result.totalCycles += hierarchy.latencyOf(level);
+    }
+    result.accesses = count;
+    for (unsigned i = 0; i < hierarchy.depth(); ++i) {
+        result.levelNames.push_back(hierarchy.level(i).cache.name());
+        result.levels.push_back(hierarchy.level(i).cache.stats());
+    }
+    return result;
+}
+
+} // namespace
+
+HierarchyResult
+evaluateHierarchy(const hw::MachineSpec& spec, const trace::Trace& t,
+                  uint64_t seed)
+{
+    return runHierarchy(spec, t.size(), seed,
+                        [&](cache::Hierarchy& h, size_t i) {
+                            return h.access(t[i]);
+                        });
+}
+
+HierarchyResult
+evaluateHierarchy(const hw::MachineSpec& spec,
+                  const trace::RefTrace& refs, uint64_t seed)
+{
+    return runHierarchy(spec, refs.size(), seed,
+                        [&](cache::Hierarchy& h, size_t i) {
+                            return h.access(refs[i].addr,
+                                            refs[i].write);
+                        });
+}
+
+hw::MachineSpec
+withLevelPolicy(const hw::MachineSpec& spec, unsigned level,
+                const std::string& policySpec)
+{
+    require(level < spec.levels.size(),
+            "withLevelPolicy: level out of range");
+    hw::MachineSpec modified = spec;
+    modified.levels[level].policySpec = policySpec;
+    modified.levels[level].policySpecB.clear();
+    modified.validate();
+    return modified;
+}
+
+} // namespace recap::eval

@@ -1,0 +1,79 @@
+#include "recap/eval/opt.hh"
+
+#include <limits>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+namespace recap::eval
+{
+
+namespace
+{
+
+constexpr uint64_t kNever = std::numeric_limits<uint64_t>::max();
+
+/**
+ * Per-set OPT state: resident blocks ordered by next-use time, so
+ * the victim (farthest next use) is the last element.
+ */
+struct OptSet
+{
+    /** (nextUse, block), ordered ascending; victim = rbegin. */
+    std::set<std::pair<uint64_t, uint64_t>> byNextUse;
+    std::unordered_map<uint64_t, uint64_t> nextUseOf; ///< block -> key
+};
+
+} // namespace
+
+cache::LevelStats
+simulateOpt(const cache::Geometry& geom, const trace::Trace& t)
+{
+    geom.validate();
+
+    // next_use[i]: index of the next access to the same block after
+    // position i (kNever if none).
+    std::vector<uint64_t> next_use(t.size());
+    {
+        std::unordered_map<uint64_t, uint64_t> last_seen;
+        for (size_t i = t.size(); i-- > 0;) {
+            const uint64_t block = geom.blockNumber(t[i]);
+            auto it = last_seen.find(block);
+            next_use[i] = it == last_seen.end() ? kNever : it->second;
+            last_seen[block] = i;
+        }
+    }
+
+    std::vector<OptSet> sets(geom.numSets);
+    cache::LevelStats stats;
+
+    for (size_t i = 0; i < t.size(); ++i) {
+        const uint64_t block = geom.blockNumber(t[i]);
+        OptSet& s = sets[geom.setIndex(t[i])];
+        ++stats.accesses;
+
+        auto resident = s.nextUseOf.find(block);
+        if (resident != s.nextUseOf.end()) {
+            ++stats.hits;
+            // Refresh the block's next-use key.
+            s.byNextUse.erase({resident->second, block});
+            resident->second = next_use[i];
+            s.byNextUse.insert({next_use[i], block});
+            continue;
+        }
+
+        ++stats.misses;
+        if (s.nextUseOf.size() == geom.ways) {
+            // Evict the farthest-next-use block.
+            const auto victim = std::prev(s.byNextUse.end());
+            s.nextUseOf.erase(victim->second);
+            s.byNextUse.erase(victim);
+            ++stats.evictions;
+        }
+        s.nextUseOf[block] = next_use[i];
+        s.byNextUse.insert({next_use[i], block});
+    }
+    return stats;
+}
+
+} // namespace recap::eval

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Predictability metrics for replacement policies, in the spirit of
+ * the WCET-analysis motivation behind the paper: once a policy has
+ * been reverse-engineered, how well can a timing analysis bound its
+ * behaviour?
+ *
+ * Two metrics are computed by exhaustive state-space exploration of
+ * the policy automaton:
+ *
+ *  - missTurnover: the worst case, over all reachable states, of how
+ *    many consecutive fresh misses it takes to evict everything that
+ *    was resident ("how fast can the set be flushed by conflicts").
+ *
+ *  - evictBound: the adversarial survival bound — the maximum number
+ *    of conflict misses a resident line can survive when an
+ *    adversary may interleave hits to the other resident lines (but
+ *    never touches the line itself). "Unbounded" means the adversary
+ *    can protect the line forever (true for tree-PLRU with k >= 4, a
+ *    classic predictability result the analysis must reproduce).
+ */
+
+#ifndef RECAP_EVAL_PREDICTABILITY_HH_
+#define RECAP_EVAL_PREDICTABILITY_HH_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "recap/policy/policy.hh"
+
+namespace recap::eval
+{
+
+/** Result of a bounded metric computation. */
+struct MetricResult
+{
+    /** The metric value, when bounded and within the budget. */
+    std::optional<uint64_t> value;
+
+    /** True iff the adversary has an infinite strategy. */
+    bool unbounded = false;
+
+    /** True iff the exploration budget ran out (value unknown). */
+    bool exhaustedBudget = false;
+
+    /** States explored. */
+    uint64_t statesExplored = 0;
+
+    /** Rendered as "7", "unbounded", or ">budget". */
+    std::string render() const;
+};
+
+/** Exploration budgets. */
+struct PredictabilityConfig
+{
+    uint64_t maxStates = 500'000;
+};
+
+/**
+ * Worst-case number of consecutive fresh misses needed to evict the
+ * entire resident content, over all reachable states.
+ */
+MetricResult missTurnover(const policy::ReplacementPolicy& proto,
+                          const PredictabilityConfig& cfg = {});
+
+/**
+ * Adversarial survival bound for a line filled in the canonical
+ * (post-flush, sequentially filled) state: the maximum number of
+ * misses the adversary can make the line survive.
+ */
+MetricResult evictBound(const policy::ReplacementPolicy& proto,
+                        const PredictabilityConfig& cfg = {});
+
+} // namespace recap::eval
+
+#endif // RECAP_EVAL_PREDICTABILITY_HH_

@@ -1,0 +1,117 @@
+#include "recap/eval/reuse.hh"
+
+#include <unordered_map>
+
+#include "recap/common/error.hh"
+
+namespace recap::eval
+{
+
+namespace
+{
+
+/** Fenwick tree over access positions, for distinct-block counting. */
+class Fenwick
+{
+  public:
+    explicit Fenwick(size_t n) : tree_(n + 1, 0) {}
+
+    void
+    add(size_t pos, int delta)
+    {
+        for (size_t i = pos + 1; i < tree_.size(); i += i & (~i + 1))
+            tree_[i] += delta;
+    }
+
+    /** Sum over positions [0, pos]. */
+    int64_t
+    prefix(size_t pos) const
+    {
+        int64_t sum = 0;
+        for (size_t i = pos + 1; i > 0; i -= i & (~i + 1))
+            sum += tree_[i];
+        return sum;
+    }
+
+  private:
+    std::vector<int64_t> tree_;
+};
+
+} // namespace
+
+double
+ReuseProfile::lruMissRatio(uint64_t lines) const
+{
+    if (accesses == 0)
+        return 0.0;
+    // Accesses at stack distance >= lines miss; cold misses always.
+    uint64_t misses = coldMisses;
+    for (const auto& [distance, count] : distances.buckets())
+        if (static_cast<uint64_t>(distance) >= lines)
+            misses += count;
+    return static_cast<double>(misses) /
+           static_cast<double>(accesses);
+}
+
+std::optional<uint64_t>
+ReuseProfile::capacityForMissRatio(double targetMissRatio) const
+{
+    require(targetMissRatio >= 0.0 && targetMissRatio <= 1.0,
+            "capacityForMissRatio: target outside [0,1]");
+    if (accesses == 0)
+        return 1;
+    // The largest distance observed bounds the useful capacity.
+    uint64_t max_distance = 0;
+    for (const auto& [distance, count] : distances.buckets()) {
+        (void)count;
+        max_distance = std::max(max_distance,
+                                static_cast<uint64_t>(distance));
+    }
+    // Miss ratio is non-increasing in capacity: binary search.
+    uint64_t lo = 1;
+    uint64_t hi = max_distance + 1;
+    if (lruMissRatio(hi) > targetMissRatio)
+        return std::nullopt;
+    while (lo < hi) {
+        const uint64_t mid = lo + (hi - lo) / 2;
+        if (lruMissRatio(mid) <= targetMissRatio)
+            hi = mid;
+        else
+            lo = mid + 1;
+    }
+    return lo;
+}
+
+ReuseProfile
+reuseProfile(const trace::Trace& t, unsigned lineSize)
+{
+    require(lineSize >= 1, "reuseProfile: line size must be >= 1");
+    ReuseProfile profile;
+    profile.accesses = t.size();
+
+    Fenwick marks(t.size());
+    std::unordered_map<uint64_t, size_t> last_position;
+    last_position.reserve(t.size() / 4 + 1);
+
+    for (size_t i = 0; i < t.size(); ++i) {
+        const uint64_t block = t[i] / lineSize;
+        auto it = last_position.find(block);
+        if (it == last_position.end()) {
+            ++profile.coldMisses;
+        } else {
+            // Distinct blocks touched strictly after the previous
+            // access to this block = marked positions in
+            // (last, i-1], minus the block's own mark.
+            const int64_t between =
+                marks.prefix(i == 0 ? 0 : i - 1) -
+                marks.prefix(it->second);
+            profile.distances.add(between);
+            marks.add(it->second, -1);
+        }
+        marks.add(i, +1);
+        last_position[block] = i;
+    }
+    return profile;
+}
+
+} // namespace recap::eval

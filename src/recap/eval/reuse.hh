@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Reuse-distance (LRU stack distance) analysis of address traces.
+ *
+ * The reuse-distance histogram is the workload-side companion of the
+ * policy-side analyses: it characterizes a trace independently of any
+ * cache, and for a fully-associative LRU cache of k lines the miss
+ * ratio is exactly P(distance >= k) — which makes it both a useful
+ * workload descriptor and a strong cross-check for the trace-driven
+ * simulator.
+ */
+
+#ifndef RECAP_EVAL_REUSE_HH_
+#define RECAP_EVAL_REUSE_HH_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "recap/common/stats.hh"
+#include "recap/trace/trace.hh"
+
+namespace recap::eval
+{
+
+/** Result of a reuse-distance pass over a trace. */
+struct ReuseProfile
+{
+    /**
+     * histogram[d] = number of accesses whose LRU stack distance is
+     * exactly d (0 = immediate re-reference). Cold (first-touch)
+     * accesses are counted separately.
+     */
+    Histogram distances;
+    uint64_t coldMisses = 0;
+    uint64_t accesses = 0;
+
+    /**
+     * Miss ratio of a fully-associative LRU cache with @p lines
+     * lines, computed from the histogram (accesses with distance >=
+     * lines miss, plus all cold misses).
+     */
+    double lruMissRatio(uint64_t lines) const;
+
+    /**
+     * Smallest fully-associative LRU capacity (in lines) whose miss
+     * ratio does not exceed @p targetMissRatio; returns nullopt if
+     * even a cache holding every line seen cannot reach it (cold
+     * misses dominate).
+     */
+    std::optional<uint64_t>
+    capacityForMissRatio(double targetMissRatio) const;
+};
+
+/**
+ * Computes the reuse-distance profile of @p t at line granularity.
+ * O(n log n) via an order-statistic-free two-level counting scheme
+ * suitable for the trace sizes recap works with.
+ */
+ReuseProfile reuseProfile(const trace::Trace& t, unsigned lineSize = 64);
+
+} // namespace recap::eval
+
+#endif // RECAP_EVAL_REUSE_HH_

@@ -1,0 +1,132 @@
+#include "recap/eval/sweep.hh"
+
+#include "recap/common/error.hh"
+#include "recap/eval/opt.hh"
+#include "recap/eval/simulate.hh"
+#include "recap/policy/factory.hh"
+
+namespace recap::eval
+{
+
+namespace
+{
+
+SweepCell
+measure(const cache::Geometry& geom, const std::string& spec,
+        const trace::Trace& t, const std::string& row,
+        const std::string& column)
+{
+    const cache::LevelStats stats = spec == "OPT"
+        ? simulateOpt(geom, t)
+        : simulateTrace(geom, spec, t);
+    SweepCell cell;
+    cell.rowLabel = row;
+    cell.columnLabel = column;
+    cell.missRatio = stats.missRatio();
+    cell.misses = stats.misses;
+    cell.accesses = stats.accesses;
+    return cell;
+}
+
+} // namespace
+
+const SweepCell&
+SweepResult::at(const std::string& row, const std::string& column) const
+{
+    for (const auto& cell : cells)
+        if (cell.rowLabel == row && cell.columnLabel == column)
+            return cell;
+    throw UsageError("SweepResult::at: no cell (" + row + ", " +
+                     column + ")");
+}
+
+SweepResult
+policyWorkloadSweep(const cache::Geometry& geom,
+                    const std::vector<std::string>& policySpecs,
+                    const std::vector<trace::Workload>& workloads,
+                    bool includeOpt)
+{
+    geom.validate();
+    SweepResult result;
+    for (const auto& w : workloads)
+        result.columnLabels.push_back(w.name);
+
+    std::vector<std::string> rows;
+    for (const auto& spec : policySpecs)
+        if (policy::specSupportsWays(spec, geom.ways))
+            rows.push_back(spec);
+    if (includeOpt)
+        rows.push_back("OPT");
+
+    for (const auto& spec : rows) {
+        result.rowLabels.push_back(spec);
+        for (const auto& w : workloads)
+            result.cells.push_back(
+                measure(geom, spec, w.trace, spec, w.name));
+    }
+    return result;
+}
+
+SweepResult
+sizeSweep(const std::vector<std::string>& policySpecs,
+          const trace::Trace& workload, uint64_t minBytes,
+          uint64_t maxBytes, unsigned ways, unsigned lineSize,
+          bool includeOpt)
+{
+    require(minBytes >= 1 && minBytes <= maxBytes,
+            "sizeSweep: invalid capacity range");
+    SweepResult result;
+
+    std::vector<std::string> rows;
+    for (const auto& spec : policySpecs)
+        if (policy::specSupportsWays(spec, ways))
+            rows.push_back(spec);
+    if (includeOpt)
+        rows.push_back("OPT");
+    result.rowLabels = rows;
+
+    for (uint64_t bytes = minBytes; bytes <= maxBytes; bytes *= 2)
+        result.columnLabels.push_back(std::to_string(bytes));
+
+    for (const auto& spec : rows) {
+        for (uint64_t bytes = minBytes; bytes <= maxBytes;
+             bytes *= 2) {
+            const auto geom =
+                cache::Geometry::fromCapacity(bytes, ways, lineSize);
+            result.cells.push_back(measure(geom, spec, workload, spec,
+                                           std::to_string(bytes)));
+        }
+    }
+    return result;
+}
+
+SweepResult
+associativitySweep(const std::vector<std::string>& policySpecs,
+                   const trace::Trace& workload,
+                   uint64_t capacityBytes, unsigned minWays,
+                   unsigned maxWays, unsigned lineSize)
+{
+    require(minWays >= 1 && minWays <= maxWays,
+            "associativitySweep: invalid ways range");
+    SweepResult result;
+    for (unsigned ways = minWays; ways <= maxWays; ways *= 2)
+        result.columnLabels.push_back(std::to_string(ways));
+
+    for (const auto& spec : policySpecs) {
+        bool row_used = false;
+        for (unsigned ways = minWays; ways <= maxWays; ways *= 2) {
+            if (!policy::specSupportsWays(spec, ways))
+                continue;
+            const auto geom = cache::Geometry::fromCapacity(
+                capacityBytes, ways, lineSize);
+            result.cells.push_back(measure(geom, spec, workload, spec,
+                                           std::to_string(ways)));
+            row_used = true;
+        }
+        if (row_used)
+            result.rowLabels.push_back(spec);
+    }
+    return result;
+}
+
+} // namespace recap::eval

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Structured parameter sweeps for the evaluation benches: run a
+ * workload across policies, cache sizes or associativities and
+ * collect the miss ratios as a labelled grid.
+ */
+
+#ifndef RECAP_EVAL_SWEEP_HH_
+#define RECAP_EVAL_SWEEP_HH_
+
+#include <string>
+#include <vector>
+
+#include "recap/cache/geometry.hh"
+#include "recap/trace/trace.hh"
+
+namespace recap::eval
+{
+
+/** One measured grid cell. */
+struct SweepCell
+{
+    std::string rowLabel;
+    std::string columnLabel;
+    double missRatio = 0.0;
+    uint64_t misses = 0;
+    uint64_t accesses = 0;
+};
+
+/** A labelled result grid, row-major in sweep order. */
+struct SweepResult
+{
+    std::vector<std::string> rowLabels;
+    std::vector<std::string> columnLabels;
+    std::vector<SweepCell> cells;
+
+    /** Cell lookup; throws UsageError if absent. */
+    const SweepCell& at(const std::string& row,
+                        const std::string& column) const;
+};
+
+/**
+ * Policies x workloads grid at a fixed geometry. Policy specs that
+ * do not support the geometry's associativity are skipped. When
+ * @p includeOpt is set, a final "OPT" row is added.
+ */
+SweepResult
+policyWorkloadSweep(const cache::Geometry& geom,
+                    const std::vector<std::string>& policySpecs,
+                    const std::vector<trace::Workload>& workloads,
+                    bool includeOpt = true);
+
+/**
+ * Policies x cache-size grid for one workload: capacities double
+ * from @p minBytes to @p maxBytes at fixed ways and line size.
+ */
+SweepResult
+sizeSweep(const std::vector<std::string>& policySpecs,
+          const trace::Trace& workload, uint64_t minBytes,
+          uint64_t maxBytes, unsigned ways, unsigned lineSize = 64,
+          bool includeOpt = true);
+
+/**
+ * Policies x associativity grid for one workload at fixed capacity:
+ * ways double from @p minWays to @p maxWays.
+ */
+SweepResult
+associativitySweep(const std::vector<std::string>& policySpecs,
+                   const trace::Trace& workload,
+                   uint64_t capacityBytes, unsigned minWays,
+                   unsigned maxWays, unsigned lineSize = 64);
+
+} // namespace recap::eval
+
+#endif // RECAP_EVAL_SWEEP_HH_

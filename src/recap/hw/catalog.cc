@@ -1,0 +1,185 @@
+#include "recap/hw/catalog.hh"
+
+#include <algorithm>
+
+#include "recap/common/bitops.hh"
+#include "recap/common/error.hh"
+
+namespace recap::hw
+{
+
+namespace
+{
+
+constexpr uint64_t kKiB = 1024;
+constexpr uint64_t kMiB = 1024 * 1024;
+
+CacheLevelSpec
+level(std::string name, uint64_t capacity, unsigned ways,
+      unsigned latency, std::string policy)
+{
+    CacheLevelSpec lvl;
+    lvl.name = std::move(name);
+    lvl.capacityBytes = capacity;
+    lvl.ways = ways;
+    lvl.hitLatency = latency;
+    lvl.policySpec = std::move(policy);
+    return lvl;
+}
+
+} // namespace
+
+std::vector<MachineSpec>
+intelCatalog()
+{
+    std::vector<MachineSpec> machines;
+
+    {
+        MachineSpec m;
+        m.name = "atom-d525";
+        m.description = "Intel Atom D525 (Bonnell)-like";
+        m.levels = {
+            level("L1D", 24 * kKiB, 6, 3, "lru"),
+            level("L2", 512 * kKiB, 8, 15, "plru"),
+        };
+        m.memoryLatency = 180;
+        machines.push_back(std::move(m));
+    }
+    {
+        MachineSpec m;
+        m.name = "core2-e6300";
+        m.description = "Intel Core 2 Duo E6300 (Conroe)-like";
+        m.levels = {
+            level("L1D", 32 * kKiB, 8, 3, "plru"),
+            level("L2", 2 * kMiB, 8, 15, "plru"),
+        };
+        m.memoryLatency = 200;
+        machines.push_back(std::move(m));
+    }
+    {
+        MachineSpec m;
+        m.name = "core2-e6750";
+        m.description = "Intel Core 2 Duo E6750 (Conroe)-like";
+        m.levels = {
+            level("L1D", 32 * kKiB, 8, 3, "plru"),
+            level("L2", 4 * kMiB, 16, 15, "plru"),
+        };
+        m.memoryLatency = 200;
+        machines.push_back(std::move(m));
+    }
+    {
+        MachineSpec m;
+        m.name = "core2-e8400";
+        m.description = "Intel Core 2 Duo E8400 (Wolfdale)-like";
+        m.levels = {
+            level("L1D", 32 * kKiB, 8, 3, "plru"),
+            level("L2", 6 * kMiB, 24, 15, "nru"),
+        };
+        m.memoryLatency = 200;
+        machines.push_back(std::move(m));
+    }
+    {
+        MachineSpec m;
+        m.name = "nehalem-i5";
+        m.description = "Intel Core i5 (Nehalem/Lynnfield)-like";
+        m.levels = {
+            level("L1D", 32 * kKiB, 8, 4, "plru"),
+            level("L2", 256 * kKiB, 8, 11, "plru"),
+            level("L3", 8 * kMiB, 16, 38, "nru"),
+        };
+        m.memoryLatency = 220;
+        machines.push_back(std::move(m));
+    }
+    {
+        MachineSpec m;
+        m.name = "westmere-i5";
+        m.description = "Intel Core i5 (Westmere/Clarkdale)-like";
+        m.levels = {
+            level("L1D", 32 * kKiB, 8, 4, "plru"),
+            level("L2", 256 * kKiB, 8, 11, "plru"),
+            level("L3", 4 * kMiB, 16, 38, "nru"),
+        };
+        m.memoryLatency = 220;
+        machines.push_back(std::move(m));
+    }
+    {
+        MachineSpec m;
+        m.name = "sandybridge-i5";
+        m.description = "Intel Core i5 (Sandy Bridge)-like";
+        m.levels = {
+            level("L1D", 32 * kKiB, 8, 4, "plru"),
+            level("L2", 256 * kKiB, 8, 12, "plru"),
+            level("L3", 6 * kMiB, 12, 36, "qlru:H1,M1,R0,U2"),
+        };
+        m.memoryLatency = 230;
+        machines.push_back(std::move(m));
+    }
+    {
+        MachineSpec m;
+        m.name = "ivybridge-i5";
+        m.description = "Intel Core i5 (Ivy Bridge)-like";
+        CacheLevelSpec l3 =
+            level("L3", 6 * kMiB, 12, 36, "qlru:H1,M1,R0,U2");
+        l3.policySpecB = "qlru:H1,M3,R0,U2";
+        l3.duel.leaderSetsPerPolicy = 32;
+        l3.duel.pselBits = 10;
+        m.levels = {
+            level("L1D", 32 * kKiB, 8, 4, "plru"),
+            level("L2", 256 * kKiB, 8, 12, "plru"),
+            l3,
+        };
+        m.memoryLatency = 230;
+        machines.push_back(std::move(m));
+    }
+
+    for (const auto& m : machines)
+        m.validate();
+    return machines;
+}
+
+MachineSpec
+catalogMachine(const std::string& name)
+{
+    for (auto& m : intelCatalog())
+        if (m.name == name)
+            return m;
+    throw UsageError("catalogMachine: unknown machine '" + name + "'");
+}
+
+std::vector<std::string>
+catalogNames()
+{
+    std::vector<std::string> names;
+    for (const auto& m : intelCatalog())
+        names.push_back(m.name);
+    return names;
+}
+
+MachineSpec
+reducedSpec(const MachineSpec& spec, unsigned maxSets)
+{
+    require(maxSets >= 2 && isPowerOfTwo(maxSets),
+            "reducedSpec: maxSets must be a power of two >= 2");
+    MachineSpec reduced = spec;
+    // Shrink every level by one common power-of-two factor so the
+    // strict inner-to-outer set-count ordering (which the probing
+    // machinery relies on) is preserved.
+    unsigned largest = 0;
+    for (const auto& lvl : reduced.levels)
+        largest = std::max(largest, lvl.geometry().numSets);
+    const unsigned factor = largest > maxSets ? largest / maxSets : 1;
+    for (auto& lvl : reduced.levels) {
+        const auto geom = lvl.geometry();
+        const unsigned sets = std::max(2u, geom.numSets / factor);
+        lvl.capacityBytes =
+            static_cast<uint64_t>(lvl.lineSize) * lvl.ways * sets;
+        if (lvl.isAdaptive()) {
+            lvl.duel.leaderSetsPerPolicy = std::max(
+                1u, std::min(lvl.duel.leaderSetsPerPolicy, sets / 4));
+        }
+    }
+    reduced.validate();
+    return reduced;
+}
+
+} // namespace recap::hw

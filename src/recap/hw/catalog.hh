@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Catalog of the Intel-like machines the experiments run against.
+ *
+ * Capacities, associativities and rough latencies follow the real
+ * parts' datasheets; the hidden ground-truth policies are
+ * representative assignments consistent with the published
+ * reverse-engineering literature (see DESIGN.md section 6).
+ */
+
+#ifndef RECAP_HW_CATALOG_HH_
+#define RECAP_HW_CATALOG_HH_
+
+#include <string>
+#include <vector>
+
+#include "recap/hw/spec.hh"
+
+namespace recap::hw
+{
+
+/** All catalog machines, in presentation order. */
+std::vector<MachineSpec> intelCatalog();
+
+/** Looks a machine up by its short name; throws UsageError. */
+MachineSpec catalogMachine(const std::string& name);
+
+/** Short names of all catalog machines. */
+std::vector<std::string> catalogNames();
+
+/**
+ * A reduced copy of @p spec with every level's set count divided
+ * down to at most @p maxSets (keeping ways, line size, policies and
+ * latencies). Inference results are set-count-independent, so the
+ * experiment binaries use reduced machines to keep run times short;
+ * the reduction factor is reported alongside the results.
+ */
+MachineSpec reducedSpec(const MachineSpec& spec, unsigned maxSets);
+
+} // namespace recap::hw
+
+#endif // RECAP_HW_CATALOG_HH_

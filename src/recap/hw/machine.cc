@@ -1,0 +1,137 @@
+#include "recap/hw/machine.hh"
+
+#include "recap/common/error.hh"
+#include "recap/policy/factory.hh"
+
+namespace recap::hw
+{
+
+Machine::Machine(const MachineSpec& spec, uint64_t seed,
+                 const NoiseConfig& noise)
+    : spec_(spec), hierarchy_(spec.memoryLatency), noise_(noise),
+      noiseRng_(seed ^ 0xfeedfaceULL)
+{
+    spec_.validate();
+    uint64_t level_seed = seed;
+    for (const auto& lvl : spec_.levels) {
+        if (lvl.isAdaptive()) {
+            hierarchy_.addLevel(
+                cache::Cache(lvl.geometry(), lvl.policySpec,
+                             lvl.policySpecB, lvl.duel, lvl.name,
+                             level_seed),
+                lvl.hitLatency);
+        } else {
+            hierarchy_.addLevel(
+                cache::Cache(lvl.geometry(), lvl.policySpec, lvl.name,
+                             level_seed),
+                lvl.hitLatency);
+        }
+        level_seed += 0x10001;
+    }
+}
+
+uint64_t
+Machine::timedAccess(cache::Addr addr)
+{
+    const unsigned level = issue(addr);
+    uint64_t cycles = hierarchy_.latencyOf(level);
+    if (noise_.latencyJitterProbability > 0.0 &&
+        noiseRng_.nextBool(noise_.latencyJitterProbability)) {
+        // Interrupt-style jitter only ever adds latency.
+        cycles += 1 + noiseRng_.nextBelow(noise_.latencyJitterCycles);
+    }
+    return cycles;
+}
+
+void
+Machine::access(cache::Addr addr)
+{
+    issue(addr);
+}
+
+void
+Machine::accessAll(const std::vector<cache::Addr>& addrs)
+{
+    for (cache::Addr a : addrs)
+        issue(a);
+}
+
+void
+Machine::wbinvd()
+{
+    hierarchy_.flushAll();
+}
+
+PerfCounts
+Machine::counters() const
+{
+    PerfCounts counts;
+    counts.levels.reserve(depth());
+    for (unsigned i = 0; i < depth(); ++i)
+        counts.levels.push_back(hierarchy_.level(i).cache.stats());
+    counts.memoryAccesses = memoryAccesses_;
+    return counts;
+}
+
+unsigned
+Machine::classifyLatency(uint64_t cycles) const
+{
+    // Thresholds halfway between adjacent documented latencies.
+    for (unsigned i = 0; i < depth(); ++i) {
+        const uint64_t this_lat = hierarchy_.latencyOf(i);
+        const uint64_t next_lat = hierarchy_.latencyOf(i + 1);
+        if (cycles <= (this_lat + next_lat) / 2)
+            return i;
+    }
+    return depth();
+}
+
+policy::PolicyPtr
+Machine::groundTruthPolicy(unsigned level) const
+{
+    require(level < depth(), "Machine::groundTruthPolicy: level range");
+    const auto& lvl = spec_.levels[level];
+    return policy::makePolicy(lvl.policySpec, lvl.ways);
+}
+
+bool
+Machine::groundTruthAdaptive(unsigned level) const
+{
+    require(level < depth(),
+            "Machine::groundTruthAdaptive: level range");
+    return spec_.levels[level].isAdaptive();
+}
+
+const cache::Cache&
+Machine::levelCache(unsigned level) const
+{
+    require(level < depth(), "Machine::levelCache: level range");
+    return hierarchy_.level(level).cache;
+}
+
+unsigned
+Machine::issue(cache::Addr addr)
+{
+    ++loadsIssued_;
+    if (noise_.disturbProbability > 0.0 &&
+        noiseRng_.nextBool(noise_.disturbProbability)) {
+        // A disturbing access lands in the same L1 set (and, with
+        // matching alignment, often the same outer sets) as the load,
+        // which is the damaging kind of interference.
+        const auto& g = spec_.levels[0].geometry();
+        const uint64_t way_span =
+            static_cast<uint64_t>(g.lineSize) * g.numSets;
+        const cache::Addr disturb =
+            g.blockBase(addr) + way_span * (1 + noiseRng_.nextBelow(64));
+        const unsigned lvl = hierarchy_.access(disturb);
+        if (lvl == depth())
+            ++memoryAccesses_;
+        ++loadsIssued_;
+    }
+    const unsigned level = hierarchy_.access(addr);
+    if (level == depth())
+        ++memoryAccesses_;
+    return level;
+}
+
+} // namespace recap::hw

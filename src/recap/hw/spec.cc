@@ -1,0 +1,34 @@
+#include "recap/hw/spec.hh"
+
+#include "recap/common/error.hh"
+
+namespace recap::hw
+{
+
+cache::Geometry
+CacheLevelSpec::geometry() const
+{
+    return cache::Geometry::fromCapacity(capacityBytes, ways, lineSize);
+}
+
+void
+MachineSpec::validate() const
+{
+    require(!name.empty(), "MachineSpec: name must not be empty");
+    require(!levels.empty(), "MachineSpec: need at least one level");
+    require(memoryLatency >= 1, "MachineSpec: memory latency >= 1");
+    unsigned prev_latency = 0;
+    for (const auto& lvl : levels) {
+        require(!lvl.name.empty(), "MachineSpec: level name empty");
+        require(lvl.hitLatency > prev_latency,
+                "MachineSpec: level latencies must strictly increase");
+        prev_latency = lvl.hitLatency;
+        lvl.geometry().validate();
+        require(!lvl.policySpec.empty(),
+                "MachineSpec: level needs a ground-truth policy");
+    }
+    require(memoryLatency > prev_latency,
+            "MachineSpec: memory must be slower than every cache");
+}
+
+} // namespace recap::hw

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Declarative description of a machine under test: its cache levels,
+ * latencies, and (hidden) ground-truth replacement policies.
+ */
+
+#ifndef RECAP_HW_SPEC_HH_
+#define RECAP_HW_SPEC_HH_
+
+#include <string>
+#include <vector>
+
+#include "recap/cache/cache.hh"
+#include "recap/cache/geometry.hh"
+
+namespace recap::hw
+{
+
+/**
+ * One cache level of a machine spec.
+ *
+ * policySpecB, when non-empty, makes the level adaptive (set
+ * dueling between policySpec and policySpecB with @ref duel).
+ */
+struct CacheLevelSpec
+{
+    std::string name;        ///< "L1D", "L2", "L3"
+    uint64_t capacityBytes;
+    unsigned ways;
+    unsigned lineSize = 64;
+    unsigned hitLatency;     ///< cycles
+    std::string policySpec;  ///< ground truth (hidden from inference)
+    std::string policySpecB; ///< second duel policy; empty if static
+    cache::DuelingConfig duel;
+
+    /** True iff this level duels two policies. */
+    bool isAdaptive() const { return !policySpecB.empty(); }
+
+    /** Derived geometry. */
+    cache::Geometry geometry() const;
+};
+
+/** A machine under test. */
+struct MachineSpec
+{
+    std::string name;        ///< short id, e.g. "core2-e6300"
+    std::string description; ///< human-readable model description
+    std::vector<CacheLevelSpec> levels; ///< innermost (L1) first
+    unsigned memoryLatency = 200;       ///< cycles on full miss
+
+    /** Validates the spec; throws UsageError. */
+    void validate() const;
+};
+
+} // namespace recap::hw
+
+#endif // RECAP_HW_SPEC_HH_

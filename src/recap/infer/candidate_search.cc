@@ -1,0 +1,220 @@
+#include "recap/infer/candidate_search.hh"
+
+#include <algorithm>
+
+#include "recap/common/error.hh"
+#include "recap/common/rng.hh"
+#include "recap/infer/equivalence.hh"
+#include "recap/policy/factory.hh"
+#include "recap/policy/qlru.hh"
+#include "recap/policy/set_model.hh"
+
+namespace recap::infer
+{
+
+std::vector<std::string>
+defaultCandidateSpecs(unsigned ways)
+{
+    std::vector<std::string> specs = {
+        "lru", "fifo", "bitplru", "nru", "lip", "bip",
+        "srrip", "brrip", "slru",
+    };
+    if (policy::specSupportsWays("plru", ways))
+        specs.insert(specs.begin() + 2, "plru");
+    for (const auto& params : policy::QlruParams::allVariants())
+        specs.push_back("qlru:" + params.shortName());
+    return specs;
+}
+
+CandidateSearch::CandidateSearch(SetProber& prober,
+                                 std::vector<std::string> candidateSpecs,
+                                 const CandidateSearchConfig& cfg)
+    : prober_(prober), specs_(std::move(candidateSpecs)), cfg_(cfg)
+{
+    require(!specs_.empty(),
+            "CandidateSearch: need at least one candidate");
+}
+
+CandidateSearchResult
+CandidateSearch::run()
+{
+    const unsigned k = prober_.ways();
+    const uint64_t loads_before = prober_.context().loadsIssued();
+
+    struct Candidate
+    {
+        std::string spec;
+        policy::PolicyPtr prototype;
+    };
+
+    std::vector<Candidate> alive;
+    for (const auto& spec : specs_) {
+        if (!policy::specSupportsWays(spec, k))
+            continue;
+        alive.push_back({spec, policy::makePolicy(spec, k)});
+    }
+
+    CandidateSearchResult result;
+    Rng rng(cfg_.seed);
+
+    // Survivors count as one behavioural class if every pair is
+    // equivalent with an exhausted product exploration. When the
+    // associativity is too large to exhaust, the pair is re-checked
+    // at smaller associativities (parameterized policy families are
+    // defined for any k); a fully exhausted small-k certificate plus
+    // agreement at the probed k is reported as decided.
+    auto survivors_equivalent = [&]() {
+        if (alive.size() <= 1)
+            return true;
+        for (size_t i = 1; i < alive.size(); ++i) {
+            bool certified = false;
+            for (unsigned check_ways : {k, 8u, 4u}) {
+                if (check_ways > k)
+                    continue;
+                if (!policy::specSupportsWays(alive[0].spec,
+                                              check_ways) ||
+                    !policy::specSupportsWays(alive[i].spec,
+                                              check_ways)) {
+                    continue;
+                }
+                EquivalenceConfig eq;
+                eq.maxStates = 50'000;
+                const auto verdict = checkEquivalence(
+                    *policy::makePolicy(alive[0].spec, check_ways),
+                    *policy::makePolicy(alive[i].spec, check_ways),
+                    eq);
+                if (!verdict.equivalent)
+                    return false;
+                if (verdict.exhausted) {
+                    certified = true;
+                    break;
+                }
+            }
+            if (!certified)
+                return false;
+        }
+        return true;
+    };
+
+    unsigned stall = 0;
+    for (unsigned round = 0;
+         round < cfg_.maxRounds && alive.size() > 1 &&
+         stall < cfg_.stallRounds;
+         ++round) {
+        ++result.roundsRun;
+
+        // Probe sequences alternate two shapes:
+        //  - short random walks over a small block universe (strong
+        //    at separating recency/aging rules), and
+        //  - long miss-heavy thrash walks with revisits (needed to
+        //    trip low-duty-cycle mechanisms such as BIP/BRRIP's
+        //    1-in-32 throttled insertion, which short replays from a
+        //    flush would never reach).
+        std::vector<BlockId> seq;
+        BlockId fresh = 100000 + static_cast<BlockId>(round) * 10000;
+        if (round % 3 == 2) {
+            const unsigned length = cfg_.lengthFactor * k + 48;
+            std::vector<BlockId> recent;
+            seq.reserve(length);
+            for (unsigned i = 0; i < length; ++i) {
+                if (!recent.empty() && rng.nextBool(0.3)) {
+                    seq.push_back(recent[rng.nextBelow(
+                        recent.size())]);
+                } else {
+                    seq.push_back(fresh++);
+                    recent.push_back(seq.back());
+                    if (recent.size() > 2 * k)
+                        recent.erase(recent.begin());
+                }
+            }
+        } else {
+            const unsigned universe = k + 1 + static_cast<unsigned>(
+                rng.nextBelow(4));
+            const unsigned length = cfg_.lengthFactor * k;
+            seq.reserve(length);
+            for (unsigned i = 0; i < length; ++i) {
+                if (rng.nextBool(0.08))
+                    seq.push_back(fresh++);
+                else
+                    seq.push_back(1 + rng.nextBelow(universe));
+            }
+        }
+
+        const std::vector<bool> observed = prober_.observe(seq);
+
+        std::vector<Candidate> next;
+        for (auto& cand : alive) {
+            policy::SetModel model(cand.prototype->clone());
+            model.flush();
+            bool match = true;
+            for (size_t i = 0; i < seq.size(); ++i) {
+                if (model.access(seq[i]) != observed[i]) {
+                    match = false;
+                    break;
+                }
+            }
+            if (match)
+                next.push_back(std::move(cand));
+        }
+        if (next.size() == alive.size())
+            ++stall;
+        else
+            stall = 0;
+        alive = std::move(next);
+    }
+
+    // If the survivors are already certifiably equivalent, the
+    // expensive targeted phase has nothing to separate.
+    bool certified_equivalent =
+        alive.size() > 1 && cfg_.stopOnEquivalent &&
+        survivors_equivalent();
+
+    // Targeted phase: random walks can miss low-probability
+    // distinguishers (deeply sequenced aging corner cases), so
+    // synthesize exact distinguishing experiments from the product
+    // automaton of two survivors and play them against the machine.
+    unsigned targeted = 0;
+    while (cfg_.targetedPhase && !certified_equivalent &&
+           alive.size() > 1 && targeted < 2 * alive.size() + 8) {
+        ++targeted;
+        EquivalenceConfig eq;
+        eq.maxStates = 300'000;
+        const auto verdict = checkEquivalence(*alive[0].prototype,
+                                              *alive[1].prototype, eq);
+        if (verdict.equivalent)
+            break; // inseparable (or beyond budget): certify below
+        ++result.roundsRun;
+        const auto observed = prober_.observe(verdict.counterexample);
+        std::vector<Candidate> next;
+        for (auto& cand : alive) {
+            policy::SetModel model(cand.prototype->clone());
+            model.flush();
+            bool match = true;
+            for (size_t i = 0; i < verdict.counterexample.size();
+                 ++i) {
+                if (model.access(verdict.counterexample[i]) !=
+                    observed[i]) {
+                    match = false;
+                    break;
+                }
+            }
+            if (match)
+                next.push_back(std::move(cand));
+        }
+        if (next.size() == alive.size())
+            break; // the experiment separated neither: stop
+        alive = std::move(next);
+    }
+
+    for (const auto& cand : alive)
+        result.survivors.push_back(cand.spec);
+    result.decided = alive.size() == 1 || certified_equivalent ||
+                     (alive.size() > 1 && cfg_.stopOnEquivalent &&
+                      survivors_equivalent());
+    if (!alive.empty())
+        result.verdict = alive.front().spec;
+    result.loadsUsed = prober_.context().loadsIssued() - loads_before;
+    return result;
+}
+
+} // namespace recap::infer

@@ -1,0 +1,114 @@
+#include "recap/infer/equivalence.hh"
+
+#include <deque>
+#include <map>
+#include <string>
+#include <unordered_set>
+
+#include "recap/common/error.hh"
+
+namespace recap::infer
+{
+
+namespace
+{
+
+using policy::BlockId;
+using policy::SetModel;
+
+/** One frontier node of the product exploration. */
+struct ProductState
+{
+    SetModel a;
+    SetModel b;
+    std::vector<BlockId> path;
+};
+
+/**
+ * Joint canonical key: both models' contents renamed by one shared
+ * first-occurrence map, so equal keys mean equal joint behaviour
+ * under block renaming.
+ */
+std::string
+jointKey(const SetModel& a, const SetModel& b)
+{
+    std::map<BlockId, char> names;
+    auto emit = [&](const SetModel& m, std::string& out) {
+        for (unsigned w = 0; w < m.ways(); ++w) {
+            if (!m.isValid(w)) {
+                out.push_back('.');
+                continue;
+            }
+            auto [it, ignored] = names.emplace(
+                m.blockAt(w), static_cast<char>('A' + names.size()));
+            (void)ignored;
+            out.push_back(it->second);
+        }
+    };
+    std::string key;
+    emit(a, key);
+    key.push_back('/');
+    key += a.policy().stateKey();
+    key.push_back('|');
+    emit(b, key);
+    key.push_back('/');
+    key += b.policy().stateKey();
+    return key;
+}
+
+} // namespace
+
+EquivalenceResult
+checkEquivalence(const policy::ReplacementPolicy& a,
+                 const policy::ReplacementPolicy& b,
+                 const EquivalenceConfig& cfg)
+{
+    require(a.ways() == b.ways(),
+            "checkEquivalence: policies must have equal associativity");
+
+    const unsigned alphabet =
+        cfg.alphabet ? cfg.alphabet : a.ways() + 2;
+
+    EquivalenceResult result;
+
+    ProductState initial{SetModel(a.clone()), SetModel(b.clone()), {}};
+    initial.a.flush();
+    initial.b.flush();
+
+    std::unordered_set<std::string> visited;
+    std::deque<ProductState> frontier;
+    visited.insert(jointKey(initial.a, initial.b));
+    frontier.push_back(std::move(initial));
+
+    while (!frontier.empty()) {
+        const ProductState state = std::move(frontier.front());
+        frontier.pop_front();
+        ++result.statesExplored;
+
+        if (result.statesExplored > cfg.maxStates) {
+            result.exhausted = false;
+            return result; // equivalent so far, but not exhaustive
+        }
+
+        for (BlockId sym = 0; sym < alphabet; ++sym) {
+            ProductState next{state.a, state.b, state.path};
+            next.path.push_back(sym);
+            const bool hit_a = next.a.access(sym);
+            const bool hit_b = next.b.access(sym);
+            if (hit_a != hit_b) {
+                result.equivalent = false;
+                result.counterexample = std::move(next.path);
+                result.exhausted = true;
+                return result;
+            }
+            std::string key = jointKey(next.a, next.b);
+            if (visited.insert(std::move(key)).second)
+                frontier.push_back(std::move(next));
+        }
+    }
+
+    result.exhausted = true;
+    return result;
+}
+
+} // namespace recap::infer

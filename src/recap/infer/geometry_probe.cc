@@ -1,0 +1,112 @@
+#include "recap/infer/geometry_probe.hh"
+
+#include "recap/common/error.hh"
+
+namespace recap::infer
+{
+
+GeometryProbe::GeometryProbe(MeasurementContext& ctx,
+                             const GeometryProbeConfig& cfg)
+    : ctx_(ctx), cfg_(cfg)
+{
+    require(cfg_.measureRounds >= 2,
+            "GeometryProbe: need at least two measurement rounds");
+}
+
+unsigned
+GeometryProbe::discoverLineSize()
+{
+    // After loading base, base+delta hits L1 iff both fall into the
+    // same line. The smallest power-of-two delta that misses is the
+    // line size.
+    for (unsigned delta = 1; delta <= cfg_.maxLineSize; delta *= 2) {
+        const bool missed = majorityVote(cfg_.voteRepeats, [&] {
+            ctx_.beginExperiment();
+            ctx_.flush();
+            ctx_.access(cfg_.baseAddr);
+            return !ctx_.countedHit(0, cfg_.baseAddr + delta);
+        });
+        if (missed)
+            return delta;
+    }
+    throw UsageError("GeometryProbe: line size exceeds maxLineSize");
+}
+
+LevelGeometry
+GeometryProbe::discoverLevel(unsigned level, unsigned lineSize)
+{
+    LevelGeometry geom;
+    geom.lineSize = lineSize;
+
+    // Associativity: largest cycling working set (at a universal
+    // stride, so all lines conflict at every level) with no steady
+    // misses at this level.
+    unsigned ways = 0;
+    for (unsigned n = 2; n <= cfg_.maxWays + 1; ++n) {
+        const bool missing = majorityVote(cfg_.voteRepeats, [&] {
+            return steadyMisses(level, n, cfg_.universalStride);
+        });
+        if (missing) {
+            ways = n - 1;
+            break;
+        }
+    }
+    require(ways >= 1,
+            "GeometryProbe: associativity above the search cap");
+    geom.ways = ways;
+
+    // Set stride: smallest power-of-two stride at which ways+1
+    // cycling lines still thrash this level.
+    for (uint64_t stride = lineSize; stride <= cfg_.universalStride;
+         stride *= 2) {
+        const bool missing = majorityVote(cfg_.voteRepeats, [&] {
+            return steadyMisses(level, ways + 1, stride);
+        });
+        if (missing) {
+            geom.numSets = static_cast<unsigned>(stride / lineSize);
+            return geom;
+        }
+    }
+    throw UsageError("GeometryProbe: set stride above universal stride");
+}
+
+DiscoveredGeometry
+GeometryProbe::discoverAll()
+{
+    DiscoveredGeometry all;
+    all.lineSize = discoverLineSize();
+    for (unsigned level = 0; level < ctx_.depth(); ++level)
+        all.levels.push_back(discoverLevel(level, all.lineSize));
+    return all;
+}
+
+bool
+GeometryProbe::steadyMisses(unsigned level, unsigned count,
+                            uint64_t stride)
+{
+    ctx_.beginExperiment();
+    ctx_.flush();
+
+    auto cycle_once = [&] {
+        for (unsigned i = 0; i < count; ++i)
+            ctx_.access(cfg_.baseAddr + stride * i);
+    };
+
+    for (unsigned r = 0; r < cfg_.warmupRounds; ++r)
+        cycle_once();
+
+    uint64_t misses = 0;
+    for (unsigned r = 0; r < cfg_.measureRounds; ++r) {
+        for (unsigned i = 0; i < count; ++i) {
+            const auto obs = ctx_.observeAtLevel(
+                level, cfg_.baseAddr + stride * i);
+            if (obs.reached && !obs.hit)
+                ++misses;
+        }
+    }
+    // A fitting working set gives ~0 misses; a thrashing one at
+    // least one per round.
+    return misses >= cfg_.measureRounds / 2 + 1;
+}
+
+} // namespace recap::infer

@@ -1,0 +1,65 @@
+#include "recap/infer/measurement.hh"
+
+#include "recap/common/error.hh"
+
+namespace recap::infer
+{
+
+MeasurementContext::MeasurementContext(hw::Machine& machine)
+    : machine_(machine)
+{}
+
+void
+MeasurementContext::flush()
+{
+    machine_.wbinvd();
+}
+
+void
+MeasurementContext::access(cache::Addr addr)
+{
+    machine_.access(addr);
+}
+
+unsigned
+MeasurementContext::timedLevel(cache::Addr addr)
+{
+    return machine_.classifyLatency(machine_.timedAccess(addr));
+}
+
+bool
+MeasurementContext::countedHit(unsigned level, cache::Addr addr)
+{
+    return observeAtLevel(level, addr).hit;
+}
+
+MeasurementContext::LevelObservation
+MeasurementContext::observeAtLevel(unsigned level, cache::Addr addr)
+{
+    require(level < machine_.depth(),
+            "MeasurementContext::observeAtLevel: level range");
+    const auto before = machine_.counters();
+    machine_.access(addr);
+    const auto after = machine_.counters();
+
+    LevelObservation obs;
+    obs.hit = after.levels[level].hits > before.levels[level].hits;
+    obs.reached = after.levels[level].accesses >
+                  before.levels[level].accesses;
+    return obs;
+}
+
+bool
+majorityVote(unsigned repeats, const std::function<bool()>& experiment)
+{
+    require(repeats >= 1, "majorityVote: need at least one repeat");
+    if (repeats % 2 == 0)
+        ++repeats;
+    unsigned yes = 0;
+    for (unsigned i = 0; i < repeats; ++i)
+        if (experiment())
+            ++yes;
+    return yes > repeats / 2;
+}
+
+} // namespace recap::infer

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The measurement interface the reverse-engineering engine is written
+ * against.
+ *
+ * Everything in recap::infer observes the machine under test only
+ * through this context: issue loads, flush, and read hit/miss
+ * evidence either from load latencies or from performance-counter
+ * deltas — the same two observables the paper's microbenchmarks use.
+ */
+
+#ifndef RECAP_INFER_MEASUREMENT_HH_
+#define RECAP_INFER_MEASUREMENT_HH_
+
+#include <functional>
+
+#include "recap/cache/geometry.hh"
+#include "recap/hw/machine.hh"
+
+namespace recap::infer
+{
+
+/**
+ * Thin measurement layer over a Machine.
+ *
+ * Also keeps an experiment counter so benches can report the
+ * measurement cost of each inference technique.
+ */
+class MeasurementContext
+{
+  public:
+    explicit MeasurementContext(hw::Machine& machine);
+
+    /** Number of cache levels on the machine. */
+    unsigned depth() const { return machine_.depth(); }
+
+    /** wbinvd. */
+    void flush();
+
+    /** Untimed load. */
+    void access(cache::Addr addr);
+
+    /** Timed load classified into the level it was served from. */
+    unsigned timedLevel(cache::Addr addr);
+
+    /**
+     * Counter-mode observation: issues one load and reports whether
+     * level @p level served it as a hit, judged from the hit-counter
+     * delta around the load. Mirrors sampling MEM_LOAD_RETIRED-style
+     * events around a probe access.
+     */
+    bool countedHit(unsigned level, cache::Addr addr);
+
+    /**
+     * Like countedHit(), but additionally reports whether the load
+     * reached the level at all (i.e. missed every inner level).
+     */
+    struct LevelObservation
+    {
+        bool reached = false; ///< missed all inner levels
+        bool hit = false;     ///< level's hit counter advanced
+    };
+
+    LevelObservation observeAtLevel(unsigned level, cache::Addr addr);
+
+    /** Loads issued on the machine so far. */
+    uint64_t loadsIssued() const { return machine_.loadsIssued(); }
+
+    /** Experiments started so far (see beginExperiment()). */
+    uint64_t experimentsRun() const { return experiments_; }
+
+    /** Marks the start of one experiment (for cost accounting). */
+    void beginExperiment() { ++experiments_; }
+
+  private:
+    hw::Machine& machine_;
+    uint64_t experiments_ = 0;
+};
+
+/**
+ * Runs @p experiment an odd number of times and returns the majority
+ * boolean outcome — the standard defence against measurement noise.
+ *
+ * @param repeats Number of repetitions; forced up to the next odd
+ *                value; 1 means "trust a single run".
+ */
+bool majorityVote(unsigned repeats,
+                  const std::function<bool()>& experiment);
+
+} // namespace recap::infer
+
+#endif // RECAP_INFER_MEASUREMENT_HH_

@@ -1,0 +1,30 @@
+#include "recap/infer/naming.hh"
+
+#include "recap/common/bitops.hh"
+#include "recap/policy/factory.hh"
+
+namespace recap::infer
+{
+
+std::string
+canonicalPermutationName(const policy::PermutationPolicy& inferred)
+{
+    const unsigned k = inferred.ways();
+    if (inferred.sameVectors(policy::PermutationPolicy::lru(k)))
+        return "LRU";
+    if (inferred.sameVectors(policy::PermutationPolicy::fifo(k)))
+        return "FIFO";
+    if (k >= 2 && isPowerOfTwo(k) &&
+        inferred.sameVectors(policy::PermutationPolicy::plru(k))) {
+        return "PLRU";
+    }
+    return "Permutation(k=" + std::to_string(k) + ")";
+}
+
+std::string
+prettySpecName(const std::string& spec, unsigned ways)
+{
+    return policy::makePolicy(spec, ways)->name();
+}
+
+} // namespace recap::infer

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Mapping inferred policy models back to canonical names.
+ */
+
+#ifndef RECAP_INFER_NAMING_HH_
+#define RECAP_INFER_NAMING_HH_
+
+#include <string>
+
+#include "recap/policy/permutation.hh"
+
+namespace recap::infer
+{
+
+/**
+ * Names an inferred permutation policy by comparing its permutation
+ * vectors with those of the known permutation policies (LRU, FIFO,
+ * tree-PLRU). Unrecognized vectors yield "Permutation(k=<ways>)".
+ */
+std::string
+canonicalPermutationName(const policy::PermutationPolicy& inferred);
+
+/**
+ * Human-readable name for a candidate-search verdict spec, e.g.
+ * "nru" -> "NRU", "qlru:H1,M1,R0,U2" -> "QLRU(H1,M1,R0,U2)".
+ */
+std::string prettySpecName(const std::string& spec, unsigned ways);
+
+} // namespace recap::infer
+
+#endif // RECAP_INFER_NAMING_HH_

@@ -1,0 +1,168 @@
+#include "recap/infer/pipeline.hh"
+
+#include "recap/common/rng.hh"
+#include "recap/infer/naming.hh"
+#include "recap/policy/factory.hh"
+#include "recap/policy/set_model.hh"
+
+namespace recap::infer
+{
+
+double
+measureAgreement(SetProber& prober,
+                 const policy::ReplacementPolicy& model,
+                 unsigned rounds, uint64_t seed)
+{
+    const unsigned k = prober.ways();
+    Rng rng(seed);
+    uint64_t total = 0;
+    uint64_t matched = 0;
+    for (unsigned round = 0; round < rounds; ++round) {
+        const unsigned universe = k + 1 + static_cast<unsigned>(
+            rng.nextBelow(4));
+        std::vector<BlockId> seq(5 * k);
+        for (auto& b : seq)
+            b = 1 + rng.nextBelow(universe);
+
+        policy::SetModel sim(model.clone());
+        sim.flush();
+        std::vector<bool> predicted;
+        predicted.reserve(seq.size());
+        for (BlockId b : seq)
+            predicted.push_back(sim.access(b));
+
+        const auto observed = prober.observe(seq);
+        for (size_t i = 0; i < seq.size(); ++i) {
+            ++total;
+            if (observed[i] == predicted[i])
+                ++matched;
+        }
+    }
+    return total ? static_cast<double>(matched) /
+                   static_cast<double>(total) : 0.0;
+}
+
+MachineReport
+inferMachine(hw::Machine& machine, const InferenceOptions& opts)
+{
+    MachineReport report;
+    report.machineName = machine.spec().name;
+
+    MeasurementContext ctx(machine);
+
+    GeometryProbeConfig geo_cfg = opts.geometry;
+    geo_cfg.voteRepeats = std::max(geo_cfg.voteRepeats,
+                                   opts.voteRepeats);
+    GeometryProbe geo_probe(ctx, geo_cfg);
+    report.geometry = geo_probe.discoverAll();
+
+    for (unsigned level = 0; level < machine.depth(); ++level) {
+        LevelReport lvl;
+        lvl.levelName = "L" + std::to_string(level + 1);
+        lvl.geometry = report.geometry.levels[level];
+        const uint64_t loads_before = ctx.loadsIssued();
+
+        // Step 1: adaptivity scan.
+        AdaptiveReport adaptive;
+        if (opts.detectAdaptivity) {
+            AdaptiveDetectConfig acfg = opts.adaptive;
+            acfg.voteRepeats = std::max(acfg.voteRepeats,
+                                        opts.voteRepeats);
+            acfg.search = opts.search;
+            adaptive = detectAdaptive(ctx, report.geometry, level,
+                                      acfg);
+        }
+
+        if (adaptive.adaptive && !adaptive.constituentsIdentical) {
+            lvl.adaptive = true;
+            lvl.adaptiveSelected = adaptive.policySelected.verdict;
+            lvl.adaptiveUnselected = adaptive.policyUnselected.verdict;
+            const std::string sel_name = lvl.adaptiveSelected.empty()
+                ? "?" : prettySpecName(lvl.adaptiveSelected,
+                                       lvl.geometry.ways);
+            const std::string uns_name = lvl.adaptiveUnselected.empty()
+                ? "?" : prettySpecName(lvl.adaptiveUnselected,
+                                       lvl.geometry.ways);
+            lvl.verdict = "adaptive (set dueling): " + sel_name +
+                          " vs " + uns_name;
+            // Agreement against the selected constituent, measured
+            // on one of its leader sets.
+            if (!adaptive.leadersSelected.empty() &&
+                !lvl.adaptiveSelected.empty()) {
+                SetProberConfig pc;
+                pc.baseAddr = opts.adaptive.baseAddr +
+                    static_cast<uint64_t>(report.geometry.lineSize) *
+                    adaptive.leadersSelected.front();
+                pc.voteRepeats = opts.voteRepeats;
+                SetProber prober(ctx, report.geometry, level, pc);
+                const auto model = policy::makePolicy(
+                    lvl.adaptiveSelected, lvl.geometry.ways);
+                lvl.agreement = measureAgreement(
+                    prober, *model, opts.agreementRounds,
+                    opts.seed + level);
+            }
+            lvl.loadsUsed = ctx.loadsIssued() - loads_before;
+            report.levels.push_back(std::move(lvl));
+            continue;
+        }
+        lvl.heterogeneousOnly = adaptive.heterogeneousOnly;
+
+        // Step 2: permutation inference on the default probed set.
+        SetProberConfig pc;
+        pc.voteRepeats = opts.voteRepeats;
+        SetProber prober(ctx, report.geometry, level, pc);
+
+        PermutationInferenceConfig perm_cfg = opts.permutation;
+        perm_cfg.seed = opts.seed + 31 * level;
+        PermutationInference perm(prober, perm_cfg);
+        const auto perm_result = perm.run();
+
+        if (perm_result.isPermutation) {
+            lvl.isPermutation = true;
+            lvl.verdict =
+                canonicalPermutationName(*perm_result.policy);
+            lvl.agreement = measureAgreement(
+                prober, *perm_result.policy, opts.agreementRounds,
+                opts.seed + level);
+            lvl.loadsUsed = ctx.loadsIssued() - loads_before;
+            report.levels.push_back(std::move(lvl));
+            continue;
+        }
+
+        // Step 3: candidate-elimination fallback.
+        CandidateSearchConfig search_cfg = opts.search;
+        search_cfg.seed = opts.seed + 57 * level;
+        CandidateSearch search(
+            prober, defaultCandidateSpecs(prober.ways()), search_cfg);
+        const auto search_result = search.run();
+
+        lvl.survivors = search_result.survivors;
+        if (search_result.verdict.empty()) {
+            lvl.verdict = "unidentified (no candidate matched)";
+        } else {
+            lvl.verdict = prettySpecName(search_result.verdict,
+                                         lvl.geometry.ways);
+            if (!search_result.decided) {
+                lvl.verdict += " (ambiguous: " +
+                    std::to_string(search_result.survivors.size()) +
+                    " candidates left)";
+            } else if (search_result.survivors.size() > 1) {
+                lvl.verdict += " (+" +
+                    std::to_string(search_result.survivors.size() - 1)
+                    + " equivalent form)";
+            }
+            const auto model = policy::makePolicy(
+                search_result.verdict, lvl.geometry.ways);
+            lvl.agreement = measureAgreement(
+                prober, *model, opts.agreementRounds,
+                opts.seed + level);
+        }
+        lvl.loadsUsed = ctx.loadsIssued() - loads_before;
+        report.levels.push_back(std::move(lvl));
+    }
+
+    report.totalLoads = ctx.loadsIssued();
+    return report;
+}
+
+} // namespace recap::infer

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The end-to-end reverse-engineering pipeline: geometry discovery,
+ * adaptivity detection, permutation inference, candidate fallback,
+ * and verdict naming — per cache level, per machine.
+ */
+
+#ifndef RECAP_INFER_PIPELINE_HH_
+#define RECAP_INFER_PIPELINE_HH_
+
+#include <string>
+#include <vector>
+
+#include "recap/infer/adaptive_detect.hh"
+#include "recap/infer/candidate_search.hh"
+#include "recap/infer/geometry_probe.hh"
+#include "recap/infer/permutation_infer.hh"
+
+namespace recap::infer
+{
+
+/** Options for the full pipeline. */
+struct InferenceOptions
+{
+    GeometryProbeConfig geometry;
+    PermutationInferenceConfig permutation;
+    CandidateSearchConfig search;
+    AdaptiveDetectConfig adaptive;
+
+    /** Run the adaptivity scan per level (costs one window pass). */
+    bool detectAdaptivity = true;
+
+    /** Majority-vote repeats for all probing. */
+    unsigned voteRepeats = 1;
+
+    /** Validation rounds for the agreement measurement. */
+    unsigned agreementRounds = 8;
+
+    uint64_t seed = 99;
+};
+
+/** Per-level inference verdict. */
+struct LevelReport
+{
+    std::string levelName; ///< "L1", "L2", ...
+    LevelGeometry geometry;
+
+    bool isPermutation = false;
+    bool adaptive = false;
+    bool heterogeneousOnly = false;
+
+    /** Final human-readable verdict. */
+    std::string verdict;
+
+    /** Surviving candidate specs (candidate-search path). */
+    std::vector<std::string> survivors;
+
+    /** Constituents for adaptive levels. */
+    std::string adaptiveSelected;
+    std::string adaptiveUnselected;
+
+    /** Fraction of post-hoc validation probes the verdict predicts. */
+    double agreement = 0.0;
+
+    /** Loads issued for this level's policy inference. */
+    uint64_t loadsUsed = 0;
+};
+
+/** Whole-machine inference result. */
+struct MachineReport
+{
+    std::string machineName;
+    DiscoveredGeometry geometry;
+    std::vector<LevelReport> levels;
+    uint64_t totalLoads = 0;
+};
+
+/**
+ * Measures how well @p model predicts the probed set's behaviour on
+ * random sequences: returns the fraction of accesses whose hit/miss
+ * outcome the model gets right.
+ */
+double measureAgreement(SetProber& prober,
+                        const policy::ReplacementPolicy& model,
+                        unsigned rounds, uint64_t seed);
+
+/** Runs the full pipeline against @p machine. */
+MachineReport inferMachine(hw::Machine& machine,
+                           const InferenceOptions& opts = {});
+
+} // namespace recap::infer
+
+#endif // RECAP_INFER_PIPELINE_HH_

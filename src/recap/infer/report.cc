@@ -1,0 +1,65 @@
+#include "recap/infer/report.hh"
+
+#include <ostream>
+
+#include "recap/common/error.hh"
+#include "recap/common/table.hh"
+#include "recap/policy/factory.hh"
+
+namespace recap::infer
+{
+
+std::string
+describeGroundTruth(const hw::CacheLevelSpec& level)
+{
+    std::string truth =
+        policy::makePolicy(level.policySpec, level.ways)->name();
+    if (level.isAdaptive()) {
+        truth = "adaptive: " +
+                policy::makePolicy(level.policySpecB, level.ways)
+                    ->name() +
+                " vs " + truth;
+    }
+    return truth;
+}
+
+void
+printMachineReport(std::ostream& os, const MachineReport& report,
+                   const hw::MachineSpec* truth)
+{
+    if (truth) {
+        require(truth->levels.size() == report.levels.size(),
+                "printMachineReport: spec/report level mismatch");
+    }
+
+    std::vector<std::string> headers{"level", "discovered geometry",
+                                     "method", "verdict"};
+    if (truth)
+        headers.push_back("ground truth");
+    headers.push_back("agreement");
+    headers.push_back("loads used");
+
+    TextTable table(std::move(headers));
+    for (size_t i = 0; i < report.levels.size(); ++i) {
+        const auto& lvl = report.levels[i];
+        std::string method = lvl.adaptive
+            ? "set-dueling detect"
+            : (lvl.isPermutation ? "permutation infer"
+                                 : "candidate search");
+        std::vector<std::string> row{
+            lvl.levelName,
+            lvl.geometry.toGeometry().describe(),
+            std::move(method),
+            lvl.verdict,
+        };
+        if (truth)
+            row.push_back(describeGroundTruth(truth->levels[i]));
+        row.push_back(formatPercent(lvl.agreement));
+        row.push_back(std::to_string(lvl.loadsUsed));
+        table.addRow(std::move(row));
+    }
+    table.print(os);
+    os << "\nTotal loads issued: " << report.totalLoads << "\n";
+}
+
+} // namespace recap::infer

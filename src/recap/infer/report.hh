@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Human-readable rendering of inference reports, shared by the
+ * examples and the experiment binaries.
+ */
+
+#ifndef RECAP_INFER_REPORT_HH_
+#define RECAP_INFER_REPORT_HH_
+
+#include <iosfwd>
+#include <string>
+
+#include "recap/hw/spec.hh"
+#include "recap/infer/pipeline.hh"
+
+namespace recap::infer
+{
+
+/**
+ * Ground-truth description of one spec level ("PLRU", or
+ * "adaptive: X vs Y"), for side-by-side comparison columns.
+ */
+std::string describeGroundTruth(const hw::CacheLevelSpec& level);
+
+/**
+ * Prints @p report as an aligned table. When @p truth is non-null,
+ * a ground-truth column is added next to each verdict.
+ */
+void printMachineReport(std::ostream& os, const MachineReport& report,
+                        const hw::MachineSpec* truth = nullptr);
+
+} // namespace recap::infer
+
+#endif // RECAP_INFER_REPORT_HH_

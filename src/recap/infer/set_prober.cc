@@ -1,0 +1,182 @@
+#include "recap/infer/set_prober.hh"
+
+#include <unordered_map>
+
+#include "recap/common/error.hh"
+
+namespace recap::infer
+{
+
+SetProber::SetProber(MeasurementContext& ctx,
+                     const DiscoveredGeometry& geom,
+                     unsigned targetLevel, const SetProberConfig& cfg)
+    : ctx_(ctx), geom_(geom), targetLevel_(targetLevel), cfg_(cfg)
+{
+    require(targetLevel < geom_.levels.size(),
+            "SetProber: target level out of range");
+    require(cfg_.evictorFactor >= 1,
+            "SetProber: evictor factor must be >= 1");
+    // The conflict-line construction needs each level's set stride to
+    // strictly divide the next one's.
+    for (unsigned u = 0; u + 1 <= targetLevel_; ++u) {
+        const uint64_t inner = geom_.levels[u].setStride();
+        const uint64_t outer = geom_.levels[u + 1].setStride();
+        require(outer % inner == 0 && outer / inner >= 2,
+                "SetProber: inner level must have strictly fewer sets "
+                "than the next outer level");
+    }
+    buildEvictorPools();
+}
+
+void
+SetProber::buildEvictorPools()
+{
+    // Per outer-level set, how many pool lines have been placed so
+    // far — pool lines must stay resident in outer levels, so no set
+    // may be overfilled.
+    std::vector<std::unordered_map<uint64_t, unsigned>> load(
+        geom_.levels.size());
+
+    pools_.resize(targetLevel_);
+    for (unsigned u = 0; u < targetLevel_; ++u) {
+        const uint64_t stride_u = geom_.levels[u].setStride();
+        const uint64_t ratio =
+            geom_.levels[u + 1].setStride() / stride_u;
+        // Cycling more lines than the level has ways guarantees the
+        // pool keeps missing (and thus filling) there.
+        const unsigned pool_size = geom_.levels[u].ways + 2;
+
+        EvictorPool pool;
+        for (uint64_t j = 1; pool.lines.size() < pool_size; ++j) {
+            if (j % ratio == 0)
+                continue; // would alias the probed outer sets
+            const cache::Addr addr = cfg_.baseAddr + stride_u * j;
+            // Keep every outer set below its capacity so the pool
+            // stays resident there.
+            bool fits = true;
+            for (unsigned v = u + 1; v < geom_.levels.size(); ++v) {
+                const uint64_t set =
+                    (addr / geom_.lineSize) & (geom_.levels[v].numSets
+                                               - 1);
+                if (load[v][set] + 1 > geom_.levels[v].ways) {
+                    fits = false;
+                    break;
+                }
+            }
+            if (!fits)
+                continue;
+            for (unsigned v = u + 1; v < geom_.levels.size(); ++v) {
+                const uint64_t set =
+                    (addr / geom_.lineSize) & (geom_.levels[v].numSets
+                                               - 1);
+                ++load[v][set];
+            }
+            pool.lines.push_back(addr);
+        }
+        pools_[u] = std::move(pool);
+    }
+}
+
+unsigned
+SetProber::ways() const
+{
+    return geom_.levels[targetLevel_].ways;
+}
+
+cache::Addr
+SetProber::blockAddr(BlockId block) const
+{
+    // Blocks are spaced one target set stride apart: same set index
+    // at the target level AND at every inner level, distinct target
+    // tags.
+    return cfg_.baseAddr + geom_.levels[targetLevel_].setStride() * block;
+}
+
+bool
+SetProber::survives(const std::vector<BlockId>& seq, BlockId probe)
+{
+    return majorityVote(cfg_.voteRepeats, [&] {
+        ctx_.beginExperiment();
+        ctx_.flush();
+        for (BlockId b : seq) {
+            evictInnerLevels();
+            ctx_.access(blockAddr(b));
+        }
+        return routedObservedAccess(probe);
+    });
+}
+
+std::vector<bool>
+SetProber::observe(const std::vector<BlockId>& seq)
+{
+    unsigned repeats = cfg_.voteRepeats;
+    if (repeats % 2 == 0)
+        ++repeats;
+    std::vector<unsigned> hits(seq.size(), 0);
+    for (unsigned r = 0; r < repeats; ++r) {
+        const std::vector<bool> outcome = replayObserved(seq);
+        for (size_t i = 0; i < seq.size(); ++i)
+            if (outcome[i])
+                ++hits[i];
+    }
+    std::vector<bool> voted(seq.size());
+    for (size_t i = 0; i < seq.size(); ++i)
+        voted[i] = hits[i] > repeats / 2;
+    return voted;
+}
+
+void
+SetProber::thrash(unsigned count)
+{
+    // Ids above 2^40 never collide with experiment block ids.
+    const BlockId base = (uint64_t{1} << 40) + thrashEpoch_;
+    thrashEpoch_ += count;
+    for (unsigned i = 0; i < count; ++i)
+        ctx_.access(blockAddr(base + i));
+}
+
+void
+SetProber::run(const std::vector<BlockId>& seq)
+{
+    ctx_.beginExperiment();
+    ctx_.flush();
+    for (BlockId b : seq) {
+        evictInnerLevels();
+        ctx_.access(blockAddr(b));
+    }
+}
+
+std::vector<bool>
+SetProber::replayObserved(const std::vector<BlockId>& seq)
+{
+    ctx_.beginExperiment();
+    ctx_.flush();
+    std::vector<bool> outcome;
+    outcome.reserve(seq.size());
+    for (BlockId b : seq)
+        outcome.push_back(routedObservedAccess(b));
+    return outcome;
+}
+
+void
+SetProber::evictInnerLevels()
+{
+    for (unsigned u = 0; u < targetLevel_; ++u) {
+        EvictorPool& pool = pools_[u];
+        const unsigned needed =
+            cfg_.evictorFactor * geom_.levels[u].ways;
+        for (unsigned i = 0; i < needed; ++i) {
+            ctx_.access(pool.lines[pool.cursor]);
+            pool.cursor = (pool.cursor + 1) % pool.lines.size();
+        }
+    }
+}
+
+bool
+SetProber::routedObservedAccess(BlockId block)
+{
+    evictInnerLevels();
+    return ctx_.countedHit(targetLevel_, blockAddr(block));
+}
+
+} // namespace recap::infer

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * SetProber: runs block-access experiments against ONE set of a
+ * chosen cache level of the machine under test.
+ *
+ * The hard part of probing an outer level (the part the paper spends
+ * much of its measurement craft on) is that inner levels filter
+ * accesses: a load that hits L1 never reaches L2, so the L2
+ * replacement state would not advance. SetProber solves this the way
+ * the paper's microbenchmarks do — before every probe access it
+ * evicts the target line from all inner levels using freshly-tagged
+ * conflict lines that
+ *   - map to the same inner-level set as the probed blocks (so they
+ *     evict the inner copies), but
+ *   - never map to the probed set of the target level or of any
+ *     intermediate level (so they cannot disturb the state being
+ *     reverse-engineered).
+ *
+ * Such conflict lines exist whenever each outer level has strictly
+ * more sets than the next inner one, which holds on all modelled
+ * machines; the constructor checks it.
+ *
+ * The conflict lines are organized as small persistent pools that
+ * are cycled rather than freshly tagged: a pool slightly larger than
+ * the inner level's associativity keeps missing there (so it keeps
+ * evicting), while its lines stay resident in all outer levels after
+ * one cold pass — so probing pollutes the outer levels' other sets
+ * with (almost) no misses. This matters on set-dueling caches, where
+ * stray misses in leader sets would otherwise train the selector as
+ * a side effect of the measurement itself.
+ */
+
+#ifndef RECAP_INFER_SET_PROBER_HH_
+#define RECAP_INFER_SET_PROBER_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "recap/infer/geometry_probe.hh"
+#include "recap/infer/measurement.hh"
+#include "recap/policy/set_model.hh"
+
+namespace recap::infer
+{
+
+/** Abstract block identifier within the probed set. */
+using BlockId = policy::BlockId;
+
+/** Tuning knobs for SetProber. */
+struct SetProberConfig
+{
+    /** Anchor address; the probed set is this address's set. */
+    cache::Addr baseAddr = uint64_t{1} << 32;
+
+    /** Conflict lines per inner level = factor * inner ways. */
+    unsigned evictorFactor = 2;
+
+    /** Majority-voting repetitions for noisy machines. */
+    unsigned voteRepeats = 1;
+};
+
+/**
+ * Experiment runner for one set of one level.
+ *
+ * Experiments always start from a full flush, replay a block-access
+ * sequence routed to the target level, and then observe hit/miss
+ * evidence. Because observation is destructive, experiments are
+ * replayed from scratch for every measured bit, exactly as on real
+ * hardware.
+ */
+class SetProber
+{
+  public:
+    SetProber(MeasurementContext& ctx, const DiscoveredGeometry& geom,
+              unsigned targetLevel, const SetProberConfig& cfg = {});
+
+    /** Associativity of the probed level. */
+    unsigned ways() const;
+
+    /** Target level index. */
+    unsigned targetLevel() const { return targetLevel_; }
+
+    /** Address of abstract block @p block in the probed set. */
+    cache::Addr blockAddr(BlockId block) const;
+
+    /**
+     * Replays flush + @p seq, then reports whether @p probe is still
+     * resident in the probed set (majority-voted).
+     */
+    bool survives(const std::vector<BlockId>& seq, BlockId probe);
+
+    /**
+     * Replays flush + @p seq and reports the hit/miss outcome of
+     * every access (majority-voted per position).
+     */
+    std::vector<bool> observe(const std::vector<BlockId>& seq);
+
+    /**
+     * Floods the probed set with @p count never-before-seen lines
+     * (no observation) — used to train set-dueling counters.
+     */
+    void thrash(unsigned count);
+
+    /**
+     * Replays flush + @p seq routed to the target level without any
+     * observation — used to apply training patterns cheaply.
+     */
+    void run(const std::vector<BlockId>& seq);
+
+    /** Measurement context, for cost accounting. */
+    MeasurementContext& context() { return ctx_; }
+
+  private:
+    /** One un-voted replay of flush + seq with per-access outcomes. */
+    std::vector<bool> replayObserved(const std::vector<BlockId>& seq);
+
+    /** Evicts the probed blocks' lines from every inner level. */
+    void evictInnerLevels();
+
+    /** Routed, observed access to @p block. */
+    bool routedObservedAccess(BlockId block);
+
+    /** Builds the persistent evictor pools (see file comment). */
+    void buildEvictorPools();
+
+    MeasurementContext& ctx_;
+    DiscoveredGeometry geom_;
+    unsigned targetLevel_;
+    SetProberConfig cfg_;
+
+    /** One persistent conflict-line pool per inner level. */
+    struct EvictorPool
+    {
+        std::vector<cache::Addr> lines;
+        size_t cursor = 0;
+    };
+    std::vector<EvictorPool> pools_;
+
+    /** Monotone counter so thrash lines are always fresh. */
+    uint64_t thrashEpoch_ = 0;
+};
+
+} // namespace recap::infer
+
+#endif // RECAP_INFER_SET_PROBER_HH_

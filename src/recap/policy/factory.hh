@@ -1,0 +1,54 @@
+/**
+ * @file
+ * String-spec factory for replacement policies.
+ *
+ * Policy specs are short strings used throughout the benches,
+ * examples and the machine catalog:
+ *
+ *   "lru" | "fifo" | "plru" | "bitplru" | "nru" | "random"
+ *   "lip" | "bip" | "bip:<throttle>"
+ *   "srrip" | "srrip:<bits>" | "brrip" | "brrip:<bits>,<throttle>"
+ *   "slru" | "slru:<protectedWays>"
+ *   "qlru:<H>,<M>,<R>,<U>"   e.g. "qlru:H1,M1,R0,U2"
+ *   "perm-lru" | "perm-fifo" | "perm-plru"  (permutation-engine forms)
+ */
+
+#ifndef RECAP_POLICY_FACTORY_HH_
+#define RECAP_POLICY_FACTORY_HH_
+
+#include <string>
+#include <vector>
+
+#include "recap/policy/policy.hh"
+
+namespace recap::policy
+{
+
+/**
+ * Creates a policy from a spec string.
+ *
+ * @param spec Policy spec (see file comment).
+ * @param ways Associativity.
+ * @param seed Seed for stochastic policies ("random").
+ * @throws UsageError for unknown specs or invalid parameters.
+ */
+PolicyPtr makePolicy(const std::string& spec, unsigned ways,
+                     uint64_t seed = 1);
+
+/** True iff makePolicy would accept @p spec. */
+bool isKnownPolicySpec(const std::string& spec);
+
+/**
+ * Deterministic baseline specs used by the evaluation benches, in
+ * presentation order. All work at any associativity >= 2 except
+ * "plru"/"perm-plru", which need a power of two; callers filter with
+ * specSupportsWays().
+ */
+std::vector<std::string> baselineSpecs();
+
+/** True iff @p spec can be instantiated at associativity @p ways. */
+bool specSupportsWays(const std::string& spec, unsigned ways);
+
+} // namespace recap::policy
+
+#endif // RECAP_POLICY_FACTORY_HH_

@@ -1,0 +1,64 @@
+#include "recap/policy/fifo.hh"
+
+#include <algorithm>
+
+#include "recap/common/error.hh"
+
+namespace recap::policy
+{
+
+FifoPolicy::FifoPolicy(unsigned ways)
+    : ReplacementPolicy(ways)
+{
+    FifoPolicy::reset();
+}
+
+void
+FifoPolicy::reset()
+{
+    queue_.resize(ways_);
+    // Initial queue: way 0 is evicted first.
+    for (unsigned i = 0; i < ways_; ++i)
+        queue_[i] = i;
+}
+
+void
+FifoPolicy::touch(Way way)
+{
+    checkWay(way);
+    // Hits do not affect FIFO order.
+}
+
+Way
+FifoPolicy::victim() const
+{
+    return queue_.front();
+}
+
+void
+FifoPolicy::fill(Way way)
+{
+    checkWay(way);
+    auto it = std::find(queue_.begin(), queue_.end(), way);
+    ensure(it != queue_.end(), "FifoPolicy: way missing in queue");
+    queue_.erase(it);
+    queue_.push_back(way);
+}
+
+PolicyPtr
+FifoPolicy::clone() const
+{
+    return std::make_unique<FifoPolicy>(*this);
+}
+
+std::string
+FifoPolicy::stateKey() const
+{
+    std::string key;
+    key.reserve(queue_.size());
+    for (Way w : queue_)
+        key.push_back(static_cast<char>('a' + w));
+    return key;
+}
+
+} // namespace recap::policy

@@ -1,0 +1,147 @@
+#include "recap/policy/lru.hh"
+
+#include <algorithm>
+
+#include "recap/common/error.hh"
+
+namespace recap::policy
+{
+
+RecencyStackPolicy::RecencyStackPolicy(unsigned ways)
+    : ReplacementPolicy(ways)
+{
+    RecencyStackPolicy::reset();
+}
+
+void
+RecencyStackPolicy::reset()
+{
+    stack_.resize(ways_);
+    // Initial order: way 0 is MRU, way ways-1 is the first victim.
+    for (unsigned i = 0; i < ways_; ++i)
+        stack_[i] = i;
+}
+
+void
+RecencyStackPolicy::touch(Way way)
+{
+    checkWay(way);
+    moveToMru(way);
+}
+
+Way
+RecencyStackPolicy::victim() const
+{
+    return stack_.back();
+}
+
+std::string
+RecencyStackPolicy::stateKey() const
+{
+    std::string key;
+    key.reserve(stack_.size());
+    for (Way w : stack_)
+        key.push_back(static_cast<char>('a' + w));
+    return key;
+}
+
+void
+RecencyStackPolicy::moveToMru(Way way)
+{
+    auto it = std::find(stack_.begin(), stack_.end(), way);
+    ensure(it != stack_.end(), "RecencyStackPolicy: way missing in stack");
+    stack_.erase(it);
+    stack_.insert(stack_.begin(), way);
+}
+
+void
+RecencyStackPolicy::moveToLru(Way way)
+{
+    auto it = std::find(stack_.begin(), stack_.end(), way);
+    ensure(it != stack_.end(), "RecencyStackPolicy: way missing in stack");
+    stack_.erase(it);
+    stack_.push_back(way);
+}
+
+unsigned
+RecencyStackPolicy::positionOf(Way way) const
+{
+    auto it = std::find(stack_.begin(), stack_.end(), way);
+    ensure(it != stack_.end(), "RecencyStackPolicy: way missing in stack");
+    return static_cast<unsigned>(it - stack_.begin());
+}
+
+LruPolicy::LruPolicy(unsigned ways)
+    : RecencyStackPolicy(ways)
+{}
+
+void
+LruPolicy::fill(Way way)
+{
+    checkWay(way);
+    moveToMru(way);
+}
+
+PolicyPtr
+LruPolicy::clone() const
+{
+    return std::make_unique<LruPolicy>(*this);
+}
+
+LipPolicy::LipPolicy(unsigned ways)
+    : RecencyStackPolicy(ways)
+{}
+
+void
+LipPolicy::fill(Way way)
+{
+    checkWay(way);
+    moveToLru(way);
+}
+
+PolicyPtr
+LipPolicy::clone() const
+{
+    return std::make_unique<LipPolicy>(*this);
+}
+
+BipPolicy::BipPolicy(unsigned ways, unsigned throttle)
+    : RecencyStackPolicy(ways), throttle_(throttle)
+{
+    require(throttle >= 1, "BipPolicy: throttle must be >= 1");
+}
+
+void
+BipPolicy::reset()
+{
+    RecencyStackPolicy::reset();
+    fillCount_ = 0;
+}
+
+void
+BipPolicy::fill(Way way)
+{
+    checkWay(way);
+    // The 1-in-throttle fill gets full retention priority; all others
+    // are inserted as immediate eviction candidates.
+    if (fillCount_ == 0)
+        moveToMru(way);
+    else
+        moveToLru(way);
+    fillCount_ = (fillCount_ + 1) % throttle_;
+}
+
+PolicyPtr
+BipPolicy::clone() const
+{
+    return std::make_unique<BipPolicy>(*this);
+}
+
+std::string
+BipPolicy::stateKey() const
+{
+    return RecencyStackPolicy::stateKey() + ":" +
+           std::to_string(fillCount_);
+}
+
+} // namespace recap::policy

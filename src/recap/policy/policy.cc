@@ -1,0 +1,20 @@
+#include "recap/policy/policy.hh"
+
+#include "recap/common/error.hh"
+
+namespace recap::policy
+{
+
+ReplacementPolicy::ReplacementPolicy(unsigned ways)
+    : ways_(ways)
+{
+    require(ways >= 1, "ReplacementPolicy: associativity must be >= 1");
+}
+
+void
+ReplacementPolicy::checkWay(Way way) const
+{
+    require(way < ways_, "ReplacementPolicy: way index out of range");
+}
+
+} // namespace recap::policy

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Abstract interface for cache replacement policies.
+ *
+ * Following Abel & Reineke's modelling, a replacement policy is a
+ * deterministic finite automaton attached to one cache set of
+ * associativity k. Its inputs are "hit on way w" and "fill way w";
+ * its single output is the victim way it would evict next.
+ *
+ * The interface deliberately separates victim() (a pure query) from
+ * fill() (the state update after installing a line) so that callers
+ * such as the cache model can fill invalid ways without consulting the
+ * victim logic, exactly as hardware does during cold misses.
+ */
+
+#ifndef RECAP_POLICY_POLICY_HH_
+#define RECAP_POLICY_POLICY_HH_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace recap::policy
+{
+
+/** Index of a way within one cache set. */
+using Way = unsigned;
+
+/**
+ * A replacement policy automaton for a single cache set.
+ *
+ * Implementations must be deterministic given their constructor
+ * arguments (including any RNG seed), must keep victim() free of side
+ * effects, and must support cloning so that the inference engine and
+ * the equivalence checker can fork hypothetical futures.
+ */
+class ReplacementPolicy
+{
+  public:
+    /**
+     * @param ways Associativity of the set; must be at least 1.
+     *             Subclasses may impose further constraints (e.g.
+     *             tree-PLRU requires a power of two).
+     */
+    explicit ReplacementPolicy(unsigned ways);
+
+    virtual ~ReplacementPolicy() = default;
+
+    ReplacementPolicy(const ReplacementPolicy&) = default;
+    ReplacementPolicy& operator=(const ReplacementPolicy&) = default;
+
+    /** Associativity this instance was built for. */
+    unsigned ways() const { return ways_; }
+
+    /** Returns to the initial (post-flush) state. */
+    virtual void reset() = 0;
+
+    /** Updates state after a hit on @p way. */
+    virtual void touch(Way way) = 0;
+
+    /**
+     * Returns the way that would be evicted by the next miss.
+     * Must not change observable state.
+     */
+    virtual Way victim() const = 0;
+
+    /** Updates state after installing a new line into @p way. */
+    virtual void fill(Way way) = 0;
+
+    /** Canonical human-readable policy name, e.g. "PLRU" or "QLRU". */
+    virtual std::string name() const = 0;
+
+    /** Deep copy preserving the current state. */
+    virtual std::unique_ptr<ReplacementPolicy> clone() const = 0;
+
+    /**
+     * Canonical encoding of the current control state, used for state
+     * hashing by the equivalence checker and the predictability
+     * analysis. Two states with equal keys must behave identically.
+     */
+    virtual std::string stateKey() const = 0;
+
+  protected:
+    /** Throws UsageError unless 0 <= way < ways(). */
+    void checkWay(Way way) const;
+
+    unsigned ways_;
+};
+
+/** Convenience alias for owning policy handles. */
+using PolicyPtr = std::unique_ptr<ReplacementPolicy>;
+
+} // namespace recap::policy
+
+#endif // RECAP_POLICY_POLICY_HH_

@@ -1,0 +1,56 @@
+#include "recap/policy/random.hh"
+
+namespace recap::policy
+{
+
+RandomPolicy::RandomPolicy(unsigned ways, uint64_t seed)
+    : ReplacementPolicy(ways), seed_(seed), rng_(seed), pending_(0)
+{
+    RandomPolicy::reset();
+}
+
+void
+RandomPolicy::reset()
+{
+    rng_ = Rng(seed_);
+    draws_ = 0;
+    pending_ = static_cast<Way>(rng_.nextBelow(ways_));
+    ++draws_;
+}
+
+void
+RandomPolicy::touch(Way way)
+{
+    checkWay(way);
+    // Random replacement ignores hits.
+}
+
+Way
+RandomPolicy::victim() const
+{
+    return pending_;
+}
+
+void
+RandomPolicy::fill(Way way)
+{
+    checkWay(way);
+    pending_ = static_cast<Way>(rng_.nextBelow(ways_));
+    ++draws_;
+}
+
+PolicyPtr
+RandomPolicy::clone() const
+{
+    return std::make_unique<RandomPolicy>(*this);
+}
+
+std::string
+RandomPolicy::stateKey() const
+{
+    // The stream position fully determines future behaviour.
+    return "rnd:" + std::to_string(draws_) + ":" +
+           std::to_string(pending_);
+}
+
+} // namespace recap::policy

@@ -1,0 +1,106 @@
+#include "recap/policy/slru.hh"
+
+#include <algorithm>
+
+#include "recap/common/error.hh"
+
+namespace recap::policy
+{
+
+SlruPolicy::SlruPolicy(unsigned ways, unsigned protectedWays)
+    : ReplacementPolicy(ways),
+      protectedWays_(protectedWays ? protectedWays : ways / 2)
+{
+    require(ways >= 2, "SlruPolicy: associativity must be >= 2");
+    require(protectedWays_ >= 1 && protectedWays_ < ways,
+            "SlruPolicy: protected segment must be in [1, ways-1]");
+    SlruPolicy::reset();
+}
+
+void
+SlruPolicy::reset()
+{
+    protected_.clear();
+    probation_.clear();
+    // All ways start probationary, way 0 most recently "used" so the
+    // highest way index is the first victim.
+    for (unsigned w = 0; w < ways_; ++w)
+        probation_.push_back(w);
+}
+
+void
+SlruPolicy::touch(Way way)
+{
+    checkWay(way);
+    const bool was_protected =
+        std::find(protected_.begin(), protected_.end(), way) !=
+        protected_.end();
+    remove(way);
+    if (was_protected) {
+        // Refresh within the protected segment.
+        protected_.insert(protected_.begin(), way);
+    } else {
+        promote(way);
+    }
+}
+
+Way
+SlruPolicy::victim() const
+{
+    if (!probation_.empty())
+        return probation_.back();
+    return protected_.back();
+}
+
+void
+SlruPolicy::fill(Way way)
+{
+    checkWay(way);
+    remove(way);
+    probation_.insert(probation_.begin(), way);
+}
+
+PolicyPtr
+SlruPolicy::clone() const
+{
+    return std::make_unique<SlruPolicy>(*this);
+}
+
+std::string
+SlruPolicy::stateKey() const
+{
+    std::string key;
+    key.reserve(ways_ + 1);
+    for (Way w : protected_)
+        key.push_back(static_cast<char>('a' + w));
+    key.push_back('|');
+    for (Way w : probation_)
+        key.push_back(static_cast<char>('a' + w));
+    return key;
+}
+
+void
+SlruPolicy::remove(Way way)
+{
+    auto it = std::find(protected_.begin(), protected_.end(), way);
+    if (it != protected_.end()) {
+        protected_.erase(it);
+        return;
+    }
+    it = std::find(probation_.begin(), probation_.end(), way);
+    ensure(it != probation_.end(), "SlruPolicy: way in no segment");
+    probation_.erase(it);
+}
+
+void
+SlruPolicy::promote(Way way)
+{
+    protected_.insert(protected_.begin(), way);
+    if (protected_.size() > protectedWays_) {
+        const Way demoted = protected_.back();
+        protected_.pop_back();
+        probation_.insert(probation_.begin(), demoted);
+    }
+}
+
+} // namespace recap::policy

@@ -1,0 +1,257 @@
+#include "recap/trace/generators.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <list>
+
+#include "recap/common/error.hh"
+#include "recap/common/rng.hh"
+
+namespace recap::trace
+{
+
+Trace
+sequentialScan(uint64_t footprintBytes, unsigned passes, unsigned step,
+               cache::Addr base)
+{
+    require(step >= 1, "sequentialScan: step must be >= 1");
+    Trace t;
+    t.reserve(passes * (footprintBytes / step + 1));
+    for (unsigned p = 0; p < passes; ++p)
+        for (uint64_t off = 0; off < footprintBytes; off += step)
+            t.push_back(base + off);
+    return t;
+}
+
+Trace
+stridedScan(uint64_t footprintBytes, unsigned stride, unsigned passes,
+            cache::Addr base)
+{
+    require(stride >= 1, "stridedScan: stride must be >= 1");
+    Trace t;
+    for (unsigned p = 0; p < passes; ++p)
+        for (uint64_t off = 0; off < footprintBytes; off += stride)
+            t.push_back(base + off);
+    return t;
+}
+
+Trace
+randomUniform(uint64_t footprintBytes, size_t count, uint64_t seed,
+              cache::Addr base)
+{
+    const uint64_t lines = std::max<uint64_t>(1, footprintBytes / 64);
+    Rng rng(seed);
+    Trace t;
+    t.reserve(count);
+    for (size_t i = 0; i < count; ++i)
+        t.push_back(base + 64 * rng.nextBelow(lines));
+    return t;
+}
+
+Trace
+zipf(uint64_t footprintBytes, size_t count, double alpha,
+     uint64_t seed, cache::Addr base)
+{
+    require(alpha > 0.0, "zipf: alpha must be positive");
+    const uint64_t lines = std::max<uint64_t>(1, footprintBytes / 64);
+
+    // Inverse-CDF table over line ranks.
+    std::vector<double> cdf(lines);
+    double total = 0.0;
+    for (uint64_t i = 0; i < lines; ++i) {
+        total += 1.0 / std::pow(static_cast<double>(i + 1), alpha);
+        cdf[i] = total;
+    }
+    for (auto& c : cdf)
+        c /= total;
+
+    // Rank r gets a pseudorandom (but fixed) line so that popular
+    // lines are spread across cache sets.
+    std::vector<uint64_t> rank_to_line(lines);
+    for (uint64_t i = 0; i < lines; ++i)
+        rank_to_line[i] = i;
+    Rng placement(seed ^ 0x5a5a5a5aULL);
+    placement.shuffle(rank_to_line);
+
+    Rng rng(seed);
+    Trace t;
+    t.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+        const double u = rng.nextDouble();
+        const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+        const uint64_t rank = static_cast<uint64_t>(it - cdf.begin());
+        t.push_back(base + 64 * rank_to_line[std::min(rank, lines - 1)]);
+    }
+    return t;
+}
+
+Trace
+pointerChase(size_t nodes, size_t count, uint64_t seed,
+             unsigned nodeBytes, cache::Addr base)
+{
+    require(nodes >= 2, "pointerChase: need at least two nodes");
+    // A single random cycle visiting every node (Sattolo's algorithm)
+    // gives a fully dependent chain.
+    std::vector<size_t> next(nodes);
+    for (size_t i = 0; i < nodes; ++i)
+        next[i] = i;
+    Rng rng(seed);
+    for (size_t i = nodes - 1; i > 0; --i) {
+        const size_t j = static_cast<size_t>(rng.nextBelow(i));
+        std::swap(next[i], next[j]);
+    }
+
+    Trace t;
+    t.reserve(count);
+    size_t node = 0;
+    for (size_t i = 0; i < count; ++i) {
+        t.push_back(base + static_cast<uint64_t>(node) * nodeBytes);
+        node = next[node];
+    }
+    return t;
+}
+
+Trace
+blockedMatmul(unsigned dim, unsigned blockDim, cache::Addr base)
+{
+    require(blockDim >= 1 && blockDim <= dim,
+            "blockedMatmul: block dimension out of range");
+    constexpr unsigned kElem = 8; // sizeof(double)
+    const uint64_t matrix_bytes = static_cast<uint64_t>(dim) * dim *
+                                  kElem;
+    const cache::Addr a_base = base;
+    const cache::Addr b_base = base + matrix_bytes;
+    const cache::Addr c_base = base + 2 * matrix_bytes;
+
+    auto elem = [&](cache::Addr m, unsigned r, unsigned c) {
+        return m + (static_cast<uint64_t>(r) * dim + c) * kElem;
+    };
+
+    Trace t;
+    for (unsigned ii = 0; ii < dim; ii += blockDim) {
+        for (unsigned jj = 0; jj < dim; jj += blockDim) {
+            for (unsigned kk = 0; kk < dim; kk += blockDim) {
+                const unsigned i_end = std::min(ii + blockDim, dim);
+                const unsigned j_end = std::min(jj + blockDim, dim);
+                const unsigned k_end = std::min(kk + blockDim, dim);
+                for (unsigned i = ii; i < i_end; ++i) {
+                    for (unsigned j = jj; j < j_end; ++j) {
+                        for (unsigned k = kk; k < k_end; ++k) {
+                            t.push_back(elem(a_base, i, k));
+                            t.push_back(elem(b_base, k, j));
+                            t.push_back(elem(c_base, i, j));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return t;
+}
+
+Trace
+stackDistanceModel(size_t count, double meanDistance, uint64_t seed,
+                   cache::Addr base)
+{
+    require(meanDistance > 0.0,
+            "stackDistanceModel: mean distance must be positive");
+    Rng rng(seed);
+    std::list<cache::Addr> stack; // front = most recently used
+    cache::Addr next_new = base;
+    Trace t;
+    t.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+        const uint64_t d = rng.nextGeometric(meanDistance);
+        cache::Addr addr;
+        if (d >= stack.size()) {
+            addr = next_new;
+            next_new += 64;
+        } else {
+            auto it = stack.begin();
+            std::advance(it, static_cast<long>(d));
+            addr = *it;
+            stack.erase(it);
+        }
+        stack.push_front(addr);
+        if (stack.size() > 4096)
+            stack.pop_back();
+        t.push_back(addr);
+    }
+    return t;
+}
+
+Trace
+phaseMix(uint64_t cacheBytes, unsigned phasePairs,
+         unsigned passesPerPhase, uint64_t seed, cache::Addr base)
+{
+    // Friendly phase: a working set at half the cache, revisited.
+    // Hostile phase: a stream at four times the cache.
+    std::vector<Trace> phases;
+    Rng rng(seed);
+    for (unsigned p = 0; p < phasePairs; ++p) {
+        phases.push_back(randomUniform(cacheBytes / 2,
+                                       passesPerPhase *
+                                           (cacheBytes / 2 / 64),
+                                       rng.next(), base));
+        phases.push_back(sequentialScan(cacheBytes * 4,
+                                        passesPerPhase, 64,
+                                        base + (1u << 26)));
+    }
+    return concatTraces(phases);
+}
+
+std::vector<Workload>
+specLikeSuite(const SuiteConfig& cfg)
+{
+    const uint64_t c = cfg.cacheBytes;
+    const size_t n = cfg.accessesPerWorkload;
+    std::vector<Workload> suite;
+
+    {
+        const unsigned passes = static_cast<unsigned>(
+            std::max<uint64_t>(1, n / (c / 2 / 64)));
+        suite.push_back({"stream-fit",
+                         "sequential scan at half the cache size",
+                         sequentialScan(c / 2, passes)});
+    }
+    {
+        const unsigned passes = static_cast<unsigned>(
+            std::max<uint64_t>(1, n / (c * 2 / 64)));
+        suite.push_back({"stream-thrash",
+                         "sequential scan at twice the cache size",
+                         sequentialScan(c * 2, passes)});
+    }
+    suite.push_back({"zipf-db",
+                     "Zipf(0.9) key-value accesses over 4x the cache",
+                     zipf(c * 4, n, 0.9, cfg.seed + 1)});
+    suite.push_back({"rand-fit",
+                     "uniform random within 3/4 of the cache",
+                     randomUniform(c * 3 / 4, n, cfg.seed + 2)});
+    suite.push_back({"rand-over",
+                     "uniform random over twice the cache",
+                     randomUniform(c * 2, n, cfg.seed + 3)});
+    suite.push_back({"ptr-chase",
+                     "dependent pointer chase over 1.5x the cache",
+                     pointerChase(c * 3 / 2 / 64, n, cfg.seed + 4)});
+    {
+        // Matrix sized so three matrices sum to ~2x the cache.
+        const unsigned dim = static_cast<unsigned>(
+            std::sqrt(static_cast<double>(c) * 2.0 / 3.0 / 8.0));
+        const unsigned block = std::max(4u, dim / 8);
+        suite.push_back({"blocked-mm",
+                         "blocked matrix multiply, 3 matrices ~ 2x "
+                         "cache",
+                         blockedMatmul(dim, block)});
+    }
+    suite.push_back({"stack-model",
+                     "geometric stack-distance reuse profile",
+                     stackDistanceModel(n, static_cast<double>(
+                         c / 64 / 3), cfg.seed + 5)});
+    suite.push_back({"phase-mix",
+                     "alternating reuse-friendly and thrashing phases",
+                     phaseMix(c, 4, 3, cfg.seed + 6)});
+
+    return suite;
+}
+
+} // namespace recap::trace

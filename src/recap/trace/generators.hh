@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Synthetic workload generators.
+ *
+ * These stand in for the SPEC traces of the paper's evaluation (see
+ * DESIGN.md, substitution table). Each generator controls a specific
+ * aspect of locality structure — streaming, blocked reuse, skewed
+ * popularity, dependent chains, thrashing, phase changes — so that
+ * the qualitative ordering of replacement policies is meaningful.
+ */
+
+#ifndef RECAP_TRACE_GENERATORS_HH_
+#define RECAP_TRACE_GENERATORS_HH_
+
+#include <cstdint>
+
+#include "recap/trace/trace.hh"
+
+namespace recap::trace
+{
+
+/** Sequential read of @p footprintBytes, repeated @p passes times. */
+Trace sequentialScan(uint64_t footprintBytes, unsigned passes,
+                     unsigned step = 64, cache::Addr base = 1 << 20);
+
+/** Strided read covering @p footprintBytes with stride @p stride. */
+Trace stridedScan(uint64_t footprintBytes, unsigned stride,
+                  unsigned passes, cache::Addr base = 1 << 20);
+
+/** Uniform random lines within @p footprintBytes. */
+Trace randomUniform(uint64_t footprintBytes, size_t count,
+                    uint64_t seed, cache::Addr base = 1 << 20);
+
+/**
+ * Zipf-popularity random lines: line i drawn with probability
+ * proportional to 1/(i+1)^alpha (database/key-value style skew).
+ */
+Trace zipf(uint64_t footprintBytes, size_t count, double alpha,
+           uint64_t seed, cache::Addr base = 1 << 20);
+
+/**
+ * Random-cycle pointer chase over @p nodes nodes of @p nodeBytes
+ * each: a dependent chain with no spatial locality.
+ */
+Trace pointerChase(size_t nodes, size_t count, uint64_t seed,
+                   unsigned nodeBytes = 64, cache::Addr base = 1 << 20);
+
+/**
+ * Loop-blocked matrix-multiply-like pattern: C[i][j] += A[i][k] *
+ * B[k][j] with square blocking factor @p blockDim over double
+ * matrices of dimension @p dim.
+ */
+Trace blockedMatmul(unsigned dim, unsigned blockDim,
+                    cache::Addr base = 1 << 20);
+
+/**
+ * Stack-distance-model trace: each access reuses the @p d-th most
+ * recently used line, where d is sampled from a geometric
+ * distribution with mean @p meanDistance (d past the current stack
+ * depth allocates a new line). Mimics the reuse profile of
+ * integer-code footprints.
+ */
+Trace stackDistanceModel(size_t count, double meanDistance,
+                         uint64_t seed, cache::Addr base = 1 << 20);
+
+/**
+ * A reuse/thrash phase mix: alternates a cache-friendly working-set
+ * phase with a streaming phase whose footprint exceeds the cache —
+ * the workload shape adaptive policies are built for.
+ */
+Trace phaseMix(uint64_t cacheBytes, unsigned phasePairs,
+               unsigned passesPerPhase, uint64_t seed,
+               cache::Addr base = 1 << 20);
+
+/** Parameters for the SPEC-like suite sizing. */
+struct SuiteConfig
+{
+    uint64_t cacheBytes = 32 * 1024; ///< cache the suite targets
+    size_t accessesPerWorkload = 200000;
+    uint64_t seed = 1;
+};
+
+/**
+ * The nine named workloads used by the evaluation benches.
+ * Footprints are expressed relative to the target cache size so the
+ * suite stays meaningful across sweep points.
+ */
+std::vector<Workload> specLikeSuite(const SuiteConfig& cfg);
+
+} // namespace recap::trace
+
+#endif // RECAP_TRACE_GENERATORS_HH_

@@ -1,0 +1,86 @@
+#include "recap/trace/io.hh"
+
+#include <charconv>
+#include <string_view>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "recap/common/error.hh"
+
+namespace recap::trace
+{
+
+namespace
+{
+
+constexpr char kHeader[] = "# recap-trace v1";
+
+cache::Addr
+parseAddressLine(const std::string& line, size_t line_number)
+{
+    std::string_view text(line);
+    if (text.starts_with("0x") || text.starts_with("0X"))
+        text.remove_prefix(2);
+    cache::Addr addr = 0;
+    const auto [ptr, ec] = std::from_chars(
+        text.data(), text.data() + text.size(), addr, 16);
+    require(ec == std::errc() && ptr == text.data() + text.size() &&
+                !text.empty(),
+            "readTrace: malformed address at line " +
+                std::to_string(line_number));
+    return addr;
+}
+
+} // namespace
+
+void
+writeTrace(std::ostream& os, const Trace& t, const std::string& comment)
+{
+    os << kHeader << '\n';
+    if (!comment.empty())
+        os << "# " << comment << '\n';
+    os << std::hex;
+    for (cache::Addr a : t)
+        os << "0x" << a << '\n';
+    os << std::dec;
+}
+
+Trace
+readTrace(std::istream& is)
+{
+    std::string line;
+    require(static_cast<bool>(std::getline(is, line)) &&
+                line == kHeader,
+            "readTrace: missing 'recap-trace v1' header");
+    Trace t;
+    size_t line_number = 1;
+    while (std::getline(is, line)) {
+        ++line_number;
+        if (line.empty() || line[0] == '#')
+            continue;
+        t.push_back(parseAddressLine(line, line_number));
+    }
+    return t;
+}
+
+void
+saveTraceFile(const std::string& path, const Trace& t,
+              const std::string& comment)
+{
+    std::ofstream os(path);
+    require(os.good(), "saveTraceFile: cannot open '" + path + "'");
+    writeTrace(os, t, comment);
+    require(os.good(), "saveTraceFile: write failed for '" + path +
+                           "'");
+}
+
+Trace
+loadTraceFile(const std::string& path)
+{
+    std::ifstream is(path);
+    require(is.good(), "loadTraceFile: cannot open '" + path + "'");
+    return readTrace(is);
+}
+
+} // namespace recap::trace

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Trace serialization: a simple line-oriented text format so that
+ * workloads can be exported, inspected, diffed, and re-imported
+ * (e.g. to feed externally captured address traces into the
+ * evaluation harness).
+ *
+ * Format:
+ *   # recap-trace v1        (header, required)
+ *   # <free-form comment>   (optional, any number)
+ *   <hex address>           (one per access, 0x prefix optional)
+ */
+
+#ifndef RECAP_TRACE_IO_HH_
+#define RECAP_TRACE_IO_HH_
+
+#include <iosfwd>
+#include <string>
+
+#include "recap/trace/trace.hh"
+
+namespace recap::trace
+{
+
+/** Writes @p t to @p os, with an optional comment line. */
+void writeTrace(std::ostream& os, const Trace& t,
+                const std::string& comment = "");
+
+/**
+ * Parses a trace from @p is.
+ * @throws UsageError on a missing header or malformed line.
+ */
+Trace readTrace(std::istream& is);
+
+/** Writes @p t to @p path; throws UsageError if unwritable. */
+void saveTraceFile(const std::string& path, const Trace& t,
+                   const std::string& comment = "");
+
+/** Reads a trace from @p path; throws UsageError on failure. */
+Trace loadTraceFile(const std::string& path);
+
+} // namespace recap::trace
+
+#endif // RECAP_TRACE_IO_HH_

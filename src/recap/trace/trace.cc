@@ -1,0 +1,71 @@
+#include "recap/trace/trace.hh"
+
+#include <unordered_set>
+
+#include "recap/common/bitops.hh"
+#include "recap/common/rng.hh"
+
+namespace recap::trace
+{
+
+size_t
+distinctBlocks(const Trace& t, unsigned lineSize)
+{
+    std::unordered_set<uint64_t> blocks;
+    for (cache::Addr a : t)
+        blocks.insert(a / lineSize);
+    return blocks.size();
+}
+
+RefTrace
+withWrites(const Trace& t, double writeFraction, uint64_t seed)
+{
+    Rng rng(seed);
+    RefTrace refs;
+    refs.reserve(t.size());
+    for (cache::Addr a : t)
+        refs.push_back({a, rng.nextBool(writeFraction)});
+    return refs;
+}
+
+Trace
+concatTraces(const std::vector<Trace>& phases)
+{
+    Trace out;
+    size_t total = 0;
+    for (const auto& p : phases)
+        total += p.size();
+    out.reserve(total);
+    for (const auto& p : phases)
+        out.insert(out.end(), p.begin(), p.end());
+    return out;
+}
+
+Trace
+interleaveTraces(const std::vector<Trace>& streams, size_t chunk)
+{
+    if (chunk == 0)
+        chunk = 1;
+    Trace out;
+    size_t total = 0;
+    for (const auto& s : streams)
+        total += s.size();
+    out.reserve(total);
+
+    std::vector<size_t> cursor(streams.size(), 0);
+    bool any = true;
+    while (any) {
+        any = false;
+        for (size_t i = 0; i < streams.size(); ++i) {
+            const size_t end = std::min(cursor[i] + chunk,
+                                        streams[i].size());
+            for (; cursor[i] < end; ++cursor[i]) {
+                out.push_back(streams[i][cursor[i]]);
+                any = true;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace recap::trace

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Address-trace representation used by the evaluation harness.
+ */
+
+#ifndef RECAP_TRACE_TRACE_HH_
+#define RECAP_TRACE_TRACE_HH_
+
+#include <string>
+#include <vector>
+
+#include "recap/cache/geometry.hh"
+
+namespace recap::trace
+{
+
+/** A load-address trace. */
+using Trace = std::vector<cache::Addr>;
+
+/** A memory reference with a read/write direction. */
+struct MemRef
+{
+    cache::Addr addr = 0;
+    bool write = false;
+
+    bool operator==(const MemRef& other) const = default;
+};
+
+/** A reference trace (loads and stores). */
+using RefTrace = std::vector<MemRef>;
+
+/**
+ * Marks a deterministic pseudo-random fraction of @p t as stores.
+ *
+ * @param writeFraction Probability that a reference is a store,
+ *                      clamped to [0, 1].
+ */
+RefTrace withWrites(const Trace& t, double writeFraction,
+                    uint64_t seed = 1);
+
+/** A named workload: a trace plus presentation metadata. */
+struct Workload
+{
+    std::string name;
+    std::string description;
+    Trace trace;
+};
+
+/** Distinct line-granular blocks touched by @p t. */
+size_t distinctBlocks(const Trace& t, unsigned lineSize);
+
+/** Concatenates traces (phase composition). */
+Trace concatTraces(const std::vector<Trace>& phases);
+
+/**
+ * Round-robin interleaving of traces in chunks of @p chunk accesses
+ * (a simple model of multiprogrammed co-running workloads sharing a
+ * cache). Shorter traces drop out as they are exhausted.
+ */
+Trace interleaveTraces(const std::vector<Trace>& streams,
+                       size_t chunk = 1);
+
+} // namespace recap::trace
+
+#endif // RECAP_TRACE_TRACE_HH_

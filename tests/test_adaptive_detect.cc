@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests for set-dueling adaptivity detection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "recap/hw/catalog.hh"
+#include "recap/infer/adaptive_detect.hh"
+
+namespace
+{
+
+using namespace recap;
+using infer::AdaptiveDetectConfig;
+using infer::AdaptiveReport;
+using infer::DiscoveredGeometry;
+using infer::MeasurementContext;
+
+DiscoveredGeometry
+geometryOf(const hw::MachineSpec& spec)
+{
+    DiscoveredGeometry geom;
+    geom.lineSize = 64;
+    for (const auto& lvl : spec.levels) {
+        const auto g = lvl.geometry();
+        geom.levels.push_back({64, g.numSets, g.ways});
+    }
+    return geom;
+}
+
+AdaptiveReport
+detect_on(const std::string& machineName, unsigned level,
+          unsigned windowSets = 64)
+{
+    auto spec = hw::reducedSpec(hw::catalogMachine(machineName), 1024);
+    hw::Machine machine(spec);
+    MeasurementContext ctx(machine);
+    AdaptiveDetectConfig cfg;
+    cfg.windowSets = windowSets;
+    return detectAdaptive(ctx, geometryOf(spec), level, cfg);
+}
+
+TEST(AdaptiveDetect, FindsIvyBridgeSetDueling)
+{
+    const auto report = detect_on("ivybridge-i5", 2);
+    ASSERT_TRUE(report.adaptive);
+    EXPECT_FALSE(report.heterogeneousOnly);
+    // The 64-set window of a 1024-set cache with 32 leaders per
+    // policy contains two of each.
+    EXPECT_EQ(report.leadersSelected.size(), 2u);
+    EXPECT_EQ(report.leadersUnselected.size(), 2u);
+    EXPECT_GT(report.loadsUsed, 0u);
+}
+
+TEST(AdaptiveDetect, IdentifiesBothConstituents)
+{
+    const auto report = detect_on("ivybridge-i5", 2);
+    ASSERT_TRUE(report.adaptive);
+    // The pre-bias drives the duel to the thrash-resistant variant
+    // (M3 insertion), so it reads as the selected policy.
+    EXPECT_EQ(report.policySelected.verdict, "qlru:H1,M3,R0,U2");
+    EXPECT_EQ(report.policyUnselected.verdict, "qlru:H1,M1,R0,U2");
+    EXPECT_TRUE(report.policySelected.decided);
+    EXPECT_TRUE(report.policyUnselected.decided);
+}
+
+TEST(AdaptiveDetect, LeaderPlacementMatchesGroundTruth)
+{
+    auto spec = hw::reducedSpec(hw::catalogMachine("ivybridge-i5"),
+                                1024);
+    hw::Machine machine(spec);
+    MeasurementContext ctx(machine);
+    AdaptiveDetectConfig cfg;
+    cfg.windowSets = 64;
+    const auto report = detectAdaptive(ctx, geometryOf(spec), 2, cfg);
+    ASSERT_TRUE(report.adaptive);
+
+    const auto& l3 = machine.levelCache(2);
+    for (unsigned s : report.leadersSelected)
+        EXPECT_NE(l3.setRole(s), cache::Cache::SetRole::kFollower)
+            << "set " << s;
+    for (unsigned s : report.leadersUnselected)
+        EXPECT_NE(l3.setRole(s), cache::Cache::SetRole::kFollower)
+            << "set " << s;
+    // The two leader groups must be of opposite kinds.
+    ASSERT_FALSE(report.leadersSelected.empty());
+    ASSERT_FALSE(report.leadersUnselected.empty());
+    EXPECT_NE(l3.setRole(report.leadersSelected.front()),
+              l3.setRole(report.leadersUnselected.front()));
+}
+
+TEST(AdaptiveDetect, StaticLevelsReadUniform)
+{
+    for (unsigned level : {0u, 1u}) {
+        const auto report = detect_on("ivybridge-i5", level, 32);
+        EXPECT_FALSE(report.adaptive) << "level " << level;
+        EXPECT_FALSE(report.heterogeneousOnly) << "level " << level;
+    }
+}
+
+TEST(AdaptiveDetect, StaticL3ReadsUniform)
+{
+    const auto report = detect_on("sandybridge-i5", 2);
+    EXPECT_FALSE(report.adaptive);
+    EXPECT_FALSE(report.heterogeneousOnly);
+    EXPECT_TRUE(report.leadersSelected.empty());
+}
+
+TEST(AdaptiveDetect, WindowClampedToCacheSets)
+{
+    // Requesting a window larger than the cache must not break.
+    auto spec = hw::reducedSpec(hw::catalogMachine("atom-d525"), 128);
+    hw::Machine machine(spec);
+    MeasurementContext ctx(machine);
+    AdaptiveDetectConfig cfg;
+    cfg.windowSets = 4096;
+    const auto report = detectAdaptive(ctx, geometryOf(spec), 0, cfg);
+    EXPECT_FALSE(report.adaptive);
+}
+
+} // namespace

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Tests for the bit-manipulation helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "recap/common/bitops.hh"
+
+namespace
+{
+
+using namespace recap;
+
+TEST(BitOps, IsPowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_TRUE(isPowerOfTwo(64));
+    EXPECT_FALSE(isPowerOfTwo(65));
+    EXPECT_TRUE(isPowerOfTwo(uint64_t{1} << 63));
+    EXPECT_FALSE(isPowerOfTwo((uint64_t{1} << 63) + 1));
+}
+
+TEST(BitOps, Log2Floor)
+{
+    EXPECT_EQ(log2Floor(1), 0u);
+    EXPECT_EQ(log2Floor(2), 1u);
+    EXPECT_EQ(log2Floor(3), 1u);
+    EXPECT_EQ(log2Floor(4), 2u);
+    EXPECT_EQ(log2Floor(64), 6u);
+    EXPECT_EQ(log2Floor(65), 6u);
+    EXPECT_EQ(log2Floor(uint64_t{1} << 40), 40u);
+}
+
+TEST(BitOps, Log2Ceil)
+{
+    EXPECT_EQ(log2Ceil(1), 0u);
+    EXPECT_EQ(log2Ceil(2), 1u);
+    EXPECT_EQ(log2Ceil(3), 2u);
+    EXPECT_EQ(log2Ceil(4), 2u);
+    EXPECT_EQ(log2Ceil(5), 3u);
+    EXPECT_EQ(log2Ceil(1024), 10u);
+    EXPECT_EQ(log2Ceil(1025), 11u);
+}
+
+TEST(BitOps, LogsAgreeOnPowersOfTwo)
+{
+    for (unsigned shift = 0; shift < 63; ++shift) {
+        const uint64_t x = uint64_t{1} << shift;
+        EXPECT_EQ(log2Floor(x), shift);
+        EXPECT_EQ(log2Ceil(x), shift);
+    }
+}
+
+TEST(BitOps, AlignDownUp)
+{
+    EXPECT_EQ(alignDown(0, 64), 0u);
+    EXPECT_EQ(alignDown(63, 64), 0u);
+    EXPECT_EQ(alignDown(64, 64), 64u);
+    EXPECT_EQ(alignDown(100, 64), 64u);
+    EXPECT_EQ(alignUp(0, 64), 0u);
+    EXPECT_EQ(alignUp(1, 64), 64u);
+    EXPECT_EQ(alignUp(64, 64), 64u);
+    EXPECT_EQ(alignUp(65, 64), 128u);
+}
+
+TEST(BitOps, BitField)
+{
+    EXPECT_EQ(bitField(0xdeadbeef, 0, 8), 0xefu);
+    EXPECT_EQ(bitField(0xdeadbeef, 8, 8), 0xbeu);
+    EXPECT_EQ(bitField(0xdeadbeef, 16, 16), 0xdeadu);
+    EXPECT_EQ(bitField(~uint64_t{0}, 0, 64), ~uint64_t{0});
+}
+
+TEST(BitOps, PopCount)
+{
+    EXPECT_EQ(popCount(0), 0u);
+    EXPECT_EQ(popCount(1), 1u);
+    EXPECT_EQ(popCount(0xff), 8u);
+    EXPECT_EQ(popCount(~uint64_t{0}), 64u);
+    EXPECT_EQ(popCount(0xa5a5), 8u);
+}
+
+} // namespace

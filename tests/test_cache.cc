@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Tests for the single-level cache model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "recap/cache/cache.hh"
+#include "recap/common/error.hh"
+
+namespace
+{
+
+using namespace recap::cache;
+using recap::UsageError;
+
+Geometry
+smallGeom()
+{
+    return Geometry{64, 4, 2}; // 4 sets, 2 ways, 512 B
+}
+
+TEST(Cache, ColdMissesThenHits)
+{
+    Cache c(smallGeom(), "lru", "L1");
+    EXPECT_FALSE(c.access(0));
+    EXPECT_TRUE(c.access(0));
+    EXPECT_TRUE(c.access(63));   // same line
+    EXPECT_FALSE(c.access(64));  // next line, different set
+    EXPECT_EQ(c.stats().accesses, 4u);
+    EXPECT_EQ(c.stats().hits, 2u);
+    EXPECT_EQ(c.stats().misses, 2u);
+    EXPECT_EQ(c.stats().evictions, 0u);
+}
+
+TEST(Cache, ConflictEvictionWithinSet)
+{
+    Cache c(smallGeom(), "lru", "L1");
+    const Addr stride = 64 * 4; // same-set stride
+    c.access(0);
+    c.access(stride);
+    EXPECT_TRUE(c.probe(0));
+    c.access(2 * stride); // evicts line 0 under LRU
+    EXPECT_FALSE(c.probe(0));
+    EXPECT_TRUE(c.probe(stride));
+    EXPECT_TRUE(c.probe(2 * stride));
+    EXPECT_EQ(c.stats().evictions, 1u);
+}
+
+TEST(Cache, AccessDetailedReportsEviction)
+{
+    Cache c(smallGeom(), "lru", "L1");
+    const Addr stride = 64 * 4;
+    c.access(64);          // set 1
+    c.access(64 + stride); // set 1
+    const auto r = c.accessDetailed(64 + 2 * stride);
+    EXPECT_FALSE(r.hit);
+    EXPECT_EQ(r.setIndex, 1u);
+    ASSERT_TRUE(r.evictedBlock.has_value());
+    EXPECT_EQ(*r.evictedBlock, 64u);
+}
+
+TEST(Cache, ProbeHasNoSideEffects)
+{
+    Cache c(smallGeom(), "lru", "L1");
+    c.access(0);
+    const auto stats = c.stats();
+    EXPECT_TRUE(c.probe(0));
+    EXPECT_FALSE(c.probe(4096));
+    EXPECT_EQ(c.stats().accesses, stats.accesses);
+}
+
+TEST(Cache, FlushInvalidatesEverything)
+{
+    Cache c(smallGeom(), "lru", "L1");
+    for (Addr a = 0; a < 512; a += 64)
+        c.access(a);
+    c.flush();
+    for (Addr a = 0; a < 512; a += 64)
+        EXPECT_FALSE(c.probe(a));
+}
+
+TEST(Cache, InvalidateSingleLine)
+{
+    Cache c(smallGeom(), "lru", "L1");
+    c.access(0);
+    c.access(64);
+    c.invalidate(0);
+    EXPECT_FALSE(c.probe(0));
+    EXPECT_TRUE(c.probe(64));
+    // Invalidating a non-resident line is a no-op.
+    EXPECT_NO_THROW(c.invalidate(1 << 20));
+}
+
+TEST(Cache, MissRatio)
+{
+    Cache c(smallGeom(), "lru", "L1");
+    c.access(0);
+    c.access(0);
+    c.access(0);
+    c.access(0);
+    EXPECT_DOUBLE_EQ(c.stats().missRatio(), 0.25);
+    c.resetStats();
+    EXPECT_EQ(c.stats().accesses, 0u);
+    EXPECT_DOUBLE_EQ(c.stats().missRatio(), 0.0);
+}
+
+TEST(Cache, PolicySpecQueries)
+{
+    Cache c(smallGeom(), "plru", "L1");
+    EXPECT_EQ(c.policySpec(), "plru");
+    EXPECT_FALSE(c.isAdaptive());
+    EXPECT_THROW(c.psel(), UsageError);
+    EXPECT_EQ(c.setRole(0), Cache::SetRole::kFollower);
+}
+
+TEST(Cache, DistinctSetsAreIndependent)
+{
+    Cache c(smallGeom(), "lru", "L1");
+    // Fill set 0 completely; set 1 lines must be unaffected.
+    const Addr stride = 64 * 4;
+    c.access(64); // set 1
+    for (unsigned i = 0; i < 8; ++i)
+        c.access(i * stride); // set 0 conflicts
+    EXPECT_TRUE(c.probe(64));
+}
+
+TEST(Cache, LruVsFifoBehaviouralDifference)
+{
+    // Classic distinguishing sequence: refresh the oldest line, then
+    // force an eviction. LRU keeps it, FIFO evicts it.
+    Cache lru(smallGeom(), "lru", "lru");
+    Cache fifo(smallGeom(), "fifo", "fifo");
+    const Addr stride = 64 * 4;
+    for (auto* c : {&lru, &fifo}) {
+        c->access(0);
+        c->access(stride);
+        c->access(0);              // refresh
+        c->access(2 * stride);     // eviction decision differs
+    }
+    EXPECT_TRUE(lru.probe(0));
+    EXPECT_FALSE(lru.probe(stride));
+    EXPECT_FALSE(fifo.probe(0));
+    EXPECT_TRUE(fifo.probe(stride));
+}
+
+TEST(Cache, MoveConstructible)
+{
+    Cache a(smallGeom(), "lru", "L1");
+    a.access(0);
+    Cache b(std::move(a));
+    EXPECT_TRUE(b.probe(0));
+    EXPECT_EQ(b.name(), "L1");
+}
+
+} // namespace

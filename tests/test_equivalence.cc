@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Tests for the bounded behavioural-equivalence checker.
+ */
+
+#include <gtest/gtest.h>
+
+#include "recap/common/error.hh"
+#include "recap/infer/equivalence.hh"
+#include "recap/policy/factory.hh"
+#include "recap/policy/permutation.hh"
+#include "recap/policy/qlru.hh"
+#include "recap/policy/set_model.hh"
+
+namespace
+{
+
+using namespace recap;
+using infer::checkEquivalence;
+using infer::EquivalenceConfig;
+
+TEST(Equivalence, PolicyEqualsItself)
+{
+    for (const std::string spec : {"lru", "fifo", "plru", "nru"}) {
+        auto a = policy::makePolicy(spec, 4);
+        auto b = policy::makePolicy(spec, 4);
+        const auto result = checkEquivalence(*a, *b);
+        EXPECT_TRUE(result.equivalent) << spec;
+        EXPECT_TRUE(result.exhausted) << spec;
+        EXPECT_GT(result.statesExplored, 0u) << spec;
+    }
+}
+
+TEST(Equivalence, LruVsFifoDistinguished)
+{
+    auto lru = policy::makePolicy("lru", 4);
+    auto fifo = policy::makePolicy("fifo", 4);
+    const auto result = checkEquivalence(*lru, *fifo);
+    ASSERT_FALSE(result.equivalent);
+    ASSERT_FALSE(result.counterexample.empty());
+
+    // The counterexample must actually distinguish them.
+    policy::SetModel a(lru->clone());
+    policy::SetModel b(fifo->clone());
+    bool diverged = false;
+    for (policy::BlockId blk : result.counterexample)
+        if (a.access(blk) != b.access(blk))
+            diverged = true;
+    EXPECT_TRUE(diverged);
+}
+
+TEST(Equivalence, CounterexampleIsShortest)
+{
+    // LRU and FIFO at k=2: need to fill (2 misses), refresh, evict,
+    // and re-probe: a divergence needs at least 4 accesses; BFS must
+    // find one of minimal length.
+    auto lru = policy::makePolicy("lru", 2);
+    auto fifo = policy::makePolicy("fifo", 2);
+    const auto result = checkEquivalence(*lru, *fifo);
+    ASSERT_FALSE(result.equivalent);
+    EXPECT_GE(result.counterexample.size(), 4u);
+    EXPECT_LE(result.counterexample.size(), 6u);
+}
+
+TEST(Equivalence, PlruEqualsLruAtTwoWays)
+{
+    auto plru = policy::makePolicy("plru", 2);
+    auto lru = policy::makePolicy("lru", 2);
+    const auto result = checkEquivalence(*plru, *lru);
+    EXPECT_TRUE(result.equivalent);
+    EXPECT_TRUE(result.exhausted);
+}
+
+TEST(Equivalence, PlruDiffersFromLruAtFourWays)
+{
+    auto plru = policy::makePolicy("plru", 4);
+    auto lru = policy::makePolicy("lru", 4);
+    const auto result = checkEquivalence(*plru, *lru);
+    EXPECT_FALSE(result.equivalent);
+}
+
+TEST(Equivalence, PermutationFormsMatchConcrete)
+{
+    for (const auto& [perm, concrete] :
+         std::vector<std::pair<std::string, std::string>>{
+             {"perm-lru", "lru"},
+             {"perm-fifo", "fifo"},
+             {"perm-plru", "plru"}}) {
+        auto a = policy::makePolicy(perm, 4);
+        auto b = policy::makePolicy(concrete, 4);
+        const auto result = checkEquivalence(*a, *b);
+        EXPECT_TRUE(result.equivalent) << perm;
+        EXPECT_TRUE(result.exhausted) << perm;
+    }
+}
+
+TEST(Equivalence, NruEqualsDegenerateQlru)
+{
+    auto nru = policy::makePolicy("nru", 8);
+    auto qlru = policy::makePolicy("qlru:H0,M0,R0,U2", 8);
+    const auto result = checkEquivalence(*nru, *qlru);
+    EXPECT_TRUE(result.equivalent);
+    EXPECT_TRUE(result.exhausted);
+}
+
+TEST(Equivalence, BudgetExhaustionReported)
+{
+    auto a = policy::makePolicy("qlru:H1,M1,R0,U2", 8);
+    auto b = policy::makePolicy("qlru:H1,M1,R0,U2", 8);
+    EquivalenceConfig cfg;
+    cfg.maxStates = 10;
+    const auto result = checkEquivalence(*a, *b, cfg);
+    EXPECT_TRUE(result.equivalent); // no divergence found...
+    EXPECT_FALSE(result.exhausted); // ...but the space wasn't covered
+}
+
+TEST(Equivalence, MismatchedWaysRejected)
+{
+    auto a = policy::makePolicy("lru", 4);
+    auto b = policy::makePolicy("lru", 8);
+    EXPECT_THROW(checkEquivalence(*a, *b), UsageError);
+}
+
+TEST(Equivalence, QlruNeighbouringVariantsDiffer)
+{
+    auto m1 = policy::makePolicy("qlru:H1,M1,R0,U2", 4);
+    auto m3 = policy::makePolicy("qlru:H1,M3,R0,U2", 4);
+    const auto result = checkEquivalence(*m1, *m3);
+    EXPECT_FALSE(result.equivalent);
+}
+
+/**
+ * Derived structural result, pinned: the 48-variant QLRU grid
+ * collapses to exactly 40 behavioural classes at k=4 (all pairwise
+ * checks exhaustive). The collapses all involve the lazy update rule
+ * U0, whose victim choice ignores insertion-age differences in some
+ * configurations.
+ */
+TEST(Equivalence, QlruGridHasFortyClassesAtFourWays)
+{
+    std::vector<std::string> specs;
+    for (const auto& p : policy::QlruParams::allVariants())
+        specs.push_back("qlru:" + p.shortName());
+
+    std::vector<int> cls(specs.size(), -1);
+    int classes = 0;
+    for (size_t i = 0; i < specs.size(); ++i) {
+        if (cls[i] >= 0)
+            continue;
+        cls[i] = classes++;
+        for (size_t j = i + 1; j < specs.size(); ++j) {
+            if (cls[j] >= 0)
+                continue;
+            EquivalenceConfig cfg;
+            cfg.maxStates = 500000;
+            const auto r = checkEquivalence(
+                *policy::makePolicy(specs[i], 4),
+                *policy::makePolicy(specs[j], 4), cfg);
+            ASSERT_TRUE(r.exhausted)
+                << specs[i] << " vs " << specs[j];
+            if (r.equivalent)
+                cls[j] = cls[i];
+        }
+    }
+    EXPECT_EQ(classes, 40);
+    // Every merge involves the lazy update rule U0.
+    for (size_t i = 0; i < specs.size(); ++i) {
+        for (size_t j = i + 1; j < specs.size(); ++j) {
+            if (cls[i] != cls[j])
+                continue;
+            EXPECT_NE(specs[i].find("U0"), std::string::npos)
+                << specs[i] << " ~ " << specs[j];
+            EXPECT_NE(specs[j].find("U0"), std::string::npos)
+                << specs[i] << " ~ " << specs[j];
+        }
+    }
+}
+
+} // namespace

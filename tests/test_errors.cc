@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Error-path coverage across modules: every documented precondition
+ * must fail loudly with UsageError (caller contract) rather than
+ * silently misbehave.
+ */
+
+#include <gtest/gtest.h>
+
+#include "recap/cache/cache.hh"
+#include "recap/cache/hierarchy.hh"
+#include "recap/common/error.hh"
+#include "recap/eval/predictability.hh"
+#include "recap/eval/reuse.hh"
+#include "recap/hw/catalog.hh"
+#include "recap/hw/machine.hh"
+#include "recap/policy/factory.hh"
+#include "recap/policy/permutation.hh"
+#include "recap/trace/generators.hh"
+
+namespace
+{
+
+using namespace recap;
+
+TEST(Errors, ErrorTypesAreDistinct)
+{
+    // UsageError is for caller mistakes, LogicBug for recap bugs;
+    // both chain to the expected standard bases.
+    EXPECT_THROW(require(false, "x"), UsageError);
+    EXPECT_THROW(ensure(false, "x"), LogicBug);
+    EXPECT_THROW(require(false, "x"), std::invalid_argument);
+    EXPECT_THROW(ensure(false, "x"), std::logic_error);
+    EXPECT_NO_THROW(require(true, "x"));
+    EXPECT_NO_THROW(ensure(true, "x"));
+}
+
+TEST(Errors, ErrorMessagesSurvive)
+{
+    try {
+        require(false, "the exact message");
+        FAIL();
+    } catch (const UsageError& e) {
+        EXPECT_STREQ(e.what(), "the exact message");
+    }
+}
+
+TEST(Errors, PolicyFactoryRejectsMalformedParameterLists)
+{
+    EXPECT_THROW(policy::makePolicy("srrip:0", 4), UsageError);
+    EXPECT_THROW(policy::makePolicy("srrip:abc", 4), UsageError);
+    EXPECT_THROW(policy::makePolicy("brrip:2,0", 4), UsageError);
+    EXPECT_THROW(policy::makePolicy("brrip:2,x", 4), UsageError);
+    EXPECT_THROW(policy::makePolicy("bip:", 4), UsageError);
+    EXPECT_THROW(policy::makePolicy("qlru:", 4), UsageError);
+    EXPECT_THROW(policy::makePolicy("qlru", 4), UsageError);
+    EXPECT_THROW(policy::makePolicy("", 4), UsageError);
+    EXPECT_THROW(policy::makePolicy("plru", 6), UsageError);
+    EXPECT_THROW(policy::makePolicy("lru", 0), UsageError);
+}
+
+TEST(Errors, PermutationEngineValidatesShapes)
+{
+    using policy::Permutation;
+    using policy::PermutationPolicy;
+    std::vector<Permutation> hits(4, policy::identityPermutation(4));
+    const Permutation miss = policy::identityPermutation(4);
+    // Wrong-length initial order.
+    EXPECT_THROW(PermutationPolicy(4, hits, miss, "",
+                                   PermutationPolicy::FillRule::kTouch,
+                                   {0, 1}),
+                 UsageError);
+    // Duplicate ways in the initial order.
+    EXPECT_THROW(PermutationPolicy(4, hits, miss, "",
+                                   PermutationPolicy::FillRule::kTouch,
+                                   {0, 1, 1, 3}),
+                 UsageError);
+    // orderAt range checking.
+    PermutationPolicy ok(4, hits, miss);
+    EXPECT_THROW(ok.orderAt(4), UsageError);
+}
+
+TEST(Errors, CacheRejectsInvalidGeometryAndSpecs)
+{
+    EXPECT_THROW(cache::Cache(cache::Geometry{60, 4, 2}, "lru", "x"),
+                 UsageError);
+    EXPECT_THROW(cache::Cache(cache::Geometry{64, 4, 2}, "wat", "x"),
+                 UsageError);
+    EXPECT_THROW(cache::Cache(cache::Geometry{64, 4, 6}, "plru", "x"),
+                 UsageError);
+}
+
+TEST(Errors, HierarchyRangeChecks)
+{
+    cache::Hierarchy h(100);
+    EXPECT_THROW(h.level(0), UsageError);
+    h.addLevel(cache::Cache(cache::Geometry{64, 2, 2}, "lru", "L1"),
+               4);
+    EXPECT_THROW(h.level(1), UsageError);
+    EXPECT_THROW(h.latencyOf(2), UsageError);
+    EXPECT_THROW(cache::Hierarchy(0), UsageError);
+    EXPECT_THROW(h.addLevel(
+                     cache::Cache(cache::Geometry{64, 2, 2}, "lru",
+                                  "L0"),
+                     0),
+                 UsageError);
+}
+
+TEST(Errors, MachineSpecValidation)
+{
+    hw::MachineSpec spec = hw::catalogMachine("core2-e6300");
+
+    auto broken = spec;
+    broken.name.clear();
+    EXPECT_THROW(broken.validate(), UsageError);
+
+    broken = spec;
+    broken.levels.clear();
+    EXPECT_THROW(broken.validate(), UsageError);
+
+    broken = spec;
+    broken.levels[1].hitLatency = broken.levels[0].hitLatency;
+    EXPECT_THROW(broken.validate(), UsageError);
+
+    broken = spec;
+    broken.levels[0].policySpec.clear();
+    EXPECT_THROW(broken.validate(), UsageError);
+
+    broken = spec;
+    broken.memoryLatency = broken.levels.back().hitLatency;
+    EXPECT_THROW(broken.validate(), UsageError);
+
+    broken = spec;
+    broken.levels[0].capacityBytes += 1;
+    EXPECT_THROW(hw::Machine{broken}, UsageError);
+}
+
+TEST(Errors, GeneratorPreconditions)
+{
+    EXPECT_THROW(trace::sequentialScan(1024, 1, 0), UsageError);
+    EXPECT_THROW(trace::stridedScan(1024, 0, 1), UsageError);
+    EXPECT_THROW(trace::zipf(1024, 10, 0.0, 1), UsageError);
+    EXPECT_THROW(trace::pointerChase(1, 10, 1), UsageError);
+    EXPECT_THROW(trace::stackDistanceModel(10, 0.0, 1), UsageError);
+}
+
+TEST(Errors, ReuseProfilePreconditions)
+{
+    EXPECT_THROW(eval::reuseProfile({}, 0), UsageError);
+    const auto profile = eval::reuseProfile({0, 64});
+    EXPECT_THROW(profile.capacityForMissRatio(-0.1), UsageError);
+    EXPECT_THROW(profile.capacityForMissRatio(1.1), UsageError);
+}
+
+TEST(Errors, PredictabilityRenderRequiresOutcome)
+{
+    eval::MetricResult empty;
+    EXPECT_THROW(empty.render(), LogicBug);
+}
+
+} // namespace

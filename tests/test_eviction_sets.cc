@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Tests for geometry-free eviction-set discovery.
+ */
+
+#include <gtest/gtest.h>
+
+#include "recap/common/error.hh"
+#include "recap/hw/catalog.hh"
+#include "recap/infer/eviction_sets.hh"
+
+namespace
+{
+
+using namespace recap;
+using infer::EvictionSetConfig;
+using infer::EvictionSetFinder;
+using infer::MeasurementContext;
+
+hw::MachineSpec
+singleLevelSpec(const std::string& policy, unsigned ways,
+                unsigned sets = 64)
+{
+    hw::MachineSpec spec;
+    spec.name = "rig";
+    spec.description = "single-level rig";
+    hw::CacheLevelSpec lvl;
+    lvl.name = "L1";
+    lvl.capacityBytes = uint64_t{64} * sets * ways;
+    lvl.ways = ways;
+    lvl.hitLatency = 4;
+    lvl.policySpec = policy;
+    spec.levels = {lvl};
+    spec.memoryLatency = 100;
+    return spec;
+}
+
+EvictionSetConfig
+configFor(unsigned ways)
+{
+    EvictionSetConfig cfg;
+    cfg.level = 0;
+    cfg.ways = ways;
+    return cfg;
+}
+
+TEST(EvictionSets, EvictsDetectsConflictPressure)
+{
+    const auto spec = singleLevelSpec("lru", 4);
+    hw::Machine machine(spec);
+    MeasurementContext ctx(machine);
+    EvictionSetFinder finder(ctx, configFor(4));
+
+    const cache::Addr target = uint64_t{1} << 30;
+    const uint64_t set_stride = 64 * 64;
+
+    // Same-set conflicts: 4 lines evict a 4-way set.
+    std::vector<cache::Addr> same_set;
+    for (unsigned i = 1; i <= 4; ++i)
+        same_set.push_back(target + i * set_stride);
+    EXPECT_TRUE(finder.evicts(target, same_set));
+
+    // Too few conflicts do not.
+    same_set.pop_back();
+    EXPECT_FALSE(finder.evicts(target, same_set));
+
+    // Different-set lines never do.
+    std::vector<cache::Addr> other_set;
+    for (unsigned i = 1; i <= 16; ++i)
+        other_set.push_back(target + 64 + i * set_stride);
+    EXPECT_FALSE(finder.evicts(target, other_set));
+}
+
+TEST(EvictionSets, ReducesToMinimalSet)
+{
+    const auto spec = singleLevelSpec("lru", 8);
+    hw::Machine machine(spec);
+    MeasurementContext ctx(machine);
+    EvictionSetFinder finder(ctx, configFor(8));
+
+    const cache::Addr target = uint64_t{1} << 30;
+    const uint64_t set_stride = 64 * 64;
+    const auto geom = spec.levels[0].geometry();
+
+    // A pool mixing 12 same-set lines with 60 decoys.
+    std::vector<cache::Addr> pool;
+    for (unsigned i = 1; i <= 12; ++i)
+        pool.push_back(target + i * set_stride);
+    for (unsigned i = 1; i <= 60; ++i)
+        pool.push_back(target + 64 * i + i * set_stride);
+
+    const auto result = finder.reduce(target, pool);
+    ASSERT_TRUE(result.evictionSet.has_value());
+    EXPECT_EQ(result.evictionSet->size(), 8u);
+    for (cache::Addr line : *result.evictionSet)
+        EXPECT_EQ(geom.setIndex(line), geom.setIndex(target));
+    EXPECT_GT(result.tests, 0u);
+    EXPECT_GT(result.loadsUsed, 0u);
+}
+
+TEST(EvictionSets, FailsGracefullyWithoutConflicts)
+{
+    const auto spec = singleLevelSpec("lru", 8);
+    hw::Machine machine(spec);
+    MeasurementContext ctx(machine);
+    EvictionSetFinder finder(ctx, configFor(8));
+
+    const cache::Addr target = uint64_t{1} << 30;
+    // Decoys only: not enough same-set pressure.
+    std::vector<cache::Addr> pool;
+    for (unsigned i = 1; i <= 40; ++i)
+        pool.push_back(target + 64 * (i % 63 + 1));
+    const auto result = finder.reduce(target, pool);
+    EXPECT_FALSE(result.evictionSet.has_value());
+}
+
+TEST(EvictionSets, FindFromRegionOnRandomPool)
+{
+    // The end-to-end flow: random lines over a span 4x the cache.
+    const auto spec = singleLevelSpec("lru", 8);
+    hw::Machine machine(spec);
+    MeasurementContext ctx(machine);
+    EvictionSetFinder finder(ctx, configFor(8));
+
+    const auto geom = spec.levels[0].geometry();
+    const cache::Addr target = uint64_t{1} << 30;
+    const auto result = finder.findFromRegion(
+        target, target + 64, 4 * geom.sizeBytes(), 1500, 11);
+    ASSERT_TRUE(result.evictionSet.has_value());
+    EXPECT_EQ(result.evictionSet->size(), 8u);
+    for (cache::Addr line : *result.evictionSet)
+        EXPECT_EQ(geom.setIndex(line), geom.setIndex(target));
+}
+
+TEST(EvictionSets, WorksForPlruAndNru)
+{
+    for (const std::string policy : {"plru", "nru"}) {
+        const auto spec = singleLevelSpec(policy, 8);
+        hw::Machine machine(spec);
+        MeasurementContext ctx(machine);
+        EvictionSetFinder finder(ctx, configFor(8));
+        const auto geom = spec.levels[0].geometry();
+        const cache::Addr target = uint64_t{1} << 30;
+        const auto result = finder.findFromRegion(
+            target, target + 64, 4 * geom.sizeBytes(), 1500, 7);
+        ASSERT_TRUE(result.evictionSet.has_value()) << policy;
+        for (cache::Addr line : *result.evictionSet)
+            EXPECT_EQ(geom.setIndex(line), geom.setIndex(target))
+                << policy;
+    }
+}
+
+TEST(EvictionSets, RejectsBadConfig)
+{
+    const auto spec = singleLevelSpec("lru", 4);
+    hw::Machine machine(spec);
+    MeasurementContext ctx(machine);
+    EvictionSetConfig cfg;
+    cfg.level = 3;
+    EXPECT_THROW(EvictionSetFinder(ctx, cfg), UsageError);
+    cfg.level = 0;
+    cfg.ways = 0;
+    EXPECT_THROW(EvictionSetFinder(ctx, cfg), UsageError);
+}
+
+} // namespace

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Tests for cache geometry and address slicing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "recap/cache/geometry.hh"
+#include "recap/common/error.hh"
+
+namespace
+{
+
+using namespace recap::cache;
+using recap::UsageError;
+
+TEST(Geometry, ValidateAcceptsTypicalConfigs)
+{
+    Geometry g{64, 64, 8};
+    EXPECT_NO_THROW(g.validate());
+    EXPECT_EQ(g.sizeBytes(), 32u * 1024u);
+}
+
+TEST(Geometry, ValidateRejectsBadConfigs)
+{
+    EXPECT_THROW((Geometry{63, 64, 8}).validate(), UsageError);
+    EXPECT_THROW((Geometry{64, 63, 8}).validate(), UsageError);
+    EXPECT_THROW((Geometry{64, 64, 0}).validate(), UsageError);
+    EXPECT_THROW((Geometry{0, 64, 8}).validate(), UsageError);
+}
+
+TEST(Geometry, AddressSlicing)
+{
+    Geometry g{64, 64, 8};
+    // Address layout: [tag | 6 set bits | 6 offset bits].
+    const Addr addr = (uint64_t{0xABC} << 12) | (13u << 6) | 21u;
+    EXPECT_EQ(g.blockNumber(addr), (uint64_t{0xABC} << 6) | 13u);
+    EXPECT_EQ(g.setIndex(addr), 13u);
+    EXPECT_EQ(g.tag(addr), 0xABCu);
+    EXPECT_EQ(g.blockBase(addr), addr - 21u);
+}
+
+TEST(Geometry, SetIndexWraps)
+{
+    Geometry g{64, 64, 8};
+    const Addr a = 0;
+    const Addr b = 64ull * 64; // one full set stride
+    EXPECT_EQ(g.setIndex(a), g.setIndex(b));
+    EXPECT_NE(g.tag(a), g.tag(b));
+    EXPECT_NE(g.setIndex(a), g.setIndex(a + 64));
+}
+
+TEST(Geometry, FromCapacityDerivesSets)
+{
+    const auto g = Geometry::fromCapacity(32 * 1024, 8, 64);
+    EXPECT_EQ(g.numSets, 64u);
+    EXPECT_EQ(g.ways, 8u);
+    EXPECT_EQ(g.lineSize, 64u);
+    EXPECT_EQ(g.sizeBytes(), 32u * 1024u);
+
+    // The 24-way 6 MiB Wolfdale L2.
+    const auto l2 = Geometry::fromCapacity(6 * 1024 * 1024, 24, 64);
+    EXPECT_EQ(l2.numSets, 4096u);
+}
+
+TEST(Geometry, FromCapacityRejectsImpossible)
+{
+    // 36 KiB over 8 ways of 64 B lines: 72 sets, not a power of two.
+    EXPECT_THROW(Geometry::fromCapacity(36 * 1024, 8, 64), UsageError);
+    // Capacity not divisible by ways * lineSize at all.
+    EXPECT_THROW(Geometry::fromCapacity(4 * 1024 + 64, 8, 64),
+                 UsageError);
+    EXPECT_THROW(Geometry::fromCapacity(0, 8, 64), UsageError);
+    // Non-power-of-two ways with a power-of-two set count is fine.
+    EXPECT_NO_THROW(Geometry::fromCapacity(3 * 1024, 3, 64));
+}
+
+TEST(Geometry, Describe)
+{
+    Geometry g{64, 64, 8};
+    EXPECT_EQ(g.describe(), "32 KiB, 8-way, 64 B lines");
+}
+
+} // namespace

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Tests for measurement-based geometry discovery: every catalog
+ * machine's line size, set counts and associativities must be
+ * recovered exactly, including under measurement noise with voting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "recap/hw/catalog.hh"
+#include "recap/infer/geometry_probe.hh"
+
+namespace
+{
+
+using namespace recap;
+using infer::GeometryProbe;
+using infer::GeometryProbeConfig;
+using infer::MeasurementContext;
+
+TEST(GeometryProbe, LineSize)
+{
+    hw::Machine machine(hw::catalogMachine("core2-e6300"));
+    MeasurementContext ctx(machine);
+    GeometryProbe probe(ctx);
+    EXPECT_EQ(probe.discoverLineSize(), 64u);
+}
+
+TEST(GeometryProbe, SingleLevelDiscovery)
+{
+    auto spec = hw::reducedSpec(hw::catalogMachine("atom-d525"), 1024);
+    hw::Machine machine(spec);
+    MeasurementContext ctx(machine);
+    GeometryProbe probe(ctx);
+    const auto l1 = probe.discoverLevel(0, 64);
+    EXPECT_EQ(l1.ways, 6u);
+    EXPECT_EQ(l1.numSets, 64u);
+    EXPECT_EQ(l1.capacityBytes(), 24u * 1024u);
+}
+
+TEST(GeometryProbe, AllCatalogMachinesReduced)
+{
+    for (const auto& name : hw::catalogNames()) {
+        auto spec = hw::reducedSpec(hw::catalogMachine(name), 512);
+        hw::Machine machine(spec);
+        MeasurementContext ctx(machine);
+        GeometryProbe probe(ctx);
+        const auto discovered = probe.discoverAll();
+        ASSERT_EQ(discovered.levels.size(), spec.levels.size())
+            << name;
+        EXPECT_EQ(discovered.lineSize, 64u) << name;
+        for (size_t i = 0; i < spec.levels.size(); ++i) {
+            const auto truth = spec.levels[i].geometry();
+            EXPECT_EQ(discovered.levels[i].ways, truth.ways)
+                << name << " L" << i + 1;
+            EXPECT_EQ(discovered.levels[i].numSets, truth.numSets)
+                << name << " L" << i + 1;
+        }
+    }
+}
+
+TEST(GeometryProbe, RobustUnderNoiseWithVoting)
+{
+    hw::NoiseConfig noise;
+    noise.disturbProbability = 0.01;
+    auto spec = hw::reducedSpec(hw::catalogMachine("core2-e6750"), 512);
+    hw::Machine machine(spec, 1, noise);
+    MeasurementContext ctx(machine);
+    GeometryProbeConfig cfg;
+    cfg.voteRepeats = 5;
+    GeometryProbe probe(ctx, cfg);
+    const auto discovered = probe.discoverAll();
+    EXPECT_EQ(discovered.levels[0].ways, 8u);
+    EXPECT_EQ(discovered.levels[1].ways, 16u);
+}
+
+TEST(GeometryProbe, LevelGeometryHelpers)
+{
+    infer::LevelGeometry g{64, 512, 8};
+    EXPECT_EQ(g.setStride(), 64u * 512u);
+    EXPECT_EQ(g.capacityBytes(), 256u * 1024u);
+    const auto geom = g.toGeometry();
+    EXPECT_EQ(geom.numSets, 512u);
+}
+
+} // namespace

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Tests for the multi-level hierarchy model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "recap/cache/hierarchy.hh"
+#include "recap/common/error.hh"
+
+namespace
+{
+
+using namespace recap::cache;
+using recap::UsageError;
+
+Hierarchy
+twoLevels()
+{
+    Hierarchy h(100);
+    h.addLevel(Cache(Geometry{64, 2, 2}, "lru", "L1"), 4);  // 256 B
+    h.addLevel(Cache(Geometry{64, 8, 4}, "lru", "L2"), 12); // 2 KiB
+    return h;
+}
+
+TEST(Hierarchy, FirstAccessGoesToMemory)
+{
+    Hierarchy h = twoLevels();
+    EXPECT_EQ(h.access(0), 2u); // depth() == memory
+    EXPECT_EQ(h.accessLatency(0), 4u); // now an L1 hit
+}
+
+TEST(Hierarchy, FillOnMissPopulatesAllLevels)
+{
+    Hierarchy h = twoLevels();
+    h.access(0);
+    EXPECT_EQ(h.access(0), 0u); // L1 hit
+    // Evict line 0 from tiny L1 with two conflicting lines.
+    const Addr l1_stride = 64 * 2;
+    h.access(l1_stride);
+    h.access(2 * l1_stride);
+    // L1 no longer has it, but L2 does.
+    EXPECT_EQ(h.access(0), 1u);
+    // And the L2 hit refilled L1.
+    EXPECT_EQ(h.access(0), 0u);
+}
+
+TEST(Hierarchy, LatencyMapping)
+{
+    Hierarchy h = twoLevels();
+    EXPECT_EQ(h.latencyOf(0), 4u);
+    EXPECT_EQ(h.latencyOf(1), 12u);
+    EXPECT_EQ(h.latencyOf(2), 100u);
+    EXPECT_THROW(h.latencyOf(3), UsageError);
+    EXPECT_EQ(h.memoryLatency(), 100u);
+    EXPECT_EQ(h.depth(), 2u);
+}
+
+TEST(Hierarchy, FlushAllEmptiesEveryLevel)
+{
+    Hierarchy h = twoLevels();
+    h.access(0);
+    h.flushAll();
+    EXPECT_EQ(h.access(0), 2u); // memory again
+}
+
+TEST(Hierarchy, StatsPerLevel)
+{
+    Hierarchy h = twoLevels();
+    h.access(0);
+    h.access(0);
+    EXPECT_EQ(h.level(0).cache.stats().accesses, 2u);
+    EXPECT_EQ(h.level(0).cache.stats().hits, 1u);
+    // The L1 hit never reached L2.
+    EXPECT_EQ(h.level(1).cache.stats().accesses, 1u);
+    h.resetStats();
+    EXPECT_EQ(h.level(0).cache.stats().accesses, 0u);
+}
+
+TEST(Hierarchy, RejectsDecreasingLatencies)
+{
+    Hierarchy h(100);
+    h.addLevel(Cache(Geometry{64, 2, 2}, "lru", "L1"), 10);
+    EXPECT_THROW(
+        h.addLevel(Cache(Geometry{64, 8, 4}, "lru", "L2"), 5),
+        UsageError);
+}
+
+TEST(Hierarchy, AccessWithoutLevelsRejected)
+{
+    Hierarchy h(100);
+    EXPECT_THROW(h.access(0), UsageError);
+}
+
+} // namespace

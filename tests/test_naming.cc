@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Tests for canonical policy naming.
+ */
+
+#include <gtest/gtest.h>
+
+#include "recap/infer/naming.hh"
+#include "recap/policy/permutation.hh"
+
+namespace
+{
+
+using namespace recap;
+using policy::PermutationPolicy;
+
+TEST(Naming, RecognizesLru)
+{
+    for (unsigned k : {2u, 4u, 8u, 16u}) {
+        EXPECT_EQ(infer::canonicalPermutationName(
+                      PermutationPolicy::lru(k)),
+                  "LRU");
+    }
+}
+
+TEST(Naming, RecognizesFifo)
+{
+    for (unsigned k : {2u, 4u, 8u}) {
+        EXPECT_EQ(infer::canonicalPermutationName(
+                      PermutationPolicy::fifo(k)),
+                  "FIFO");
+    }
+}
+
+TEST(Naming, RecognizesPlru)
+{
+    for (unsigned k : {4u, 8u, 16u}) {
+        EXPECT_EQ(infer::canonicalPermutationName(
+                      PermutationPolicy::plru(k)),
+                  "PLRU");
+    }
+}
+
+TEST(Naming, PlruAtTwoWaysIsLru)
+{
+    // At k=2 tree-PLRU degenerates to LRU, and the vectors coincide;
+    // naming must pick the LRU label (checked first).
+    EXPECT_EQ(infer::canonicalPermutationName(PermutationPolicy::plru(2)),
+              "LRU");
+}
+
+TEST(Naming, UnrecognizedVectorsGetGenericLabel)
+{
+    // Swap two hit permutations of LRU to make an artificial policy.
+    auto lru = PermutationPolicy::lru(4);
+    auto hits = lru.hitPermutations();
+    std::swap(hits[1], hits[2]);
+    PermutationPolicy weird(4, hits, lru.missPermutation());
+    EXPECT_EQ(infer::canonicalPermutationName(weird),
+              "Permutation(k=4)");
+}
+
+TEST(Naming, NonPowerOfTwoSkipsPlruComparison)
+{
+    // Must not throw for k where tree-PLRU does not exist.
+    auto lru = PermutationPolicy::lru(6);
+    EXPECT_EQ(infer::canonicalPermutationName(lru), "LRU");
+}
+
+TEST(Naming, PrettySpecNames)
+{
+    EXPECT_EQ(infer::prettySpecName("nru", 8), "NRU");
+    EXPECT_EQ(infer::prettySpecName("bitplru", 8), "BitPLRU");
+    EXPECT_EQ(infer::prettySpecName("qlru:H1,M1,R0,U2", 8),
+              "QLRU(H1,M1,R0,U2)");
+    EXPECT_EQ(infer::prettySpecName("srrip", 8), "SRRIP2");
+}
+
+} // namespace

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Tests for the permutation-policy engine: analytic LRU/FIFO forms,
+ * derivation from concrete policies, and executability.
+ */
+
+#include <gtest/gtest.h>
+
+#include "recap/common/error.hh"
+#include "recap/common/rng.hh"
+#include "recap/policy/fifo.hh"
+#include "recap/policy/lru.hh"
+#include "recap/policy/nru.hh"
+#include "recap/policy/permutation.hh"
+#include "recap/policy/plru.hh"
+#include "recap/policy/qlru.hh"
+#include "recap/policy/set_model.hh"
+#include "recap/policy/rrip.hh"
+
+namespace
+{
+
+using namespace recap;
+using policy::PermutationPolicy;
+using policy::Permutation;
+using policy::SetModel;
+
+TEST(PermutationBasics, IdentityAndValidation)
+{
+    EXPECT_TRUE(policy::isPermutation({0, 1, 2, 3}));
+    EXPECT_TRUE(policy::isPermutation({3, 1, 0, 2}));
+    EXPECT_FALSE(policy::isPermutation({0, 0, 2, 3}));
+    EXPECT_FALSE(policy::isPermutation({0, 1, 2, 4}));
+    EXPECT_EQ(policy::identityPermutation(3), (Permutation{0, 1, 2}));
+}
+
+TEST(PermutationBasics, RejectsMalformedVectors)
+{
+    std::vector<Permutation> hits(4, policy::identityPermutation(4));
+    Permutation bad{0, 0, 1, 2};
+    EXPECT_THROW(PermutationPolicy(4, hits, bad), UsageError);
+    hits[2] = bad;
+    EXPECT_THROW(
+        PermutationPolicy(4, hits, policy::identityPermutation(4)),
+        UsageError);
+    EXPECT_THROW(
+        PermutationPolicy(4, {}, policy::identityPermutation(4)),
+        UsageError);
+}
+
+/** The analytic LRU permutation form must behave exactly like LRU. */
+TEST(PermutationLru, MatchesConcreteLruExactly)
+{
+    for (unsigned k : {1u, 2u, 3u, 4u, 8u}) {
+        auto perm = PermutationPolicy::lru(k);
+        policy::LruPolicy lru(k);
+        SetModel a(perm.clone());
+        SetModel b(lru.clone());
+        Rng rng(42 + k);
+        for (int i = 0; i < 2000; ++i) {
+            const auto block = rng.nextBelow(k + 3);
+            ASSERT_EQ(a.access(block), b.access(block))
+                << "k=" << k << " step " << i;
+        }
+        ASSERT_EQ(a.evictionOrder(), b.evictionOrder()) << "k=" << k;
+    }
+}
+
+TEST(PermutationFifo, MatchesConcreteFifoExactly)
+{
+    for (unsigned k : {2u, 4u, 6u, 8u}) {
+        auto perm = PermutationPolicy::fifo(k);
+        policy::FifoPolicy fifo(k);
+        SetModel a(perm.clone());
+        SetModel b(fifo.clone());
+        Rng rng(99 + k);
+        for (int i = 0; i < 2000; ++i) {
+            const auto block = rng.nextBelow(k + 2);
+            ASSERT_EQ(a.access(block), b.access(block))
+                << "k=" << k << " step " << i;
+        }
+    }
+}
+
+TEST(PermutationDerive, LruDerivesToAnalyticVectors)
+{
+    for (unsigned k : {2u, 4u, 8u}) {
+        policy::LruPolicy lru(k);
+        auto derived = PermutationPolicy::derive(lru);
+        ASSERT_TRUE(derived.has_value()) << "k=" << k;
+        EXPECT_TRUE(derived->sameVectors(PermutationPolicy::lru(k)));
+    }
+}
+
+TEST(PermutationDerive, FifoDerivesToAnalyticVectors)
+{
+    for (unsigned k : {2u, 4u, 8u}) {
+        policy::FifoPolicy fifo(k);
+        auto derived = PermutationPolicy::derive(fifo);
+        ASSERT_TRUE(derived.has_value()) << "k=" << k;
+        EXPECT_TRUE(derived->sameVectors(PermutationPolicy::fifo(k)));
+    }
+}
+
+/**
+ * Tree-PLRU is a permutation policy (a key observation of the
+ * paper's formalism); the derived form must reproduce it exactly.
+ */
+TEST(PermutationDerive, TreePlruIsAPermutationPolicy)
+{
+    for (unsigned k : {2u, 4u, 8u, 16u}) {
+        policy::TreePlruPolicy plru(k);
+        auto derived = PermutationPolicy::derive(plru);
+        ASSERT_TRUE(derived.has_value()) << "k=" << k;
+
+        SetModel a(derived->clone());
+        SetModel b(plru.clone());
+        Rng rng(7 + k);
+        for (int i = 0; i < 4000; ++i) {
+            const auto block = rng.nextBelow(k + 2);
+            ASSERT_EQ(a.access(block), b.access(block))
+                << "k=" << k << " step " << i;
+        }
+    }
+}
+
+TEST(PermutationDerive, PlruFactoryProducesNamedPolicy)
+{
+    auto plru = PermutationPolicy::plru(8);
+    EXPECT_EQ(plru.name(), "PLRU");
+    EXPECT_EQ(plru.ways(), 8u);
+}
+
+/** Non-permutation policies must be refuted by derive(). */
+TEST(PermutationDerive, NruIsNotAPermutationPolicy)
+{
+    for (unsigned k : {4u, 8u}) {
+        policy::NruPolicy nru(k);
+        EXPECT_FALSE(PermutationPolicy::derive(nru).has_value())
+            << "k=" << k;
+    }
+}
+
+TEST(PermutationDerive, QlruIsNotAPermutationPolicy)
+{
+    policy::QlruPolicy qlru(8, policy::QlruParams::parse("H1,M1,R0,U2"));
+    EXPECT_FALSE(PermutationPolicy::derive(qlru).has_value());
+}
+
+TEST(PermutationDerive, SrripIsNotAPermutationPolicy)
+{
+    policy::SrripPolicy srrip(8);
+    EXPECT_FALSE(PermutationPolicy::derive(srrip).has_value());
+}
+
+/**
+ * LIP is representable as a permutation policy in principle, but its
+ * misses keep evicting the newest insert, so eviction-order probing
+ * (which needs k fresh misses to evict the k resident blocks) cannot
+ * derive it. derive() must refuse rather than return a wrong model.
+ */
+TEST(PermutationDerive, LipIsNotDerivableByEvictionOrderProbing)
+{
+    policy::LipPolicy lip(4);
+    EXPECT_FALSE(PermutationPolicy::derive(lip).has_value());
+}
+
+TEST(PermutationExec, VictimFollowsOrder)
+{
+    auto lru = PermutationPolicy::lru(4);
+    lru.reset();
+    EXPECT_EQ(lru.victim(), lru.orderAt(0));
+    lru.fill(lru.victim());
+    EXPECT_EQ(lru.victim(), lru.orderAt(0));
+}
+
+TEST(PermutationExec, CloneIsIndependent)
+{
+    auto lru = PermutationPolicy::lru(4);
+    auto copy = lru.clone();
+    lru.touch(2);
+    EXPECT_NE(copy->stateKey(), lru.stateKey());
+}
+
+} // namespace

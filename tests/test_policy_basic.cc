@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Behavioural unit tests for the individual replacement policies:
+ * known access sequences with hand-computed expected outcomes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "recap/common/error.hh"
+#include "recap/policy/factory.hh"
+#include "recap/policy/fifo.hh"
+#include "recap/policy/lru.hh"
+#include "recap/policy/nru.hh"
+#include "recap/policy/plru.hh"
+#include "recap/policy/random.hh"
+
+namespace
+{
+
+using namespace recap::policy;
+using recap::UsageError;
+
+TEST(Lru, EvictsLeastRecentlyUsed)
+{
+    LruPolicy lru(4);
+    // Fill 0..3: way 0 is oldest.
+    for (unsigned w = 0; w < 4; ++w)
+        lru.fill(w);
+    EXPECT_EQ(lru.victim(), 0u);
+    lru.touch(0); // refresh way 0: way 1 becomes oldest
+    EXPECT_EQ(lru.victim(), 1u);
+    lru.touch(1);
+    EXPECT_EQ(lru.victim(), 2u);
+}
+
+TEST(Lru, RecencyOrderTracksAccesses)
+{
+    LruPolicy lru(4);
+    for (unsigned w = 0; w < 4; ++w)
+        lru.fill(w);
+    lru.touch(1);
+    const auto order = lru.recencyOrder();
+    EXPECT_EQ(order.front(), 1u); // MRU
+    EXPECT_EQ(order.back(), 0u);  // LRU
+}
+
+TEST(Lru, ResetRestoresInitialVictim)
+{
+    LruPolicy lru(4);
+    lru.fill(3);
+    lru.touch(3);
+    lru.reset();
+    EXPECT_EQ(lru.victim(), 3u);
+}
+
+TEST(Lru, RejectsOutOfRangeWay)
+{
+    LruPolicy lru(4);
+    EXPECT_THROW(lru.touch(4), UsageError);
+    EXPECT_THROW(lru.fill(100), UsageError);
+}
+
+TEST(Fifo, HitsDoNotRefresh)
+{
+    FifoPolicy fifo(4);
+    for (unsigned w = 0; w < 4; ++w)
+        fifo.fill(w);
+    EXPECT_EQ(fifo.victim(), 0u);
+    fifo.touch(0); // FIFO ignores hits
+    EXPECT_EQ(fifo.victim(), 0u);
+    fifo.fill(0);  // refill moves way 0 to the queue tail
+    EXPECT_EQ(fifo.victim(), 1u);
+}
+
+TEST(Fifo, EvictionFollowsInsertionOrder)
+{
+    FifoPolicy fifo(3);
+    fifo.fill(2);
+    fifo.fill(0);
+    fifo.fill(1);
+    EXPECT_EQ(fifo.victim(), 2u);
+    fifo.fill(2);
+    EXPECT_EQ(fifo.victim(), 0u);
+    fifo.fill(0);
+    EXPECT_EQ(fifo.victim(), 1u);
+}
+
+TEST(Lip, InsertsAtLruPosition)
+{
+    LipPolicy lip(4);
+    for (unsigned w = 0; w < 4; ++w)
+        lip.fill(w);
+    // The most recent fill sits at the LRU end: immediate victim.
+    EXPECT_EQ(lip.victim(), 3u);
+    lip.touch(3); // a reuse promotes to MRU
+    EXPECT_EQ(lip.victim(), 2u);
+}
+
+TEST(Bip, ThrottledMruInsertion)
+{
+    // throttle=2: fills alternate MRU, LRU, MRU, LRU...
+    BipPolicy bip(4, 2);
+    bip.fill(0); // MRU insertion
+    EXPECT_NE(bip.victim(), 0u);
+    bip.fill(1); // LRU insertion
+    EXPECT_EQ(bip.victim(), 1u);
+    bip.fill(2); // MRU insertion again
+    EXPECT_NE(bip.victim(), 2u);
+}
+
+TEST(Bip, ThrottleOneDegeneratesToLip)
+{
+    BipPolicy bip(4, 1);
+    for (unsigned w = 0; w < 4; ++w)
+        bip.fill(w);
+    // throttle 1 means every fill is the "1-in-1" MRU fill.
+    EXPECT_EQ(bip.victim(), 0u);
+}
+
+TEST(Bip, RejectsZeroThrottle)
+{
+    EXPECT_THROW(BipPolicy(4, 0), UsageError);
+}
+
+TEST(TreePlru, VictimChainCoversAllWays)
+{
+    TreePlruPolicy plru(8);
+    std::vector<bool> seen(8, false);
+    for (int i = 0; i < 8; ++i) {
+        const Way v = plru.victim();
+        ASSERT_LT(v, 8u);
+        EXPECT_FALSE(seen[v]) << "victim repeated before full tour";
+        seen[v] = true;
+        plru.fill(v);
+    }
+}
+
+TEST(TreePlru, AccessProtectsWay)
+{
+    TreePlruPolicy plru(4);
+    for (int i = 0; i < 16; ++i) {
+        const Way w = static_cast<Way>(i % 4);
+        plru.touch(w);
+        EXPECT_NE(plru.victim(), w)
+            << "just-touched way must not be the victim";
+    }
+}
+
+TEST(TreePlru, KnownSequenceK4)
+{
+    TreePlruPolicy plru(4);
+    // From the all-zero tree the victim chain is 0, 2, 1, 3.
+    EXPECT_EQ(plru.victim(), 0u);
+    plru.fill(0);
+    EXPECT_EQ(plru.victim(), 2u);
+    plru.fill(2);
+    EXPECT_EQ(plru.victim(), 1u);
+    plru.fill(1);
+    EXPECT_EQ(plru.victim(), 3u);
+}
+
+TEST(TreePlru, RequiresPowerOfTwo)
+{
+    EXPECT_THROW(TreePlruPolicy(6), UsageError);
+    EXPECT_THROW(TreePlruPolicy(1), UsageError);
+    EXPECT_NO_THROW(TreePlruPolicy(2));
+    EXPECT_NO_THROW(TreePlruPolicy(16));
+}
+
+TEST(BitPlru, SaturationKeepsOnlyNewestMark)
+{
+    BitPlruPolicy mru(4);
+    mru.touch(0);
+    mru.touch(1);
+    mru.touch(2);
+    EXPECT_EQ(mru.victim(), 3u);
+    // This access would saturate: all other bits clear first.
+    mru.touch(3);
+    const auto bits = mru.mruBits();
+    EXPECT_FALSE(bits[0]);
+    EXPECT_FALSE(bits[1]);
+    EXPECT_FALSE(bits[2]);
+    EXPECT_TRUE(bits[3]);
+    EXPECT_EQ(mru.victim(), 0u);
+}
+
+TEST(Nru, LazyClearAtVictimTime)
+{
+    NruPolicy nru(4);
+    nru.touch(0);
+    nru.touch(1);
+    nru.touch(2);
+    EXPECT_EQ(nru.victim(), 3u);
+    nru.touch(3);
+    // All bits set now; victim() models the lazy clear: way 0.
+    EXPECT_EQ(nru.victim(), 0u);
+    // fill() commits the clear and marks the filled way only.
+    nru.fill(0);
+    const auto bits = nru.referenceBits();
+    EXPECT_TRUE(bits[0]);
+    EXPECT_FALSE(bits[1]);
+    EXPECT_EQ(nru.victim(), 1u);
+}
+
+TEST(Nru, VictimHasNoSideEffects)
+{
+    NruPolicy nru(4);
+    nru.touch(0);
+    const auto key_before = nru.stateKey();
+    (void)nru.victim();
+    (void)nru.victim();
+    EXPECT_EQ(nru.stateKey(), key_before);
+}
+
+TEST(Random, DeterministicUnderSeed)
+{
+    RandomPolicy a(8, 42);
+    RandomPolicy b(8, 42);
+    for (int i = 0; i < 100; ++i) {
+        ASSERT_EQ(a.victim(), b.victim());
+        a.fill(a.victim());
+        b.fill(b.victim());
+    }
+}
+
+TEST(Random, ResetReplaysStream)
+{
+    RandomPolicy p(8, 7);
+    std::vector<Way> first;
+    for (int i = 0; i < 20; ++i) {
+        first.push_back(p.victim());
+        p.fill(p.victim());
+    }
+    p.reset();
+    for (int i = 0; i < 20; ++i) {
+        ASSERT_EQ(p.victim(), first[i]);
+        p.fill(p.victim());
+    }
+}
+
+TEST(Random, HitsConsumeNoRandomness)
+{
+    RandomPolicy p(8, 9);
+    const Way v = p.victim();
+    p.touch(3);
+    p.touch(5);
+    EXPECT_EQ(p.victim(), v);
+}
+
+TEST(Factory, CreatesEveryBaselineSpec)
+{
+    for (const auto& spec : baselineSpecs()) {
+        if (!specSupportsWays(spec, 8))
+            continue;
+        auto policy = makePolicy(spec, 8);
+        ASSERT_NE(policy, nullptr) << spec;
+        EXPECT_EQ(policy->ways(), 8u) << spec;
+        EXPECT_FALSE(policy->name().empty()) << spec;
+    }
+}
+
+TEST(Factory, ParsesParameterizedSpecs)
+{
+    EXPECT_EQ(makePolicy("bip:8", 4)->name(), "BIP");
+    EXPECT_EQ(makePolicy("srrip:3", 4)->name(), "SRRIP3");
+    EXPECT_EQ(makePolicy("brrip:2,16", 4)->name(), "BRRIP2");
+    EXPECT_EQ(makePolicy("qlru:H0,M2,R1,U1", 4)->name(),
+              "QLRU(H0,M2,R1,U1)");
+    EXPECT_EQ(makePolicy("perm-plru", 8)->name(), "PLRU");
+}
+
+TEST(Factory, RejectsUnknownSpecs)
+{
+    EXPECT_THROW(makePolicy("mystery", 4), UsageError);
+    EXPECT_THROW(makePolicy("qlru:bogus", 4), UsageError);
+    EXPECT_THROW(makePolicy("bip:x", 4), UsageError);
+    EXPECT_FALSE(isKnownPolicySpec("nope"));
+    EXPECT_TRUE(isKnownPolicySpec("lru"));
+}
+
+TEST(Factory, SpecSupportsWaysMatchesReality)
+{
+    EXPECT_TRUE(specSupportsWays("plru", 8));
+    EXPECT_FALSE(specSupportsWays("plru", 6));
+    EXPECT_TRUE(specSupportsWays("nru", 6));
+    EXPECT_TRUE(specSupportsWays("lru", 1));
+    EXPECT_FALSE(specSupportsWays("nru", 1));
+}
+
+} // namespace

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Tests for the inference-report renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "recap/common/error.hh"
+#include "recap/hw/catalog.hh"
+#include "recap/infer/report.hh"
+
+namespace
+{
+
+using namespace recap;
+
+infer::MachineReport
+sampleReport()
+{
+    infer::MachineReport report;
+    report.machineName = "sample";
+    report.geometry.lineSize = 64;
+
+    infer::LevelReport l1;
+    l1.levelName = "L1";
+    l1.geometry = {64, 64, 8};
+    l1.isPermutation = true;
+    l1.verdict = "PLRU";
+    l1.agreement = 1.0;
+    l1.loadsUsed = 1234;
+    report.levels.push_back(l1);
+
+    infer::LevelReport l2;
+    l2.levelName = "L2";
+    l2.geometry = {64, 512, 12};
+    l2.adaptive = true;
+    l2.verdict = "adaptive (set dueling): A vs B";
+    l2.agreement = 0.995;
+    l2.loadsUsed = 99999;
+    report.levels.push_back(l2);
+    report.totalLoads = 101233;
+    return report;
+}
+
+TEST(Report, DescribeGroundTruthStatic)
+{
+    hw::CacheLevelSpec lvl;
+    lvl.name = "L1";
+    lvl.capacityBytes = 32 * 1024;
+    lvl.ways = 8;
+    lvl.hitLatency = 4;
+    lvl.policySpec = "plru";
+    EXPECT_EQ(infer::describeGroundTruth(lvl), "PLRU");
+}
+
+TEST(Report, DescribeGroundTruthAdaptive)
+{
+    const auto spec = hw::catalogMachine("ivybridge-i5");
+    const auto truth = infer::describeGroundTruth(spec.levels[2]);
+    EXPECT_NE(truth.find("adaptive:"), std::string::npos);
+    EXPECT_NE(truth.find("QLRU(H1,M3,R0,U2)"), std::string::npos);
+    EXPECT_NE(truth.find("QLRU(H1,M1,R0,U2)"), std::string::npos);
+}
+
+TEST(Report, PrintWithoutTruthColumn)
+{
+    std::ostringstream oss;
+    infer::printMachineReport(oss, sampleReport());
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("PLRU"), std::string::npos);
+    EXPECT_NE(out.find("set-dueling detect"), std::string::npos);
+    EXPECT_NE(out.find("permutation infer"), std::string::npos);
+    EXPECT_NE(out.find("Total loads issued: 101233"),
+              std::string::npos);
+    EXPECT_EQ(out.find("ground truth"), std::string::npos);
+}
+
+TEST(Report, PrintWithTruthColumn)
+{
+    auto spec = hw::catalogMachine("core2-e6300");
+    infer::MachineReport report = sampleReport();
+    report.levels.resize(2);
+    std::ostringstream oss;
+    infer::printMachineReport(oss, report, &spec);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("ground truth"), std::string::npos);
+    EXPECT_NE(out.find("32 KiB"), std::string::npos);
+}
+
+TEST(Report, TruthLevelCountMustMatch)
+{
+    auto spec = hw::catalogMachine("nehalem-i5"); // three levels
+    const auto report = sampleReport();           // two levels
+    std::ostringstream oss;
+    EXPECT_THROW(infer::printMachineReport(oss, report, &spec),
+                 UsageError);
+}
+
+} // namespace

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tests for the reuse-distance profiler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "recap/eval/reuse.hh"
+#include "recap/eval/simulate.hh"
+#include "recap/trace/generators.hh"
+
+namespace
+{
+
+using namespace recap;
+using eval::reuseProfile;
+
+cache::Addr
+line(uint64_t n)
+{
+    return n * 64;
+}
+
+TEST(Reuse, HandComputedDistances)
+{
+    // a b c b a: cold a, cold b, cold c, b at distance 1 (c between),
+    // a at distance 2 (c and b between).
+    trace::Trace t{line(1), line(2), line(3), line(2), line(1)};
+    const auto profile = reuseProfile(t);
+    EXPECT_EQ(profile.accesses, 5u);
+    EXPECT_EQ(profile.coldMisses, 3u);
+    EXPECT_EQ(profile.distances.countOf(1), 1u);
+    EXPECT_EQ(profile.distances.countOf(2), 1u);
+    EXPECT_EQ(profile.distances.total(), 2u);
+}
+
+TEST(Reuse, ImmediateReuseIsDistanceZero)
+{
+    trace::Trace t{line(1), line(1), line(1)};
+    const auto profile = reuseProfile(t);
+    EXPECT_EQ(profile.coldMisses, 1u);
+    EXPECT_EQ(profile.distances.countOf(0), 2u);
+}
+
+TEST(Reuse, SubLineAccessesShareADistance)
+{
+    // Same 64 B line touched at different offsets: one block.
+    trace::Trace t{0, 32, 63};
+    const auto profile = reuseProfile(t);
+    EXPECT_EQ(profile.coldMisses, 1u);
+    EXPECT_EQ(profile.distances.countOf(0), 2u);
+}
+
+TEST(Reuse, CyclicScanDistanceEqualsFootprint)
+{
+    // Cycling N lines gives every non-cold access distance N-1.
+    const auto t = trace::sequentialScan(64 * 16, 4);
+    const auto profile = reuseProfile(t);
+    EXPECT_EQ(profile.coldMisses, 16u);
+    EXPECT_EQ(profile.distances.countOf(15), 3u * 16u);
+}
+
+TEST(Reuse, LruMissRatioFromHistogram)
+{
+    const auto t = trace::sequentialScan(64 * 16, 4);
+    const auto profile = reuseProfile(t);
+    // Fully-associative LRU with 16 lines: only cold misses.
+    EXPECT_NEAR(profile.lruMissRatio(16), 16.0 / t.size(), 1e-12);
+    // With fewer lines the cyclic scan thrashes completely.
+    EXPECT_DOUBLE_EQ(profile.lruMissRatio(8), 1.0);
+}
+
+TEST(Reuse, MatchesFullyAssociativeLruSimulation)
+{
+    // The histogram prediction must equal a simulated
+    // fully-associative LRU cache (numSets = 1).
+    const auto t = trace::zipf(64 * 256, 20000, 0.8, 5);
+    const auto profile = reuseProfile(t);
+    for (unsigned lines : {16u, 64u, 128u}) {
+        const cache::Geometry geom{64, 1, lines};
+        const auto stats = eval::simulateTrace(geom, "lru", t);
+        EXPECT_NEAR(profile.lruMissRatio(lines), stats.missRatio(),
+                    1e-12)
+            << lines << " lines";
+    }
+}
+
+TEST(Reuse, CapacityForMissRatio)
+{
+    const auto t = trace::sequentialScan(64 * 32, 8);
+    const auto profile = reuseProfile(t);
+    // The cold-miss floor is 32/256 = 12.5%; 32 resident lines reach
+    // it, fewer lines thrash at 100%.
+    const auto capacity = profile.capacityForMissRatio(0.2);
+    ASSERT_TRUE(capacity.has_value());
+    EXPECT_EQ(*capacity, 32u);
+    // A target below the cold-miss floor is unreachable.
+    EXPECT_FALSE(profile.capacityForMissRatio(0.1).has_value());
+}
+
+TEST(Reuse, EmptyTrace)
+{
+    const auto profile = reuseProfile({});
+    EXPECT_EQ(profile.accesses, 0u);
+    EXPECT_EQ(profile.coldMisses, 0u);
+    EXPECT_DOUBLE_EQ(profile.lruMissRatio(4), 0.0);
+}
+
+} // namespace

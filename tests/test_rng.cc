@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "recap/common/error.hh"
+#include "recap/common/rng.hh"
+#include "recap/common/stats.hh"
+
+namespace
+{
+
+using namespace recap;
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(12345);
+    Rng b(12345);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++equal;
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, CopyForksStream)
+{
+    Rng a(7);
+    a.next();
+    Rng b = a;
+    EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, NextBelowStaysInRange)
+{
+    Rng rng(99);
+    for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+        for (int i = 0; i < 2000; ++i)
+            ASSERT_LT(rng.nextBelow(bound), bound);
+    }
+}
+
+TEST(Rng, NextBelowRejectsZero)
+{
+    Rng rng(1);
+    EXPECT_THROW(rng.nextBelow(0), UsageError);
+}
+
+TEST(Rng, NextBelowCoversAllValues)
+{
+    Rng rng(5);
+    std::vector<bool> seen(7, false);
+    for (int i = 0; i < 1000; ++i)
+        seen[rng.nextBelow(7)] = true;
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+TEST(Rng, NextBelowIsRoughlyUniform)
+{
+    Rng rng(31);
+    constexpr int kBuckets = 8;
+    constexpr int kSamples = 80000;
+    std::vector<int> counts(kBuckets, 0);
+    for (int i = 0; i < kSamples; ++i)
+        ++counts[rng.nextBelow(kBuckets)];
+    for (int c : counts) {
+        EXPECT_GT(c, kSamples / kBuckets * 0.9);
+        EXPECT_LT(c, kSamples / kBuckets * 1.1);
+    }
+}
+
+TEST(Rng, NextInRangeInclusiveBounds)
+{
+    Rng rng(17);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const uint64_t v = rng.nextInRange(10, 13);
+        ASSERT_GE(v, 10u);
+        ASSERT_LE(v, 13u);
+        saw_lo |= v == 10;
+        saw_hi |= v == 13;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+    EXPECT_EQ(rng.nextInRange(42, 42), 42u);
+    EXPECT_THROW(rng.nextInRange(2, 1), UsageError);
+}
+
+TEST(Rng, NextDoubleInHalfOpenUnitInterval)
+{
+    Rng rng(23);
+    RunningStat stat;
+    for (int i = 0; i < 20000; ++i) {
+        const double d = rng.nextDouble();
+        ASSERT_GE(d, 0.0);
+        ASSERT_LT(d, 1.0);
+        stat.add(d);
+    }
+    EXPECT_NEAR(stat.mean(), 0.5, 0.02);
+}
+
+TEST(Rng, NextBoolEdgesAndProbability)
+{
+    Rng rng(3);
+    EXPECT_FALSE(rng.nextBool(0.0));
+    EXPECT_TRUE(rng.nextBool(1.0));
+    EXPECT_FALSE(rng.nextBool(-1.0));
+    EXPECT_TRUE(rng.nextBool(2.0));
+    int yes = 0;
+    for (int i = 0; i < 20000; ++i)
+        if (rng.nextBool(0.3))
+            ++yes;
+    EXPECT_NEAR(yes / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, GeometricHasRequestedMean)
+{
+    Rng rng(77);
+    RunningStat stat;
+    for (int i = 0; i < 50000; ++i)
+        stat.add(static_cast<double>(rng.nextGeometric(5.0)));
+    EXPECT_NEAR(stat.mean(), 5.0, 0.25);
+    EXPECT_THROW(rng.nextGeometric(0.0), UsageError);
+}
+
+TEST(Rng, ShuffleIsAPermutation)
+{
+    Rng rng(8);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+    auto sorted = v;
+    rng.shuffle(v);
+    auto resorted = v;
+    std::sort(resorted.begin(), resorted.end());
+    EXPECT_EQ(resorted, sorted);
+}
+
+TEST(Rng, ShuffleActuallyShuffles)
+{
+    Rng rng(9);
+    std::vector<int> v(64);
+    for (int i = 0; i < 64; ++i)
+        v[i] = i;
+    const auto original = v;
+    rng.shuffle(v);
+    EXPECT_NE(v, original);
+}
+
+} // namespace

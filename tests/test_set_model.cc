@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Tests for SetModel, the contents+policy automaton the inference
+ * machinery reasons over.
+ */
+
+#include <gtest/gtest.h>
+
+#include "recap/common/error.hh"
+#include "recap/policy/factory.hh"
+#include "recap/policy/lru.hh"
+#include "recap/policy/set_model.hh"
+
+namespace
+{
+
+using namespace recap::policy;
+using recap::UsageError;
+
+SetModel
+lruModel(unsigned ways)
+{
+    return SetModel(std::make_unique<LruPolicy>(ways));
+}
+
+TEST(SetModel, StartsEmpty)
+{
+    SetModel m = lruModel(4);
+    EXPECT_EQ(m.ways(), 4u);
+    EXPECT_EQ(m.validCount(), 0u);
+    EXPECT_FALSE(m.contains(7));
+    for (unsigned w = 0; w < 4; ++w)
+        EXPECT_FALSE(m.isValid(w));
+}
+
+TEST(SetModel, ColdFillsUseLowestInvalidWay)
+{
+    SetModel m = lruModel(4);
+    EXPECT_FALSE(m.access(10));
+    EXPECT_TRUE(m.isValid(0));
+    EXPECT_EQ(m.blockAt(0), 10u);
+    EXPECT_FALSE(m.access(11));
+    EXPECT_EQ(m.blockAt(1), 11u);
+    EXPECT_EQ(m.validCount(), 2u);
+}
+
+TEST(SetModel, HitsReportedCorrectly)
+{
+    SetModel m = lruModel(2);
+    EXPECT_FALSE(m.access(5));
+    EXPECT_TRUE(m.access(5));
+    EXPECT_FALSE(m.access(6));
+    EXPECT_TRUE(m.access(5));
+    EXPECT_TRUE(m.access(6));
+}
+
+TEST(SetModel, EvictionReplacesVictim)
+{
+    SetModel m = lruModel(2);
+    m.access(1);
+    m.access(2);
+    m.access(3); // evicts block 1 (LRU)
+    EXPECT_FALSE(m.contains(1));
+    EXPECT_TRUE(m.contains(2));
+    EXPECT_TRUE(m.contains(3));
+}
+
+TEST(SetModel, FlushEmptiesAndResets)
+{
+    SetModel m = lruModel(4);
+    for (BlockId b = 0; b < 4; ++b)
+        m.access(b);
+    m.flush();
+    EXPECT_EQ(m.validCount(), 0u);
+    EXPECT_FALSE(m.contains(0));
+    // After a flush, cold fills start at way 0 again.
+    m.access(42);
+    EXPECT_EQ(m.blockAt(0), 42u);
+}
+
+TEST(SetModel, BlockAtChecksValidity)
+{
+    SetModel m = lruModel(4);
+    EXPECT_THROW(m.blockAt(0), UsageError);
+    EXPECT_THROW(m.blockAt(9), UsageError);
+}
+
+TEST(SetModel, EvictionOrderMatchesLruStack)
+{
+    SetModel m = lruModel(4);
+    for (BlockId b = 1; b <= 4; ++b)
+        m.access(b);
+    m.access(2); // 2 becomes MRU
+    const auto order = m.evictionOrder();
+    ASSERT_EQ(order.size(), 4u);
+    EXPECT_EQ(order[0], 1u);
+    EXPECT_EQ(order[1], 3u);
+    EXPECT_EQ(order[2], 4u);
+    EXPECT_EQ(order[3], 2u);
+}
+
+TEST(SetModel, EvictionOrderDoesNotPerturbState)
+{
+    SetModel m = lruModel(4);
+    for (BlockId b = 1; b <= 4; ++b)
+        m.access(b);
+    const std::string key = m.stateKey();
+    (void)m.evictionOrder();
+    EXPECT_EQ(m.stateKey(), key);
+}
+
+TEST(SetModel, EvictionOrderRequiresFullSet)
+{
+    SetModel m = lruModel(4);
+    m.access(1);
+    EXPECT_THROW(m.evictionOrder(), UsageError);
+}
+
+TEST(SetModel, CopyIsDeep)
+{
+    SetModel m = lruModel(2);
+    m.access(1);
+    SetModel copy(m);
+    copy.access(2);
+    copy.access(3);
+    EXPECT_TRUE(m.contains(1));
+    EXPECT_FALSE(m.contains(3));
+    EXPECT_TRUE(copy.contains(3));
+}
+
+TEST(SetModel, AssignmentIsDeep)
+{
+    SetModel a = lruModel(2);
+    SetModel b = lruModel(2);
+    a.access(1);
+    b = a;
+    b.access(2);
+    b.access(3);
+    EXPECT_TRUE(a.contains(1));
+    EXPECT_FALSE(a.contains(2));
+}
+
+TEST(SetModel, StateKeyInvariantUnderBlockRenaming)
+{
+    SetModel a = lruModel(4);
+    SetModel b = lruModel(4);
+    // Same access pattern with renamed block ids.
+    for (BlockId x : {1u, 2u, 3u, 1u, 4u})
+        a.access(x);
+    for (BlockId x : {100u, 200u, 300u, 100u, 400u})
+        b.access(x);
+    EXPECT_EQ(a.stateKey(), b.stateKey());
+}
+
+TEST(SetModel, StateKeyDistinguishesDifferentStates)
+{
+    SetModel a = lruModel(4);
+    SetModel b = lruModel(4);
+    for (BlockId x : {1u, 2u, 3u, 4u})
+        a.access(x);
+    for (BlockId x : {1u, 2u, 3u, 4u})
+        b.access(x);
+    b.access(1); // different recency
+    EXPECT_NE(a.stateKey(), b.stateKey());
+}
+
+TEST(SetModel, NextFillWayPrefersInvalid)
+{
+    SetModel m = lruModel(3);
+    EXPECT_EQ(m.nextFillWay(), 0u);
+    m.access(1);
+    EXPECT_EQ(m.nextFillWay(), 1u);
+    m.access(2);
+    m.access(3);
+    // Full set: policy victim decides (way 0 for fresh LRU).
+    EXPECT_EQ(m.nextFillWay(), 0u);
+}
+
+TEST(SetModel, WorksForEveryRegistryPolicy)
+{
+    for (const auto& spec : recap::policy::baselineSpecs()) {
+        if (!specSupportsWays(spec, 4))
+            continue;
+        SetModel m(makePolicy(spec, 4));
+        for (BlockId b = 0; b < 12; ++b)
+            m.access(b % 6);
+        EXPECT_LE(m.validCount(), 4u) << spec;
+        EXPECT_EQ(m.evictionOrder().size(), 4u) << spec;
+    }
+}
+
+} // namespace

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests for the trace-driven evaluation harness.
+ */
+
+#include <gtest/gtest.h>
+
+#include "recap/eval/simulate.hh"
+#include "recap/trace/generators.hh"
+
+namespace
+{
+
+using namespace recap;
+using cache::Geometry;
+using eval::simulateTrace;
+using trace::Trace;
+
+Geometry
+geom32k()
+{
+    return Geometry{64, 64, 8}; // 32 KiB
+}
+
+TEST(Simulate, FittingScanMissesOnlyCold)
+{
+    const auto t = trace::sequentialScan(16 * 1024, 4);
+    const auto stats = simulateTrace(geom32k(), "lru", t);
+    EXPECT_EQ(stats.accesses, t.size());
+    EXPECT_EQ(stats.misses, 16u * 1024 / 64); // cold misses only
+    EXPECT_EQ(stats.evictions, 0u);
+}
+
+TEST(Simulate, ThrashingScanDefeatsLru)
+{
+    const auto t = trace::sequentialScan(64 * 1024, 4);
+    const auto stats = simulateTrace(geom32k(), "lru", t);
+    // Cyclic scan at twice the capacity: LRU misses every access.
+    EXPECT_EQ(stats.misses, stats.accesses);
+}
+
+TEST(Simulate, BipResistsThrashingBetterThanLru)
+{
+    const auto t = trace::sequentialScan(64 * 1024, 6);
+    const auto lru = simulateTrace(geom32k(), "lru", t);
+    const auto bip = simulateTrace(geom32k(), "bip", t);
+    EXPECT_LT(bip.missRatio(), lru.missRatio() * 0.8);
+}
+
+TEST(Simulate, DeterministicForSeededRandomPolicy)
+{
+    const auto t = trace::randomUniform(64 * 1024, 30000, 3);
+    const auto a = simulateTrace(geom32k(), "random", t, 5);
+    const auto b = simulateTrace(geom32k(), "random", t, 5);
+    EXPECT_EQ(a.misses, b.misses);
+    const auto c = simulateTrace(geom32k(), "random", t, 6);
+    EXPECT_NE(a.misses, c.misses);
+}
+
+TEST(Simulate, AdaptiveBeatsWorstConstituentOnPhaseMix)
+{
+    const auto t = trace::phaseMix(32 * 1024, 4, 3, 21);
+    cache::DuelingConfig duel;
+    duel.leaderSetsPerPolicy = 4;
+    duel.pselBits = 8;
+    const auto adaptive = eval::simulateTraceAdaptive(
+        geom32k(), "lru", "bip", duel, t);
+    const auto lru = simulateTrace(geom32k(), "lru", t);
+    const auto bip = simulateTrace(geom32k(), "bip", t);
+    const double worst =
+        std::max(lru.missRatio(), bip.missRatio());
+    EXPECT_LT(adaptive.missRatio(), worst);
+}
+
+TEST(Simulate, DrripStyleDuelTracksBetterRripVariant)
+{
+    // DRRIP = set dueling between SRRIP and BRRIP; on a thrashing
+    // scan the composite must track BRRIP, not SRRIP.
+    const auto t = trace::sequentialScan(64 * 1024, 8);
+    cache::DuelingConfig duel;
+    duel.leaderSetsPerPolicy = 4;
+    duel.pselBits = 8;
+    const auto drrip = eval::simulateTraceAdaptive(
+        geom32k(), "srrip", "brrip", duel, t);
+    const auto srrip = simulateTrace(geom32k(), "srrip", t);
+    const auto brrip = simulateTrace(geom32k(), "brrip", t);
+    EXPECT_LT(drrip.missRatio(), srrip.missRatio());
+    EXPECT_LT(drrip.missRatio(), brrip.missRatio() * 1.15);
+}
+
+TEST(Simulate, InterleavedCorunnersDegradeEachOther)
+{
+    // A cache-friendly loop co-running with a streaming antagonist
+    // through a shared cache: the loop's lines keep getting evicted,
+    // so the combined miss ratio exceeds the weighted solo ratios.
+    // 24 KiB loop + co-runner: per set, 6 loop lines plus ~6
+    // interleaved stream lines exceed the 8 ways, while the loop
+    // alone fits the 32 KiB cache.
+    const auto loop = trace::sequentialScan(24 * 1024, 40);
+    const auto stream = trace::sequentialScan(384 * 1024, 3,
+                                              64, 1 << 27);
+    const auto mixed = trace::interleaveTraces({loop, stream}, 8);
+
+    const auto solo_loop = simulateTrace(geom32k(), "lru", loop);
+    const auto solo_stream = simulateTrace(geom32k(), "lru", stream);
+    const auto shared = simulateTrace(geom32k(), "lru", mixed);
+
+    const double weighted =
+        (static_cast<double>(solo_loop.misses) + solo_stream.misses) /
+        static_cast<double>(loop.size() + stream.size());
+    EXPECT_GT(shared.missRatio(), weighted * 1.5);
+}
+
+TEST(Simulate, WindowedMissRatios)
+{
+    cache::Cache c(geom32k(), "lru", "eval");
+    const auto t = trace::sequentialScan(16 * 1024, 4);
+    const auto windows = eval::windowedMissRatios(c, t, 256);
+    ASSERT_EQ(windows.size(), t.size() / 256);
+    // First window is cold (all misses), later windows all hits.
+    EXPECT_DOUBLE_EQ(windows.front(), 1.0);
+    EXPECT_DOUBLE_EQ(windows.back(), 0.0);
+}
+
+TEST(Simulate, WindowedHandlesPartialTailWindow)
+{
+    cache::Cache c(geom32k(), "lru", "eval");
+    Trace t(300, 0); // 300 accesses to one line
+    const auto windows = eval::windowedMissRatios(c, t, 256);
+    ASSERT_EQ(windows.size(), 2u);
+    EXPECT_NEAR(windows[0], 1.0 / 256.0, 1e-12);
+    EXPECT_DOUBLE_EQ(windows[1], 0.0);
+}
+
+TEST(Simulate, PolicyOrderingOnZipf)
+{
+    // On a skewed reuse-friendly workload, recency-based policies
+    // must beat random replacement.
+    const auto t = trace::zipf(128 * 1024, 60000, 1.0, 9);
+    const auto lru = simulateTrace(geom32k(), "lru", t);
+    const auto rnd = simulateTrace(geom32k(), "random", t);
+    EXPECT_LT(lru.missRatio(), rnd.missRatio());
+}
+
+TEST(Simulate, PlruTracksLruClosely)
+{
+    const auto t = trace::stackDistanceModel(60000, 40.0, 4);
+    const auto lru = simulateTrace(geom32k(), "lru", t);
+    const auto plru = simulateTrace(geom32k(), "plru", t);
+    EXPECT_NEAR(plru.missRatio(), lru.missRatio(),
+                0.05 * lru.missRatio() + 0.01);
+}
+
+} // namespace

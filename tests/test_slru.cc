@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Tests for segmented LRU.
+ */
+
+#include <gtest/gtest.h>
+
+#include "recap/common/error.hh"
+#include "recap/policy/factory.hh"
+#include "recap/policy/set_model.hh"
+#include "recap/policy/slru.hh"
+
+namespace
+{
+
+using namespace recap::policy;
+using recap::UsageError;
+
+TEST(Slru, DefaultsToHalfProtected)
+{
+    SlruPolicy p(8);
+    EXPECT_EQ(p.protectedCapacity(), 4u);
+    SlruPolicy q(8, 6);
+    EXPECT_EQ(q.protectedCapacity(), 6u);
+}
+
+TEST(Slru, RejectsBadSegmentSizes)
+{
+    EXPECT_THROW(SlruPolicy(4, 4), UsageError);
+    EXPECT_THROW(SlruPolicy(4, 7), UsageError);
+    EXPECT_THROW(SlruPolicy(1), UsageError);
+}
+
+TEST(Slru, FillsStayProbationary)
+{
+    SlruPolicy p(4, 2);
+    p.fill(0);
+    p.fill(1);
+    EXPECT_TRUE(p.protectedSegment().empty());
+    EXPECT_EQ(p.probationarySegment().front(), 1u);
+}
+
+TEST(Slru, HitPromotesToProtected)
+{
+    SlruPolicy p(4, 2);
+    p.fill(0);
+    p.touch(0);
+    ASSERT_EQ(p.protectedSegment().size(), 1u);
+    EXPECT_EQ(p.protectedSegment().front(), 0u);
+}
+
+TEST(Slru, ProtectedOverflowDemotesLru)
+{
+    SlruPolicy p(4, 2);
+    for (unsigned w = 0; w < 4; ++w)
+        p.fill(w);
+    p.touch(0);
+    p.touch(1);
+    p.touch(2); // protected over capacity: way 0 demoted
+    const auto prot = p.protectedSegment();
+    ASSERT_EQ(prot.size(), 2u);
+    EXPECT_EQ(prot[0], 2u);
+    EXPECT_EQ(prot[1], 1u);
+    EXPECT_EQ(p.probationarySegment().front(), 0u);
+}
+
+TEST(Slru, VictimIsProbationaryLru)
+{
+    SlruPolicy p(4, 2);
+    for (unsigned w = 0; w < 4; ++w)
+        p.fill(w);
+    // Probationary order (MRU first): 3,2,1,0 -> victim way 0.
+    EXPECT_EQ(p.victim(), 0u);
+    p.touch(0); // promote 0: victim becomes way 1
+    EXPECT_EQ(p.victim(), 1u);
+}
+
+TEST(Slru, VictimFallsBackToProtected)
+{
+    SlruPolicy p(3, 2);
+    p.fill(0);
+    p.fill(1);
+    p.fill(2);
+    p.touch(0);
+    p.touch(1);
+    p.touch(2); // 0 demoted: probation {0}, protected {2,1}
+    p.touch(0); // 1 demoted: probation {1}, protected {0,2}
+    p.touch(1); // 2 demoted: probation {2}, protected {1,0}
+    p.touch(2); // 0 demoted: probation {0}, protected {2,1}
+    EXPECT_EQ(p.victim(), 0u);
+    // Promote the only probationary line: victim must come from the
+    // protected segment's LRU end.
+    p.touch(0); // 1 demoted -> probation {1}
+    EXPECT_EQ(p.victim(), 1u);
+}
+
+TEST(Slru, ScanResistance)
+{
+    // A protected working set survives a one-shot scan that would
+    // wipe plain LRU.
+    SetModel slru(std::make_unique<SlruPolicy>(8, 4));
+    SetModel lru(makePolicy("lru", 8));
+    // Establish 4 hot lines (two touches each).
+    for (int rep = 0; rep < 2; ++rep)
+        for (BlockId b = 1; b <= 4; ++b) {
+            slru.access(b);
+            lru.access(b);
+        }
+    // One-shot scan of 8 cold lines.
+    for (BlockId b = 100; b < 108; ++b) {
+        slru.access(b);
+        lru.access(b);
+    }
+    unsigned slru_hits = 0;
+    unsigned lru_hits = 0;
+    for (BlockId b = 1; b <= 4; ++b) {
+        slru_hits += slru.contains(b);
+        lru_hits += lru.contains(b);
+    }
+    EXPECT_EQ(lru_hits, 0u);
+    EXPECT_EQ(slru_hits, 4u);
+}
+
+TEST(Slru, FactoryIntegration)
+{
+    auto p = makePolicy("slru", 8);
+    EXPECT_EQ(p->name(), "SLRU");
+    auto q = makePolicy("slru:6", 8);
+    EXPECT_EQ(q->ways(), 8u);
+    EXPECT_THROW(makePolicy("slru:9", 8), UsageError);
+}
+
+TEST(Slru, CloneAndReset)
+{
+    SlruPolicy p(4, 2);
+    p.fill(0);
+    p.touch(0);
+    auto c = p.clone();
+    EXPECT_EQ(c->stateKey(), p.stateKey());
+    c->touch(1);
+    EXPECT_NE(c->stateKey(), p.stateKey());
+    const std::string initial = SlruPolicy(4, 2).stateKey();
+    p.reset();
+    EXPECT_EQ(p.stateKey(), initial);
+}
+
+} // namespace

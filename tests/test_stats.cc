@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tests for the streaming statistics accumulators.
+ */
+
+#include <gtest/gtest.h>
+
+#include "recap/common/error.hh"
+#include "recap/common/stats.hh"
+
+namespace
+{
+
+using namespace recap;
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.min(), 0.0);
+    EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStat, SingleSample)
+{
+    RunningStat s;
+    s.add(42.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_EQ(s.mean(), 42.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.min(), 42.0);
+    EXPECT_EQ(s.max(), 42.0);
+    EXPECT_EQ(s.sum(), 42.0);
+}
+
+TEST(RunningStat, KnownMoments)
+{
+    RunningStat s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    // Unbiased sample variance of this classic data set is 32/7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_EQ(s.min(), 2.0);
+    EXPECT_EQ(s.max(), 9.0);
+    EXPECT_NEAR(s.stddev() * s.stddev(), s.variance(), 1e-12);
+}
+
+TEST(RunningStat, NegativeValues)
+{
+    RunningStat s;
+    s.add(-5.0);
+    s.add(5.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.min(), -5.0);
+    EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(Histogram, CountsAndTotal)
+{
+    Histogram h;
+    h.add(4);
+    h.add(4);
+    h.add(12, 3);
+    EXPECT_EQ(h.total(), 5u);
+    EXPECT_EQ(h.countOf(4), 2u);
+    EXPECT_EQ(h.countOf(12), 3u);
+    EXPECT_EQ(h.countOf(99), 0u);
+}
+
+TEST(Histogram, Mode)
+{
+    Histogram h;
+    h.add(1, 5);
+    h.add(2, 9);
+    h.add(3, 4);
+    EXPECT_EQ(h.mode(), 2);
+    Histogram empty;
+    EXPECT_THROW(empty.mode(), UsageError);
+}
+
+TEST(Histogram, Quantiles)
+{
+    Histogram h;
+    for (int v = 1; v <= 100; ++v)
+        h.add(v);
+    EXPECT_EQ(h.quantile(0.0), 1);
+    EXPECT_EQ(h.quantile(0.5), 50);
+    EXPECT_EQ(h.quantile(1.0), 100);
+    EXPECT_THROW(h.quantile(1.5), UsageError);
+}
+
+TEST(Histogram, BucketsSorted)
+{
+    Histogram h;
+    h.add(30);
+    h.add(-2);
+    h.add(7);
+    const auto buckets = h.buckets();
+    ASSERT_EQ(buckets.size(), 3u);
+    EXPECT_EQ(buckets[0].first, -2);
+    EXPECT_EQ(buckets[1].first, 7);
+    EXPECT_EQ(buckets[2].first, 30);
+}
+
+} // namespace

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests for the sweep utilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "recap/common/error.hh"
+#include "recap/eval/sweep.hh"
+#include "recap/trace/generators.hh"
+
+namespace
+{
+
+using namespace recap;
+using eval::associativitySweep;
+using eval::policyWorkloadSweep;
+using eval::sizeSweep;
+
+std::vector<trace::Workload>
+tinySuite()
+{
+    return {
+        {"scan", "fitting scan", trace::sequentialScan(8 * 1024, 3)},
+        {"thrash", "oversized scan",
+         trace::sequentialScan(64 * 1024, 3)},
+    };
+}
+
+TEST(Sweep, PolicyWorkloadGridShape)
+{
+    const cache::Geometry geom{64, 64, 8};
+    const auto result = policyWorkloadSweep(
+        geom, {"lru", "fifo", "plru"}, tinySuite());
+    EXPECT_EQ(result.rowLabels.size(), 4u); // 3 policies + OPT
+    EXPECT_EQ(result.columnLabels.size(), 2u);
+    EXPECT_EQ(result.cells.size(), 8u);
+}
+
+TEST(Sweep, UnsupportedPoliciesSkipped)
+{
+    const cache::Geometry geom{64, 64, 6}; // 6-way: no tree-PLRU
+    const auto result = policyWorkloadSweep(
+        geom, {"lru", "plru"}, tinySuite(), false);
+    ASSERT_EQ(result.rowLabels.size(), 1u);
+    EXPECT_EQ(result.rowLabels[0], "lru");
+}
+
+TEST(Sweep, OptRowLowerBoundsEveryCell)
+{
+    const cache::Geometry geom{64, 32, 4};
+    const auto result = policyWorkloadSweep(
+        geom, {"lru", "fifo", "random"}, tinySuite());
+    for (const auto& w : result.columnLabels) {
+        const auto& opt = result.at("OPT", w);
+        for (const auto& row : result.rowLabels)
+            EXPECT_LE(opt.misses, result.at(row, w).misses)
+                << row << "/" << w;
+    }
+}
+
+TEST(Sweep, AtThrowsForMissingCell)
+{
+    const cache::Geometry geom{64, 64, 8};
+    const auto result =
+        policyWorkloadSweep(geom, {"lru"}, tinySuite(), false);
+    EXPECT_THROW(result.at("fifo", "scan"), UsageError);
+    EXPECT_NO_THROW(result.at("lru", "thrash"));
+}
+
+TEST(Sweep, SizeSweepMonotoneForLru)
+{
+    const auto workload = trace::zipf(128 * 1024, 40000, 0.9, 3);
+    const auto result = sizeSweep({"lru"}, workload, 8 * 1024,
+                                  256 * 1024, 8, 64, false);
+    ASSERT_EQ(result.columnLabels.size(), 6u);
+    // LRU miss ratio never increases with capacity (inclusion
+    // property of the stack algorithm).
+    double previous = 1.1;
+    for (const auto& col : result.columnLabels) {
+        const double ratio = result.at("lru", col).missRatio;
+        EXPECT_LE(ratio, previous + 1e-12) << col;
+        previous = ratio;
+    }
+}
+
+TEST(Sweep, SizeSweepRejectsBadRange)
+{
+    const auto workload = trace::sequentialScan(4096, 1);
+    EXPECT_THROW(sizeSweep({"lru"}, workload, 1024, 512, 4),
+                 UsageError);
+}
+
+TEST(Sweep, AssociativitySweepShape)
+{
+    const auto workload = trace::zipf(64 * 1024, 20000, 0.9, 4);
+    const auto result = associativitySweep(
+        {"lru", "plru", "nru"}, workload, 32 * 1024, 2, 16);
+    EXPECT_EQ(result.columnLabels.size(), 4u); // 2,4,8,16
+    EXPECT_EQ(std::count(result.rowLabels.begin(),
+                         result.rowLabels.end(), "plru"),
+              1);
+    // Every policy cell simulated the same number of accesses.
+    for (const auto& cell : result.cells)
+        EXPECT_EQ(cell.accesses, workload.size());
+}
+
+} // namespace

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Tests for the text-table printer and formatting helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "recap/common/error.hh"
+#include "recap/common/table.hh"
+
+namespace
+{
+
+using namespace recap;
+
+TEST(TextTable, AlignedOutputContainsCells)
+{
+    TextTable t({"policy", "miss ratio"});
+    t.addRow({"LRU", "0.2310"});
+    t.addRow({"FIFO", "0.2544"});
+    std::ostringstream oss;
+    t.print(oss);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("policy"), std::string::npos);
+    EXPECT_NE(out.find("LRU"), std::string::npos);
+    EXPECT_NE(out.find("0.2544"), std::string::npos);
+    // Header separator line present.
+    EXPECT_NE(out.find("---"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(TextTable, ColumnsAreAligned)
+{
+    TextTable t({"a", "b"});
+    t.addRow({"xxxxxxxx", "1"});
+    t.addRow({"y", "2"});
+    std::ostringstream oss;
+    t.print(oss);
+    std::istringstream iss(oss.str());
+    std::string line;
+    std::vector<size_t> lengths;
+    while (std::getline(iss, line))
+        lengths.push_back(line.size());
+    ASSERT_EQ(lengths.size(), 4u);
+    EXPECT_EQ(lengths[0], lengths[2]);
+    EXPECT_EQ(lengths[2], lengths[3]);
+}
+
+TEST(TextTable, RejectsMismatchedRow)
+{
+    TextTable t({"one", "two"});
+    EXPECT_THROW(t.addRow({"only-one"}), UsageError);
+    EXPECT_THROW(TextTable({}), UsageError);
+}
+
+TEST(TextTable, CsvEscapesSpecials)
+{
+    TextTable t({"name", "note"});
+    t.addRow({"plain", "hello"});
+    t.addRow({"with,comma", "say \"hi\""});
+    std::ostringstream oss;
+    t.printCsv(oss);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("name,note"), std::string::npos);
+    EXPECT_NE(out.find("\"with,comma\""), std::string::npos);
+    EXPECT_NE(out.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Formatting, FormatDouble)
+{
+    EXPECT_EQ(formatDouble(1.23456, 2), "1.23");
+    EXPECT_EQ(formatDouble(1.0, 4), "1.0000");
+    EXPECT_EQ(formatDouble(-0.5, 1), "-0.5");
+}
+
+TEST(Formatting, FormatPercent)
+{
+    EXPECT_EQ(formatPercent(0.1234), "12.34%");
+    EXPECT_EQ(formatPercent(1.0, 0), "100%");
+}
+
+TEST(Formatting, FormatBytes)
+{
+    EXPECT_EQ(formatBytes(512), "512 B");
+    EXPECT_EQ(formatBytes(1024), "1 KiB");
+    EXPECT_EQ(formatBytes(32 * 1024), "32 KiB");
+    EXPECT_EQ(formatBytes(6 * 1024 * 1024), "6 MiB");
+    EXPECT_EQ(formatBytes(1536), "1536 B"); // not an exact KiB
+}
+
+} // namespace

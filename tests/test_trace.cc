@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Tests for the synthetic workload generators.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <unordered_set>
+
+#include "recap/common/error.hh"
+#include "recap/trace/generators.hh"
+
+namespace
+{
+
+using namespace recap;
+using namespace recap::trace;
+
+TEST(Trace, DistinctBlocksAndConcat)
+{
+    Trace t{0, 1, 63, 64, 128, 64};
+    EXPECT_EQ(distinctBlocks(t, 64), 3u);
+    Trace a{1, 2};
+    Trace b{3};
+    EXPECT_EQ(concatTraces({a, b, a}).size(), 5u);
+    EXPECT_EQ(concatTraces({}), Trace{});
+}
+
+TEST(Trace, InterleaveRoundRobin)
+{
+    Trace a{1, 2, 3, 4};
+    Trace b{10, 20};
+    // chunk 1: a b a b a a (b exhausts after two rounds)
+    EXPECT_EQ(interleaveTraces({a, b}, 1),
+              (Trace{1, 10, 2, 20, 3, 4}));
+    // chunk 2: aa bb aa
+    EXPECT_EQ(interleaveTraces({a, b}, 2),
+              (Trace{1, 2, 10, 20, 3, 4}));
+    // chunk 0 behaves like chunk 1
+    EXPECT_EQ(interleaveTraces({a, b}, 0),
+              interleaveTraces({a, b}, 1));
+    EXPECT_TRUE(interleaveTraces({}, 4).empty());
+    EXPECT_EQ(interleaveTraces({a}, 3), a);
+}
+
+TEST(Generators, SequentialScanShape)
+{
+    const auto t = sequentialScan(1024, 3, 64);
+    EXPECT_EQ(t.size(), 3u * 16u);
+    EXPECT_EQ(distinctBlocks(t, 64), 16u);
+    // Addresses ascend within a pass.
+    EXPECT_LT(t[0], t[1]);
+    EXPECT_EQ(t[0], t[16]); // pass restarts
+}
+
+TEST(Generators, StridedScanSkipsLines)
+{
+    const auto t = stridedScan(1024, 128, 1);
+    EXPECT_EQ(t.size(), 8u);
+    EXPECT_EQ(t[1] - t[0], 128u);
+}
+
+TEST(Generators, RandomUniformBounded)
+{
+    const auto t = randomUniform(4096, 1000, 7, 0);
+    EXPECT_EQ(t.size(), 1000u);
+    for (auto a : t) {
+        EXPECT_LT(a, 4096u);
+        EXPECT_EQ(a % 64, 0u);
+    }
+    EXPECT_EQ(t, randomUniform(4096, 1000, 7, 0)) << "determinism";
+    EXPECT_NE(t, randomUniform(4096, 1000, 8, 0));
+}
+
+TEST(Generators, ZipfIsSkewed)
+{
+    const auto t = zipf(64 * 1024, 20000, 1.0, 3, 0);
+    EXPECT_EQ(t.size(), 20000u);
+    // The most popular line should dominate: count the mode.
+    std::map<cache::Addr, unsigned> counts;
+    for (auto a : t)
+        ++counts[a];
+    unsigned max_count = 0;
+    for (const auto& [addr, n] : counts)
+        max_count = std::max(max_count, n);
+    // Uniform would give ~20 per line; Zipf(1.0) gives the top line
+    // a large multiple of that.
+    EXPECT_GT(max_count, 400u);
+}
+
+TEST(Generators, PointerChaseVisitsAllNodesCyclically)
+{
+    const size_t nodes = 64;
+    const auto t = pointerChase(nodes, nodes * 2, 5);
+    ASSERT_EQ(t.size(), nodes * 2);
+    // Sattolo's algorithm yields one full cycle: the first `nodes`
+    // accesses visit every node exactly once, then repeat.
+    std::unordered_set<cache::Addr> first(t.begin(),
+                                          t.begin() + nodes);
+    EXPECT_EQ(first.size(), nodes);
+    for (size_t i = 0; i < nodes; ++i)
+        EXPECT_EQ(t[i], t[i + nodes]);
+}
+
+TEST(Generators, BlockedMatmulTouchesThreeMatrices)
+{
+    const auto t = blockedMatmul(16, 4);
+    // dim^3 iterations, 3 accesses each.
+    EXPECT_EQ(t.size(), 3u * 16 * 16 * 16);
+    EXPECT_THROW(blockedMatmul(8, 16), UsageError);
+}
+
+TEST(Generators, StackDistanceModelReusesRecency)
+{
+    const auto t = stackDistanceModel(20000, 4.0, 11);
+    EXPECT_EQ(t.size(), 20000u);
+    // With a small mean distance most accesses reuse recent lines:
+    // the footprint stays far below the access count.
+    EXPECT_LT(distinctBlocks(t, 64), 6000u);
+    EXPECT_GT(distinctBlocks(t, 64), 10u);
+}
+
+TEST(Generators, PhaseMixAlternates)
+{
+    const auto t = phaseMix(32 * 1024, 2, 2, 13);
+    EXPECT_GT(t.size(), 1000u);
+    // The thrash phases touch a footprint beyond the cache size.
+    EXPECT_GT(distinctBlocks(t, 64) * 64, 32u * 1024u);
+}
+
+TEST(Generators, SuiteIsCompleteAndDeterministic)
+{
+    SuiteConfig cfg;
+    cfg.cacheBytes = 32 * 1024;
+    cfg.accessesPerWorkload = 20000;
+    const auto suite = specLikeSuite(cfg);
+    ASSERT_EQ(suite.size(), 9u);
+    std::unordered_set<std::string> names;
+    for (const auto& w : suite) {
+        EXPECT_FALSE(w.name.empty());
+        EXPECT_FALSE(w.description.empty());
+        EXPECT_FALSE(w.trace.empty()) << w.name;
+        names.insert(w.name);
+    }
+    EXPECT_EQ(names.size(), suite.size()) << "names must be unique";
+
+    const auto again = specLikeSuite(cfg);
+    for (size_t i = 0; i < suite.size(); ++i)
+        EXPECT_EQ(suite[i].trace, again[i].trace) << suite[i].name;
+}
+
+} // namespace

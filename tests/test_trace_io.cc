@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tests for trace serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "recap/common/error.hh"
+#include "recap/trace/generators.hh"
+#include "recap/trace/io.hh"
+
+namespace
+{
+
+using namespace recap;
+using namespace recap::trace;
+
+TEST(TraceIo, RoundTripThroughStream)
+{
+    const Trace original = randomUniform(64 * 1024, 500, 3);
+    std::stringstream ss;
+    writeTrace(ss, original, "unit test");
+    const Trace loaded = readTrace(ss);
+    EXPECT_EQ(loaded, original);
+}
+
+TEST(TraceIo, HeaderAndCommentsEmitted)
+{
+    std::stringstream ss;
+    writeTrace(ss, {0x40, 0x80}, "hello");
+    const std::string text = ss.str();
+    EXPECT_EQ(text.rfind("# recap-trace v1\n", 0), 0u);
+    EXPECT_NE(text.find("# hello"), std::string::npos);
+    EXPECT_NE(text.find("0x40"), std::string::npos);
+}
+
+TEST(TraceIo, AcceptsBareHexAndSkipsComments)
+{
+    std::stringstream ss;
+    ss << "# recap-trace v1\n"
+          "# captured on rig 7\n"
+          "0x1000\n"
+          "\n"
+          "ff40\n"
+          "# trailing comment\n"
+          "0XABC0\n";
+    const Trace t = readTrace(ss);
+    ASSERT_EQ(t.size(), 3u);
+    EXPECT_EQ(t[0], 0x1000u);
+    EXPECT_EQ(t[1], 0xff40u);
+    EXPECT_EQ(t[2], 0xABC0u);
+}
+
+TEST(TraceIo, RejectsMissingHeader)
+{
+    std::stringstream ss;
+    ss << "0x1000\n";
+    EXPECT_THROW(readTrace(ss), UsageError);
+}
+
+TEST(TraceIo, RejectsMalformedLines)
+{
+    std::stringstream ss;
+    ss << "# recap-trace v1\n"
+          "0xZZZ\n";
+    EXPECT_THROW(readTrace(ss), UsageError);
+
+    std::stringstream partial;
+    partial << "# recap-trace v1\n"
+               "0x10 junk\n";
+    EXPECT_THROW(readTrace(partial), UsageError);
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips)
+{
+    std::stringstream ss;
+    writeTrace(ss, {});
+    EXPECT_TRUE(readTrace(ss).empty());
+}
+
+TEST(TraceIo, FileRoundTrip)
+{
+    const std::string path = "/tmp/recap_trace_io_test.txt";
+    const Trace original = sequentialScan(4096, 2);
+    saveTraceFile(path, original, "file round trip");
+    const Trace loaded = loadTraceFile(path);
+    EXPECT_EQ(loaded, original);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, LoadMissingFileThrows)
+{
+    EXPECT_THROW(loadTraceFile("/nonexistent/path/trace.txt"),
+                 UsageError);
+}
+
+TEST(TraceIo, LargeAddressesSurvive)
+{
+    const Trace original{uint64_t{1} << 48,
+                         (uint64_t{1} << 48) + 64,
+                         ~uint64_t{0} - 63};
+    std::stringstream ss;
+    writeTrace(ss, original);
+    EXPECT_EQ(readTrace(ss), original);
+}
+
+} // namespace

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for store handling: write-allocate, dirty bits, and
+ * writeback accounting, through both the single cache and the
+ * hierarchy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "recap/cache/cache.hh"
+#include "recap/cache/hierarchy.hh"
+#include "recap/trace/trace.hh"
+
+namespace
+{
+
+using namespace recap::cache;
+
+Geometry
+smallGeom()
+{
+    return Geometry{64, 4, 2};
+}
+
+TEST(Writeback, StoresMarkLinesDirty)
+{
+    Cache c(smallGeom(), "lru", "L1");
+    c.access(0, true);
+    EXPECT_TRUE(c.isDirty(0));
+    c.access(64, false);
+    EXPECT_FALSE(c.isDirty(64));
+    EXPECT_EQ(c.stats().writes, 1u);
+}
+
+TEST(Writeback, HitUpgradesCleanToDirty)
+{
+    Cache c(smallGeom(), "lru", "L1");
+    c.access(0, false);
+    EXPECT_FALSE(c.isDirty(0));
+    c.access(0, true);
+    EXPECT_TRUE(c.isDirty(0));
+}
+
+TEST(Writeback, EvictingDirtyLineCountsWriteback)
+{
+    Cache c(smallGeom(), "lru", "L1");
+    const Addr stride = 64 * 4;
+    c.access(0, true);
+    c.access(stride, false);
+    EXPECT_EQ(c.stats().writebacks, 0u);
+    const auto r = c.accessDetailed(2 * stride, false);
+    EXPECT_TRUE(r.writeback);
+    EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+TEST(Writeback, EvictingCleanLineDoesNot)
+{
+    Cache c(smallGeom(), "lru", "L1");
+    const Addr stride = 64 * 4;
+    c.access(0, false);
+    c.access(stride, false);
+    const auto r = c.accessDetailed(2 * stride, false);
+    EXPECT_FALSE(r.writeback);
+    EXPECT_EQ(c.stats().writebacks, 0u);
+}
+
+TEST(Writeback, ReinsertedLineStartsCleanAgain)
+{
+    Cache c(smallGeom(), "lru", "L1");
+    const Addr stride = 64 * 4;
+    c.access(0, true);
+    c.access(stride, false);
+    c.access(2 * stride, false); // evicts dirty line 0
+    c.access(0, false);          // re-fill clean
+    EXPECT_FALSE(c.isDirty(0));
+}
+
+TEST(Writeback, FlushWritesBackAllDirtyLines)
+{
+    Cache c(smallGeom(), "lru", "L1");
+    c.access(0, true);
+    c.access(64, true);
+    c.access(128, false);
+    c.flush();
+    EXPECT_EQ(c.stats().writebacks, 2u);
+}
+
+TEST(Writeback, InvalidateWritesBackDirtyLine)
+{
+    Cache c(smallGeom(), "lru", "L1");
+    c.access(0, true);
+    c.invalidate(0);
+    EXPECT_EQ(c.stats().writebacks, 1u);
+    c.access(64, false);
+    c.invalidate(64);
+    EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+TEST(Writeback, HierarchyPropagatesWrites)
+{
+    Hierarchy h(100);
+    h.addLevel(Cache(Geometry{64, 2, 2}, "lru", "L1"), 4);
+    h.addLevel(Cache(Geometry{64, 8, 4}, "lru", "L2"), 12);
+    h.access(0, true);
+    EXPECT_TRUE(h.level(0).cache.isDirty(0));
+    EXPECT_TRUE(h.level(1).cache.isDirty(0));
+    EXPECT_EQ(h.level(0).cache.stats().writes, 1u);
+}
+
+TEST(Writeback, WithWritesMarksRequestedFraction)
+{
+    recap::trace::Trace t(10000, 0);
+    const auto refs = recap::trace::withWrites(t, 0.25, 7);
+    ASSERT_EQ(refs.size(), t.size());
+    size_t writes = 0;
+    for (const auto& ref : refs)
+        writes += ref.write;
+    EXPECT_NEAR(static_cast<double>(writes) / refs.size(), 0.25,
+                0.02);
+    // Deterministic under the seed.
+    EXPECT_EQ(recap::trace::withWrites(t, 0.25, 7), refs);
+    EXPECT_NE(recap::trace::withWrites(t, 0.25, 8), refs);
+}
+
+TEST(Writeback, WriteHeavyTraceProducesWritebacks)
+{
+    Cache c(smallGeom(), "lru", "L1");
+    // Stream of stores over four times the cache: every eviction is
+    // a writeback.
+    for (Addr a = 0; a < 4 * 512; a += 64)
+        c.access(a, true);
+    EXPECT_EQ(c.stats().writebacks, c.stats().evictions);
+    EXPECT_GT(c.stats().writebacks, 0u);
+}
+
+} // namespace
