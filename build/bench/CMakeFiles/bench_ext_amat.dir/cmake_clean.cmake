@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_amat.dir/bench_ext_amat.cc.o"
+  "CMakeFiles/bench_ext_amat.dir/bench_ext_amat.cc.o.d"
+  "bench_ext_amat"
+  "bench_ext_amat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_amat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_missratio.dir/bench_fig3_missratio.cc.o"
+  "CMakeFiles/bench_fig3_missratio.dir/bench_fig3_missratio.cc.o.d"
+  "bench_fig3_missratio"
+  "bench_fig3_missratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_missratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

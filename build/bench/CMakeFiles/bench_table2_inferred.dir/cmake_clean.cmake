@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_inferred.dir/bench_table2_inferred.cc.o"
+  "CMakeFiles/bench_table2_inferred.dir/bench_table2_inferred.cc.o.d"
+  "bench_table2_inferred"
+  "bench_table2_inferred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_inferred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

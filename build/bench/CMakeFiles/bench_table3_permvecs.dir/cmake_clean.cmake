@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_permvecs.dir/bench_table3_permvecs.cc.o"
+  "CMakeFiles/bench_table3_permvecs.dir/bench_table3_permvecs.cc.o.d"
+  "bench_table3_permvecs"
+  "bench_table3_permvecs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_permvecs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

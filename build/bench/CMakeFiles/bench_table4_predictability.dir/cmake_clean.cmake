@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_predictability.dir/bench_table4_predictability.cc.o"
+  "CMakeFiles/bench_table4_predictability.dir/bench_table4_predictability.cc.o.d"
+  "bench_table4_predictability"
+  "bench_table4_predictability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_predictability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_l3.dir/adaptive_l3.cpp.o"
+  "CMakeFiles/adaptive_l3.dir/adaptive_l3.cpp.o.d"
+  "adaptive_l3"
+  "adaptive_l3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_l3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_showdown.dir/policy_showdown.cpp.o"
+  "CMakeFiles/policy_showdown.dir/policy_showdown.cpp.o.d"
+  "policy_showdown"
+  "policy_showdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_showdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

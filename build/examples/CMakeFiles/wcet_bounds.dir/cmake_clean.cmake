@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcet_bounds.dir/wcet_bounds.cpp.o"
+  "CMakeFiles/wcet_bounds.dir/wcet_bounds.cpp.o.d"
+  "wcet_bounds"
+  "wcet_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcet_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/recap/cache/cache.cc" "src/CMakeFiles/recap.dir/recap/cache/cache.cc.o" "gcc" "src/CMakeFiles/recap.dir/recap/cache/cache.cc.o.d"
+  "/root/repo/src/recap/cache/geometry.cc" "src/CMakeFiles/recap.dir/recap/cache/geometry.cc.o" "gcc" "src/CMakeFiles/recap.dir/recap/cache/geometry.cc.o.d"
+  "/root/repo/src/recap/cache/hierarchy.cc" "src/CMakeFiles/recap.dir/recap/cache/hierarchy.cc.o" "gcc" "src/CMakeFiles/recap.dir/recap/cache/hierarchy.cc.o.d"
+  "/root/repo/src/recap/common/rng.cc" "src/CMakeFiles/recap.dir/recap/common/rng.cc.o" "gcc" "src/CMakeFiles/recap.dir/recap/common/rng.cc.o.d"
+  "/root/repo/src/recap/common/stats.cc" "src/CMakeFiles/recap.dir/recap/common/stats.cc.o" "gcc" "src/CMakeFiles/recap.dir/recap/common/stats.cc.o.d"
+  "/root/repo/src/recap/common/table.cc" "src/CMakeFiles/recap.dir/recap/common/table.cc.o" "gcc" "src/CMakeFiles/recap.dir/recap/common/table.cc.o.d"
+  "/root/repo/src/recap/eval/hierarchy_eval.cc" "src/CMakeFiles/recap.dir/recap/eval/hierarchy_eval.cc.o" "gcc" "src/CMakeFiles/recap.dir/recap/eval/hierarchy_eval.cc.o.d"
+  "/root/repo/src/recap/eval/opt.cc" "src/CMakeFiles/recap.dir/recap/eval/opt.cc.o" "gcc" "src/CMakeFiles/recap.dir/recap/eval/opt.cc.o.d"
+  "/root/repo/src/recap/eval/predictability.cc" "src/CMakeFiles/recap.dir/recap/eval/predictability.cc.o" "gcc" "src/CMakeFiles/recap.dir/recap/eval/predictability.cc.o.d"
+  "/root/repo/src/recap/eval/reuse.cc" "src/CMakeFiles/recap.dir/recap/eval/reuse.cc.o" "gcc" "src/CMakeFiles/recap.dir/recap/eval/reuse.cc.o.d"
+  "/root/repo/src/recap/eval/simulate.cc" "src/CMakeFiles/recap.dir/recap/eval/simulate.cc.o" "gcc" "src/CMakeFiles/recap.dir/recap/eval/simulate.cc.o.d"
+  "/root/repo/src/recap/eval/sweep.cc" "src/CMakeFiles/recap.dir/recap/eval/sweep.cc.o" "gcc" "src/CMakeFiles/recap.dir/recap/eval/sweep.cc.o.d"
+  "/root/repo/src/recap/hw/catalog.cc" "src/CMakeFiles/recap.dir/recap/hw/catalog.cc.o" "gcc" "src/CMakeFiles/recap.dir/recap/hw/catalog.cc.o.d"
+  "/root/repo/src/recap/hw/machine.cc" "src/CMakeFiles/recap.dir/recap/hw/machine.cc.o" "gcc" "src/CMakeFiles/recap.dir/recap/hw/machine.cc.o.d"
+  "/root/repo/src/recap/hw/spec.cc" "src/CMakeFiles/recap.dir/recap/hw/spec.cc.o" "gcc" "src/CMakeFiles/recap.dir/recap/hw/spec.cc.o.d"
+  "/root/repo/src/recap/infer/adaptive_detect.cc" "src/CMakeFiles/recap.dir/recap/infer/adaptive_detect.cc.o" "gcc" "src/CMakeFiles/recap.dir/recap/infer/adaptive_detect.cc.o.d"
+  "/root/repo/src/recap/infer/candidate_search.cc" "src/CMakeFiles/recap.dir/recap/infer/candidate_search.cc.o" "gcc" "src/CMakeFiles/recap.dir/recap/infer/candidate_search.cc.o.d"
+  "/root/repo/src/recap/infer/equivalence.cc" "src/CMakeFiles/recap.dir/recap/infer/equivalence.cc.o" "gcc" "src/CMakeFiles/recap.dir/recap/infer/equivalence.cc.o.d"
+  "/root/repo/src/recap/infer/eviction_sets.cc" "src/CMakeFiles/recap.dir/recap/infer/eviction_sets.cc.o" "gcc" "src/CMakeFiles/recap.dir/recap/infer/eviction_sets.cc.o.d"
+  "/root/repo/src/recap/infer/geometry_probe.cc" "src/CMakeFiles/recap.dir/recap/infer/geometry_probe.cc.o" "gcc" "src/CMakeFiles/recap.dir/recap/infer/geometry_probe.cc.o.d"
+  "/root/repo/src/recap/infer/measurement.cc" "src/CMakeFiles/recap.dir/recap/infer/measurement.cc.o" "gcc" "src/CMakeFiles/recap.dir/recap/infer/measurement.cc.o.d"
+  "/root/repo/src/recap/infer/naming.cc" "src/CMakeFiles/recap.dir/recap/infer/naming.cc.o" "gcc" "src/CMakeFiles/recap.dir/recap/infer/naming.cc.o.d"
+  "/root/repo/src/recap/infer/permutation_infer.cc" "src/CMakeFiles/recap.dir/recap/infer/permutation_infer.cc.o" "gcc" "src/CMakeFiles/recap.dir/recap/infer/permutation_infer.cc.o.d"
+  "/root/repo/src/recap/infer/pipeline.cc" "src/CMakeFiles/recap.dir/recap/infer/pipeline.cc.o" "gcc" "src/CMakeFiles/recap.dir/recap/infer/pipeline.cc.o.d"
+  "/root/repo/src/recap/infer/report.cc" "src/CMakeFiles/recap.dir/recap/infer/report.cc.o" "gcc" "src/CMakeFiles/recap.dir/recap/infer/report.cc.o.d"
+  "/root/repo/src/recap/infer/set_prober.cc" "src/CMakeFiles/recap.dir/recap/infer/set_prober.cc.o" "gcc" "src/CMakeFiles/recap.dir/recap/infer/set_prober.cc.o.d"
+  "/root/repo/src/recap/policy/factory.cc" "src/CMakeFiles/recap.dir/recap/policy/factory.cc.o" "gcc" "src/CMakeFiles/recap.dir/recap/policy/factory.cc.o.d"
+  "/root/repo/src/recap/policy/fifo.cc" "src/CMakeFiles/recap.dir/recap/policy/fifo.cc.o" "gcc" "src/CMakeFiles/recap.dir/recap/policy/fifo.cc.o.d"
+  "/root/repo/src/recap/policy/lru.cc" "src/CMakeFiles/recap.dir/recap/policy/lru.cc.o" "gcc" "src/CMakeFiles/recap.dir/recap/policy/lru.cc.o.d"
+  "/root/repo/src/recap/policy/nru.cc" "src/CMakeFiles/recap.dir/recap/policy/nru.cc.o" "gcc" "src/CMakeFiles/recap.dir/recap/policy/nru.cc.o.d"
+  "/root/repo/src/recap/policy/permutation.cc" "src/CMakeFiles/recap.dir/recap/policy/permutation.cc.o" "gcc" "src/CMakeFiles/recap.dir/recap/policy/permutation.cc.o.d"
+  "/root/repo/src/recap/policy/plru.cc" "src/CMakeFiles/recap.dir/recap/policy/plru.cc.o" "gcc" "src/CMakeFiles/recap.dir/recap/policy/plru.cc.o.d"
+  "/root/repo/src/recap/policy/policy.cc" "src/CMakeFiles/recap.dir/recap/policy/policy.cc.o" "gcc" "src/CMakeFiles/recap.dir/recap/policy/policy.cc.o.d"
+  "/root/repo/src/recap/policy/qlru.cc" "src/CMakeFiles/recap.dir/recap/policy/qlru.cc.o" "gcc" "src/CMakeFiles/recap.dir/recap/policy/qlru.cc.o.d"
+  "/root/repo/src/recap/policy/random.cc" "src/CMakeFiles/recap.dir/recap/policy/random.cc.o" "gcc" "src/CMakeFiles/recap.dir/recap/policy/random.cc.o.d"
+  "/root/repo/src/recap/policy/rrip.cc" "src/CMakeFiles/recap.dir/recap/policy/rrip.cc.o" "gcc" "src/CMakeFiles/recap.dir/recap/policy/rrip.cc.o.d"
+  "/root/repo/src/recap/policy/set_model.cc" "src/CMakeFiles/recap.dir/recap/policy/set_model.cc.o" "gcc" "src/CMakeFiles/recap.dir/recap/policy/set_model.cc.o.d"
+  "/root/repo/src/recap/policy/slru.cc" "src/CMakeFiles/recap.dir/recap/policy/slru.cc.o" "gcc" "src/CMakeFiles/recap.dir/recap/policy/slru.cc.o.d"
+  "/root/repo/src/recap/trace/generators.cc" "src/CMakeFiles/recap.dir/recap/trace/generators.cc.o" "gcc" "src/CMakeFiles/recap.dir/recap/trace/generators.cc.o.d"
+  "/root/repo/src/recap/trace/io.cc" "src/CMakeFiles/recap.dir/recap/trace/io.cc.o" "gcc" "src/CMakeFiles/recap.dir/recap/trace/io.cc.o.d"
+  "/root/repo/src/recap/trace/trace.cc" "src/CMakeFiles/recap.dir/recap/trace/trace.cc.o" "gcc" "src/CMakeFiles/recap.dir/recap/trace/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adaptive_cache.dir/test_adaptive_cache.cc.o"
+  "CMakeFiles/test_adaptive_cache.dir/test_adaptive_cache.cc.o.d"
+  "test_adaptive_cache"
+  "test_adaptive_cache.pdb"
+  "test_adaptive_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adaptive_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

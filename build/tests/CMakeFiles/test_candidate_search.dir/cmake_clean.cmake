@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_candidate_search.dir/test_candidate_search.cc.o"
+  "CMakeFiles/test_candidate_search.dir/test_candidate_search.cc.o.d"
+  "test_candidate_search"
+  "test_candidate_search.pdb"
+  "test_candidate_search[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_candidate_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eviction_sets.dir/test_eviction_sets.cc.o"
+  "CMakeFiles/test_eviction_sets.dir/test_eviction_sets.cc.o.d"
+  "test_eviction_sets"
+  "test_eviction_sets.pdb"
+  "test_eviction_sets[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eviction_sets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geometry_probe.dir/test_geometry_probe.cc.o"
+  "CMakeFiles/test_geometry_probe.dir/test_geometry_probe.cc.o.d"
+  "test_geometry_probe"
+  "test_geometry_probe.pdb"
+  "test_geometry_probe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geometry_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

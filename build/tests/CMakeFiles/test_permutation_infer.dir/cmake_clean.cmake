@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_permutation_infer.dir/test_permutation_infer.cc.o"
+  "CMakeFiles/test_permutation_infer.dir/test_permutation_infer.cc.o.d"
+  "test_permutation_infer"
+  "test_permutation_infer.pdb"
+  "test_permutation_infer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_permutation_infer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qlru.dir/test_qlru.cc.o"
+  "CMakeFiles/test_qlru.dir/test_qlru.cc.o.d"
+  "test_qlru"
+  "test_qlru.pdb"
+  "test_qlru[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qlru.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rrip.dir/test_rrip.cc.o"
+  "CMakeFiles/test_rrip.dir/test_rrip.cc.o.d"
+  "test_rrip"
+  "test_rrip.pdb"
+  "test_rrip[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_set_model.dir/test_set_model.cc.o"
+  "CMakeFiles/test_set_model.dir/test_set_model.cc.o.d"
+  "test_set_model"
+  "test_set_model.pdb"
+  "test_set_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_set_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

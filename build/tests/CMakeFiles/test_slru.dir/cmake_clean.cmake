@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_slru.dir/test_slru.cc.o"
+  "CMakeFiles/test_slru.dir/test_slru.cc.o.d"
+  "test_slru"
+  "test_slru.pdb"
+  "test_slru[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_slru.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
