@@ -4,12 +4,18 @@
  * reconstruction).
  *
  * Series: for cache sizes 8 KiB .. 1 MiB (8-way, 64 B lines), the
- * miss ratio of each policy plus OPT on a fixed mixed workload.
+ * miss ratio of each policy plus OPT on a fixed mixed workload,
+ * computed through eval::sizeSweep with an explicit root seed and
+ * the parallel grid engine (results are bit-identical for any
+ * thread count; see tests/test_parallel_determinism.cc).
  *
  * Expected shape: large gaps between policies while the working set
  * exceeds the cache; curves converge once the cache swallows the
  * working set; the thrash-resistant insertion policies cross over
  * the recency policies around the working-set-equals-cache point.
+ *
+ * The BM_FullSizeSweep/threads benchmark measures the wall-clock
+ * effect of the num_threads knob on the whole grid.
  */
 
 #include <benchmark/benchmark.h>
@@ -17,8 +23,8 @@
 #include <iostream>
 
 #include "recap/common/table.hh"
-#include "recap/eval/opt.hh"
 #include "recap/eval/simulate.hh"
+#include "recap/eval/sweep.hh"
 #include "recap/policy/factory.hh"
 #include "recap/trace/generators.hh"
 
@@ -26,6 +32,19 @@ namespace
 {
 
 using namespace recap;
+
+/** Explicit root seed for the sweep (stochastic "random" rows). */
+constexpr uint64_t kSweepSeed = 2014;
+
+const std::vector<std::string>&
+policySpecs()
+{
+    static const std::vector<std::string> specs = {
+        "lru", "fifo", "plru", "nru", "random", "bip",
+        "qlru:H1,M1,R0,U2", "qlru:H1,M3,R0,U2",
+    };
+    return specs;
+}
 
 trace::Trace
 mixedWorkload()
@@ -49,33 +68,57 @@ printFigure4()
     std::cout << "====================================================\n\n";
 
     const auto workload = mixedWorkload();
-    const std::vector<std::string> specs = {
-        "lru", "fifo", "plru", "nru", "random", "bip",
-        "qlru:H1,M1,R0,U2", "qlru:H1,M3,R0,U2",
-    };
+
+    eval::SweepOptions opts;
+    opts.seed = kSweepSeed;
+    opts.numThreads = 0; // all hardware threads; grid is identical
+    const auto result =
+        eval::sizeSweep(policySpecs(), workload, 8 * 1024,
+                        1024 * 1024, 8, 64, opts);
 
     std::vector<std::string> headers{"cache size"};
-    for (const auto& s : specs)
+    for (const auto& s : policySpecs())
         headers.push_back(policy::makePolicy(s, 8)->name());
     headers.push_back("OPT");
     TextTable table(headers);
 
-    for (uint64_t kib = 8; kib <= 1024; kib *= 2) {
-        const auto geom =
-            cache::Geometry::fromCapacity(kib * 1024, 8);
-        std::vector<std::string> row{formatBytes(kib * 1024)};
-        for (const auto& s : specs) {
-            const auto stats =
-                eval::simulateTrace(geom, s, workload);
-            row.push_back(formatPercent(stats.missRatio(), 2));
-        }
-        row.push_back(formatPercent(
-            eval::simulateOpt(geom, workload).missRatio(), 2));
+    for (const auto& column : result.columnLabels) {
+        const uint64_t bytes = std::stoull(column);
+        std::vector<std::string> row{formatBytes(bytes)};
+        for (const auto& s : policySpecs())
+            row.push_back(
+                formatPercent(result.at(s, column).missRatio, 2));
+        row.push_back(
+            formatPercent(result.at("OPT", column).missRatio, 2));
         table.addRow(std::move(row));
     }
     table.print(std::cout);
     std::cout << "\n";
 }
+
+/**
+ * Whole-grid wall-clock vs thread count: the same sizeSweep at 1, 2
+ * and 4 workers (plus all hardware threads as Arg 0). Grid results
+ * are bit-identical across args; only the wall clock changes.
+ */
+void
+BM_FullSizeSweep(benchmark::State& state)
+{
+    const auto workload = mixedWorkload();
+    eval::SweepOptions opts;
+    opts.seed = kSweepSeed;
+    opts.numThreads = static_cast<unsigned>(state.range(0));
+    opts.includeOpt = false; // OPT dominates and hides the scaling
+    for (auto unused : state) {
+        benchmark::DoNotOptimize(
+            eval::sizeSweep(policySpecs(), workload, 8 * 1024,
+                            256 * 1024, 8, 64, opts)
+                .cells.size());
+        (void)unused;
+    }
+}
+BENCHMARK(BM_FullSizeSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(0)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void
 BM_SweepPoint(benchmark::State& state)

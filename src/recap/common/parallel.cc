@@ -1,0 +1,169 @@
+#include "recap/common/parallel.hh"
+
+#include <algorithm>
+
+#include "recap/common/error.hh"
+
+namespace recap
+{
+
+uint64_t
+deriveTaskSeed(uint64_t rootSeed, uint64_t taskIndex)
+{
+    // SplitMix64 finalizer over a golden-ratio-spaced combination, so
+    // that consecutive task indices land far apart in the seed space.
+    uint64_t z = rootSeed + 0x9e3779b97f4a7c15ULL * (taskIndex + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+unsigned
+TaskPool::hardwareThreads()
+{
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+TaskPool::TaskPool(unsigned numThreads, std::size_t queueCapacity)
+{
+    const unsigned n = resolveThreads(numThreads);
+    capacity_ = queueCapacity != 0 ? queueCapacity
+                                   : 4 * std::size_t{n} + 16;
+    workers_.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+TaskPool::~TaskPool()
+{
+    shutdown();
+}
+
+void
+TaskPool::submit(std::function<void()> task)
+{
+    require(task != nullptr, "TaskPool: cannot submit an empty task");
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        queueNotFull_.wait(lock, [this] {
+            return queue_.size() < capacity_ || stopping_;
+        });
+        require(!stopping_, "TaskPool: submit after shutdown");
+        queue_.push_back(std::move(task));
+        ++inFlight_;
+    }
+    queueNotEmpty_.notify_one();
+}
+
+void
+TaskPool::wait()
+{
+    std::exception_ptr error;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        allDone_.wait(lock, [this] { return inFlight_ == 0; });
+        error = firstError_;
+        firstError_ = nullptr;
+    }
+    if (error)
+        std::rethrow_exception(error);
+}
+
+void
+TaskPool::shutdown()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_ && workers_.empty())
+            return;
+        stopping_ = true;
+    }
+    queueNotEmpty_.notify_all();
+    queueNotFull_.notify_all();
+    for (auto& worker : workers_)
+        worker.join();
+    workers_.clear();
+}
+
+void
+TaskPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            queueNotEmpty_.wait(lock, [this] {
+                return !queue_.empty() || stopping_;
+            });
+            if (queue_.empty())
+                return; // stopping and drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        queueNotFull_.notify_one();
+
+        std::exception_ptr error;
+        try {
+            task();
+        } catch (...) {
+            error = std::current_exception();
+        }
+
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (error && !firstError_)
+                firstError_ = error;
+            --inFlight_;
+            if (inFlight_ == 0)
+                allDone_.notify_all();
+        }
+    }
+}
+
+unsigned
+resolveThreads(unsigned numThreads)
+{
+    return numThreads == 0 ? TaskPool::hardwareThreads() : numThreads;
+}
+
+void
+parallelFor(TaskPool& pool, std::size_t count,
+            const std::function<void(std::size_t)>& body)
+{
+    if (count == 0) {
+        pool.wait();
+        return;
+    }
+    // Contiguous chunks, a few per worker so a slow chunk can overlap
+    // faster ones without any dynamic splitting.
+    const std::size_t chunks =
+        std::min<std::size_t>(count, std::size_t{pool.threadCount()} * 4);
+    const std::size_t per = (count + chunks - 1) / chunks;
+    for (std::size_t c = 0; c < chunks; ++c) {
+        const std::size_t begin = c * per;
+        const std::size_t end = std::min(count, begin + per);
+        if (begin >= end)
+            break;
+        pool.submit([&body, begin, end] {
+            for (std::size_t i = begin; i < end; ++i)
+                body(i);
+        });
+    }
+    pool.wait();
+}
+
+void
+parallelFor(std::size_t count, unsigned numThreads,
+            const std::function<void(std::size_t)>& body)
+{
+    const unsigned n = resolveThreads(numThreads);
+    if (n <= 1 || count <= 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            body(i);
+        return;
+    }
+    TaskPool pool(n);
+    parallelFor(pool, count, body);
+}
+
+} // namespace recap

@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "recap/common/error.hh"
+#include "recap/common/parallel.hh"
+#include "recap/policy/factory.hh"
 #include "recap/policy/set_model.hh"
 
 namespace recap::eval
@@ -312,6 +314,28 @@ evictBound(const policy::ReplacementPolicy& proto,
         answer = std::max(answer, comp_value[comp[r]]);
     result.value = answer;
     return result;
+}
+
+std::vector<PredictabilityRow>
+predictabilitySweep(const std::vector<std::string>& specs,
+                    const std::vector<unsigned>& waysList,
+                    const PredictabilityConfig& cfg)
+{
+    std::vector<PredictabilityRow> rows;
+    for (const auto& spec : specs)
+        for (unsigned ways : waysList)
+            if (policy::specSupportsWays(spec, ways))
+                rows.push_back({spec, ways, {}, {}});
+
+    // Each row explores its own automaton; explorations share nothing
+    // and use no RNG, so the grid is identical for any thread count.
+    parallelFor(rows.size(), cfg.numThreads, [&](std::size_t i) {
+        const auto proto = policy::makePolicy(rows[i].spec,
+                                              rows[i].ways);
+        rows[i].turnover = missTurnover(*proto, cfg);
+        rows[i].evictBound = evictBound(*proto, cfg);
+    });
+    return rows;
 }
 
 } // namespace recap::eval

@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "recap/policy/policy.hh"
 
@@ -55,6 +56,24 @@ struct MetricResult
 struct PredictabilityConfig
 {
     uint64_t maxStates = 500'000;
+
+    /**
+     * Worker threads for predictabilitySweep() (each grid row's two
+     * metric explorations are one independent task); 0 = hardware
+     * concurrency, 1 = inline serial execution. The single-metric
+     * entry points below always explore serially; explorations are
+     * deterministic, so every thread count yields identical rows.
+     */
+    unsigned numThreads = 0;
+};
+
+/** Both metrics for one (policy spec, associativity) grid row. */
+struct PredictabilityRow
+{
+    std::string spec;
+    unsigned ways = 0;
+    MetricResult turnover;
+    MetricResult evictBound;
 };
 
 /**
@@ -71,6 +90,16 @@ MetricResult missTurnover(const policy::ReplacementPolicy& proto,
  */
 MetricResult evictBound(const policy::ReplacementPolicy& proto,
                         const PredictabilityConfig& cfg = {});
+
+/**
+ * Computes missTurnover and evictBound for every combination of
+ * @p specs x @p waysList that the factory supports, in row-major
+ * (spec-outer) order, parallelized across cfg.numThreads workers.
+ */
+std::vector<PredictabilityRow>
+predictabilitySweep(const std::vector<std::string>& specs,
+                    const std::vector<unsigned>& waysList,
+                    const PredictabilityConfig& cfg = {});
 
 } // namespace recap::eval
 

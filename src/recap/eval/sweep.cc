@@ -1,6 +1,7 @@
 #include "recap/eval/sweep.hh"
 
 #include "recap/common/error.hh"
+#include "recap/common/parallel.hh"
 #include "recap/eval/opt.hh"
 #include "recap/eval/simulate.hh"
 #include "recap/policy/factory.hh"
@@ -11,21 +12,44 @@ namespace recap::eval
 namespace
 {
 
-SweepCell
-measure(const cache::Geometry& geom, const std::string& spec,
-        const trace::Trace& t, const std::string& row,
-        const std::string& column)
+/** One cell of work, fully described before any measurement runs. */
+struct CellJob
 {
-    const cache::LevelStats stats = spec == "OPT"
-        ? simulateOpt(geom, t)
-        : simulateTrace(geom, spec, t);
+    cache::Geometry geom;
+    std::string spec;
+    const trace::Trace* trace = nullptr;
+    std::string rowLabel;
+    std::string columnLabel;
+};
+
+SweepCell
+measure(const CellJob& job, uint64_t seed)
+{
+    const cache::LevelStats stats = job.spec == "OPT"
+        ? simulateOpt(job.geom, *job.trace)
+        : simulateTrace(job.geom, job.spec, *job.trace, seed);
     SweepCell cell;
-    cell.rowLabel = row;
-    cell.columnLabel = column;
+    cell.rowLabel = job.rowLabel;
+    cell.columnLabel = job.columnLabel;
     cell.missRatio = stats.missRatio();
     cell.misses = stats.misses;
     cell.accesses = stats.accesses;
     return cell;
+}
+
+/**
+ * Measures every job into its own cell slot. Cell i uses the stream
+ * deriveTaskSeed(opts.seed, i), so the grid is a pure function of
+ * (jobs, opts.seed) regardless of opts.numThreads.
+ */
+std::vector<SweepCell>
+measureAll(const std::vector<CellJob>& jobs, const SweepOptions& opts)
+{
+    std::vector<SweepCell> cells(jobs.size());
+    parallelFor(jobs.size(), opts.numThreads, [&](std::size_t i) {
+        cells[i] = measure(jobs[i], deriveTaskSeed(opts.seed, i));
+    });
+    return cells;
 }
 
 } // namespace
@@ -44,7 +68,7 @@ SweepResult
 policyWorkloadSweep(const cache::Geometry& geom,
                     const std::vector<std::string>& policySpecs,
                     const std::vector<trace::Workload>& workloads,
-                    bool includeOpt)
+                    const SweepOptions& opts)
 {
     geom.validate();
     SweepResult result;
@@ -55,23 +79,35 @@ policyWorkloadSweep(const cache::Geometry& geom,
     for (const auto& spec : policySpecs)
         if (policy::specSupportsWays(spec, geom.ways))
             rows.push_back(spec);
-    if (includeOpt)
+    if (opts.includeOpt)
         rows.push_back("OPT");
 
+    std::vector<CellJob> jobs;
     for (const auto& spec : rows) {
         result.rowLabels.push_back(spec);
         for (const auto& w : workloads)
-            result.cells.push_back(
-                measure(geom, spec, w.trace, spec, w.name));
+            jobs.push_back({geom, spec, &w.trace, spec, w.name});
     }
+    result.cells = measureAll(jobs, opts);
     return result;
+}
+
+SweepResult
+policyWorkloadSweep(const cache::Geometry& geom,
+                    const std::vector<std::string>& policySpecs,
+                    const std::vector<trace::Workload>& workloads,
+                    bool includeOpt)
+{
+    SweepOptions opts;
+    opts.includeOpt = includeOpt;
+    return policyWorkloadSweep(geom, policySpecs, workloads, opts);
 }
 
 SweepResult
 sizeSweep(const std::vector<std::string>& policySpecs,
           const trace::Trace& workload, uint64_t minBytes,
           uint64_t maxBytes, unsigned ways, unsigned lineSize,
-          bool includeOpt)
+          const SweepOptions& opts)
 {
     require(minBytes >= 1 && minBytes <= maxBytes,
             "sizeSweep: invalid capacity range");
@@ -81,22 +117,68 @@ sizeSweep(const std::vector<std::string>& policySpecs,
     for (const auto& spec : policySpecs)
         if (policy::specSupportsWays(spec, ways))
             rows.push_back(spec);
-    if (includeOpt)
+    if (opts.includeOpt)
         rows.push_back("OPT");
     result.rowLabels = rows;
 
     for (uint64_t bytes = minBytes; bytes <= maxBytes; bytes *= 2)
         result.columnLabels.push_back(std::to_string(bytes));
 
+    std::vector<CellJob> jobs;
     for (const auto& spec : rows) {
         for (uint64_t bytes = minBytes; bytes <= maxBytes;
              bytes *= 2) {
             const auto geom =
                 cache::Geometry::fromCapacity(bytes, ways, lineSize);
-            result.cells.push_back(measure(geom, spec, workload, spec,
-                                           std::to_string(bytes)));
+            jobs.push_back({geom, spec, &workload, spec,
+                            std::to_string(bytes)});
         }
     }
+    result.cells = measureAll(jobs, opts);
+    return result;
+}
+
+SweepResult
+sizeSweep(const std::vector<std::string>& policySpecs,
+          const trace::Trace& workload, uint64_t minBytes,
+          uint64_t maxBytes, unsigned ways, unsigned lineSize,
+          bool includeOpt)
+{
+    SweepOptions opts;
+    opts.includeOpt = includeOpt;
+    return sizeSweep(policySpecs, workload, minBytes, maxBytes, ways,
+                     lineSize, opts);
+}
+
+SweepResult
+associativitySweep(const std::vector<std::string>& policySpecs,
+                   const trace::Trace& workload,
+                   uint64_t capacityBytes, unsigned minWays,
+                   unsigned maxWays, unsigned lineSize,
+                   const SweepOptions& opts)
+{
+    require(minWays >= 1 && minWays <= maxWays,
+            "associativitySweep: invalid ways range");
+    SweepResult result;
+    for (unsigned ways = minWays; ways <= maxWays; ways *= 2)
+        result.columnLabels.push_back(std::to_string(ways));
+
+    std::vector<CellJob> jobs;
+    for (const auto& spec : policySpecs) {
+        bool row_used = false;
+        for (unsigned ways = minWays; ways <= maxWays; ways *= 2) {
+            if (!policy::specSupportsWays(spec, ways))
+                continue;
+            const auto geom = cache::Geometry::fromCapacity(
+                capacityBytes, ways, lineSize);
+            jobs.push_back({geom, spec, &workload, spec,
+                            std::to_string(ways)});
+            row_used = true;
+        }
+        if (row_used)
+            result.rowLabels.push_back(spec);
+    }
+    result.cells = measureAll(jobs, opts);
     return result;
 }
 
@@ -106,27 +188,9 @@ associativitySweep(const std::vector<std::string>& policySpecs,
                    uint64_t capacityBytes, unsigned minWays,
                    unsigned maxWays, unsigned lineSize)
 {
-    require(minWays >= 1 && minWays <= maxWays,
-            "associativitySweep: invalid ways range");
-    SweepResult result;
-    for (unsigned ways = minWays; ways <= maxWays; ways *= 2)
-        result.columnLabels.push_back(std::to_string(ways));
-
-    for (const auto& spec : policySpecs) {
-        bool row_used = false;
-        for (unsigned ways = minWays; ways <= maxWays; ways *= 2) {
-            if (!policy::specSupportsWays(spec, ways))
-                continue;
-            const auto geom = cache::Geometry::fromCapacity(
-                capacityBytes, ways, lineSize);
-            result.cells.push_back(measure(geom, spec, workload, spec,
-                                           std::to_string(ways)));
-            row_used = true;
-        }
-        if (row_used)
-            result.rowLabels.push_back(spec);
-    }
-    return result;
+    return associativitySweep(policySpecs, workload, capacityBytes,
+                              minWays, maxWays, lineSize,
+                              SweepOptions{});
 }
 
 } // namespace recap::eval

@@ -17,6 +17,29 @@
 namespace recap::eval
 {
 
+/**
+ * Execution options shared by all sweeps.
+ *
+ * Sweeps are reproducible from @p seed alone: cell i of the grid (in
+ * row-major sweep order) simulates with deriveTaskSeed(seed, i), so
+ * stochastic policies get an independent deterministic stream per
+ * cell and results are bit-identical for every numThreads value.
+ */
+struct SweepOptions
+{
+    /** Root seed for stochastic policies ("random"). */
+    uint64_t seed = 1;
+
+    /**
+     * Worker threads measuring grid cells; 0 = hardware concurrency,
+     * 1 = inline serial execution. Any value yields identical grids.
+     */
+    unsigned numThreads = 0;
+
+    /** Append a Belady's-OPT row. */
+    bool includeOpt = true;
+};
+
 /** One measured grid cell. */
 struct SweepCell
 {
@@ -42,8 +65,15 @@ struct SweepResult
 /**
  * Policies x workloads grid at a fixed geometry. Policy specs that
  * do not support the geometry's associativity are skipped. When
- * @p includeOpt is set, a final "OPT" row is added.
+ * @p opts.includeOpt is set, a final "OPT" row is added.
  */
+SweepResult
+policyWorkloadSweep(const cache::Geometry& geom,
+                    const std::vector<std::string>& policySpecs,
+                    const std::vector<trace::Workload>& workloads,
+                    const SweepOptions& opts);
+
+/** Legacy form; equivalent to SweepOptions{} + @p includeOpt. */
 SweepResult
 policyWorkloadSweep(const cache::Geometry& geom,
                     const std::vector<std::string>& policySpecs,
@@ -57,6 +87,13 @@ policyWorkloadSweep(const cache::Geometry& geom,
 SweepResult
 sizeSweep(const std::vector<std::string>& policySpecs,
           const trace::Trace& workload, uint64_t minBytes,
+          uint64_t maxBytes, unsigned ways, unsigned lineSize,
+          const SweepOptions& opts);
+
+/** Legacy form; equivalent to SweepOptions{} + @p includeOpt. */
+SweepResult
+sizeSweep(const std::vector<std::string>& policySpecs,
+          const trace::Trace& workload, uint64_t minBytes,
           uint64_t maxBytes, unsigned ways, unsigned lineSize = 64,
           bool includeOpt = true);
 
@@ -64,6 +101,14 @@ sizeSweep(const std::vector<std::string>& policySpecs,
  * Policies x associativity grid for one workload at fixed capacity:
  * ways double from @p minWays to @p maxWays.
  */
+SweepResult
+associativitySweep(const std::vector<std::string>& policySpecs,
+                   const trace::Trace& workload,
+                   uint64_t capacityBytes, unsigned minWays,
+                   unsigned maxWays, unsigned lineSize,
+                   const SweepOptions& opts);
+
+/** Legacy form; equivalent to default SweepOptions. */
 SweepResult
 associativitySweep(const std::vector<std::string>& policySpecs,
                    const trace::Trace& workload,

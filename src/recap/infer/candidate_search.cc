@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "recap/common/error.hh"
+#include "recap/common/parallel.hh"
 #include "recap/common/rng.hh"
 #include "recap/infer/equivalence.hh"
 #include "recap/policy/factory.hh"
@@ -56,6 +57,34 @@ CandidateSearch::run()
 
     CandidateSearchResult result;
     Rng rng(cfg_.seed);
+
+    // Simulating every surviving candidate against one observation is
+    // the embarrassingly parallel inner loop: candidate i only writes
+    // match[i], and the in-order filter afterwards keeps the survivor
+    // order identical to the serial path for any thread count.
+    const unsigned threads = resolveThreads(cfg_.numThreads);
+    auto eliminate = [&](std::vector<Candidate>& candidates,
+                         const std::vector<BlockId>& seq,
+                         const std::vector<bool>& observed) {
+        std::vector<char> match(candidates.size(), 0);
+        parallelFor(candidates.size(), threads, [&](std::size_t i) {
+            policy::SetModel model(candidates[i].prototype->clone());
+            model.flush();
+            bool ok = true;
+            for (std::size_t j = 0; j < seq.size(); ++j) {
+                if (model.access(seq[j]) != observed[j]) {
+                    ok = false;
+                    break;
+                }
+            }
+            match[i] = ok ? 1 : 0;
+        });
+        std::vector<Candidate> next;
+        for (std::size_t i = 0; i < candidates.size(); ++i)
+            if (match[i])
+                next.push_back(std::move(candidates[i]));
+        return next;
+    };
 
     // Survivors count as one behavioural class if every pair is
     // equivalent with an exhausted product exploration. When the
@@ -142,20 +171,7 @@ CandidateSearch::run()
 
         const std::vector<bool> observed = prober_.observe(seq);
 
-        std::vector<Candidate> next;
-        for (auto& cand : alive) {
-            policy::SetModel model(cand.prototype->clone());
-            model.flush();
-            bool match = true;
-            for (size_t i = 0; i < seq.size(); ++i) {
-                if (model.access(seq[i]) != observed[i]) {
-                    match = false;
-                    break;
-                }
-            }
-            if (match)
-                next.push_back(std::move(cand));
-        }
+        std::vector<Candidate> next = eliminate(alive, seq, observed);
         if (next.size() == alive.size())
             ++stall;
         else
@@ -185,22 +201,8 @@ CandidateSearch::run()
             break; // inseparable (or beyond budget): certify below
         ++result.roundsRun;
         const auto observed = prober_.observe(verdict.counterexample);
-        std::vector<Candidate> next;
-        for (auto& cand : alive) {
-            policy::SetModel model(cand.prototype->clone());
-            model.flush();
-            bool match = true;
-            for (size_t i = 0; i < verdict.counterexample.size();
-                 ++i) {
-                if (model.access(verdict.counterexample[i]) !=
-                    observed[i]) {
-                    match = false;
-                    break;
-                }
-            }
-            if (match)
-                next.push_back(std::move(cand));
-        }
+        std::vector<Candidate> next =
+            eliminate(alive, verdict.counterexample, observed);
         if (next.size() == alive.size())
             break; // the experiment separated neither: stop
         alive = std::move(next);

@@ -38,7 +38,20 @@ struct CandidateSearchConfig
     /** Sequence length is about this many times the associativity. */
     unsigned lengthFactor = 6;
 
+    /**
+     * Explicit root seed for the probe-sequence RNG; callers (CLI,
+     * benches, the pipeline) must set it for reproducible runs.
+     */
     uint64_t seed = 777;
+
+    /**
+     * Worker threads for the candidate-elimination inner loop
+     * (simulating every surviving automaton against an observation);
+     * 0 = hardware concurrency, 1 = inline serial execution. Probe
+     * sequences and observations are generated serially either way,
+     * so results are bit-identical for every value.
+     */
+    unsigned numThreads = 0;
 
     /**
      * After the search stalls with several survivors, check (by

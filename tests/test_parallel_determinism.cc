@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Differential serial-vs-parallel harness: every parallelized layer
+ * (eval::sweep grids, infer::candidate_search elimination,
+ * eval::predictabilitySweep, and the full inference pipeline /
+ * report) must produce BIT-IDENTICAL results for num_threads = 1
+ * (the exact legacy serial path) and any other thread count, across
+ * root seeds. This is the determinism contract of
+ * recap::common::parallel, checked end to end.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "recap/common/parallel.hh"
+#include "recap/eval/predictability.hh"
+#include "recap/eval/sweep.hh"
+#include "recap/hw/machine.hh"
+#include "recap/infer/candidate_search.hh"
+#include "recap/infer/pipeline.hh"
+#include "recap/infer/report.hh"
+#include "recap/trace/generators.hh"
+
+namespace
+{
+
+using namespace recap;
+
+std::vector<unsigned>
+threadCountsUnderTest()
+{
+    return {2u, 4u, TaskPool::hardwareThreads()};
+}
+
+/** Bit-exact grid comparison (doubles compared with ==). */
+void
+expectSameSweep(const eval::SweepResult& serial,
+                const eval::SweepResult& parallel,
+                const std::string& label)
+{
+    EXPECT_EQ(serial.rowLabels, parallel.rowLabels) << label;
+    EXPECT_EQ(serial.columnLabels, parallel.columnLabels) << label;
+    ASSERT_EQ(serial.cells.size(), parallel.cells.size()) << label;
+    for (size_t i = 0; i < serial.cells.size(); ++i) {
+        const auto& a = serial.cells[i];
+        const auto& b = parallel.cells[i];
+        EXPECT_EQ(a.rowLabel, b.rowLabel) << label << " cell " << i;
+        EXPECT_EQ(a.columnLabel, b.columnLabel)
+            << label << " cell " << i;
+        EXPECT_EQ(a.misses, b.misses) << label << " cell " << i;
+        EXPECT_EQ(a.accesses, b.accesses) << label << " cell " << i;
+        EXPECT_EQ(a.missRatio, b.missRatio) << label << " cell " << i;
+    }
+}
+
+TEST(ParallelDeterminism, PolicyWorkloadSweepBitIdentical)
+{
+    const cache::Geometry geom{64, 64, 8};
+    const std::vector<std::string> specs = {"lru", "fifo", "plru",
+                                            "random", "bip"};
+    std::vector<trace::Workload> workloads;
+    workloads.push_back(
+        {"zipf", "", trace::zipf(64 * 1024, 20000, 0.9, 5)});
+    workloads.push_back(
+        {"scan", "", trace::sequentialScan(96 * 1024, 2)});
+
+    for (uint64_t seed : {1ull, 42ull, 31337ull}) {
+        eval::SweepOptions serial_opts;
+        serial_opts.seed = seed;
+        serial_opts.numThreads = 1;
+        const auto serial = eval::policyWorkloadSweep(
+            geom, specs, workloads, serial_opts);
+        for (unsigned threads : threadCountsUnderTest()) {
+            eval::SweepOptions opts = serial_opts;
+            opts.numThreads = threads;
+            expectSameSweep(
+                serial,
+                eval::policyWorkloadSweep(geom, specs, workloads,
+                                          opts),
+                "seed " + std::to_string(seed) + " threads " +
+                    std::to_string(threads));
+        }
+    }
+}
+
+TEST(ParallelDeterminism, SizeSweepBitIdentical)
+{
+    const auto workload = trace::zipf(64 * 1024, 15000, 0.9, 7);
+    const std::vector<std::string> specs = {"lru", "random"};
+    eval::SweepOptions serial_opts;
+    serial_opts.seed = 77;
+    serial_opts.numThreads = 1;
+    const auto serial = eval::sizeSweep(specs, workload, 8 * 1024,
+                                        64 * 1024, 8, 64, serial_opts);
+    for (unsigned threads : threadCountsUnderTest()) {
+        eval::SweepOptions opts = serial_opts;
+        opts.numThreads = threads;
+        expectSameSweep(serial,
+                        eval::sizeSweep(specs, workload, 8 * 1024,
+                                        64 * 1024, 8, 64, opts),
+                        "threads " + std::to_string(threads));
+    }
+}
+
+TEST(ParallelDeterminism, AssociativitySweepBitIdentical)
+{
+    // Includes plru so the jagged-grid path (skipped cells at
+    // non-power-of-two ways... here all ways are powers of two, but
+    // plru still exercises per-cell support filtering) is covered.
+    const auto workload = trace::zipf(32 * 1024, 10000, 0.9, 9);
+    const std::vector<std::string> specs = {"lru", "plru", "random"};
+    eval::SweepOptions serial_opts;
+    serial_opts.seed = 5;
+    serial_opts.numThreads = 1;
+    const auto serial = eval::associativitySweep(
+        specs, workload, 16 * 1024, 2, 8, 64, serial_opts);
+    for (unsigned threads : threadCountsUnderTest()) {
+        eval::SweepOptions opts = serial_opts;
+        opts.numThreads = threads;
+        expectSameSweep(serial,
+                        eval::associativitySweep(specs, workload,
+                                                 16 * 1024, 2, 8, 64,
+                                                 opts),
+                        "threads " + std::to_string(threads));
+    }
+}
+
+TEST(ParallelDeterminism, SweepSeedIsExplicitAndReproducible)
+{
+    // Same explicit seed => identical grid, even with parallelism on.
+    const cache::Geometry geom{64, 32, 4};
+    std::vector<trace::Workload> workloads;
+    workloads.push_back(
+        {"zipf", "", trace::zipf(32 * 1024, 8000, 0.9, 3)});
+    eval::SweepOptions opts;
+    opts.seed = 123;
+    opts.numThreads = 4;
+    const auto a =
+        eval::policyWorkloadSweep(geom, {"random"}, workloads, opts);
+    const auto b =
+        eval::policyWorkloadSweep(geom, {"random"}, workloads, opts);
+    expectSameSweep(a, b, "same-seed replay");
+}
+
+hw::MachineSpec
+singleLevelSpec(const std::string& policy, unsigned ways)
+{
+    hw::MachineSpec spec;
+    spec.name = "probe-rig";
+    spec.description = "single-level test machine";
+    hw::CacheLevelSpec lvl;
+    lvl.name = "L1";
+    lvl.capacityBytes = uint64_t{64} * 64 * ways;
+    lvl.ways = ways;
+    lvl.hitLatency = 4;
+    lvl.policySpec = policy;
+    spec.levels = {lvl};
+    spec.memoryLatency = 100;
+    return spec;
+}
+
+infer::CandidateSearchResult
+runSearch(const std::string& truth, unsigned ways, unsigned threads)
+{
+    auto spec = singleLevelSpec(truth, ways);
+    hw::Machine machine(spec);
+    infer::MeasurementContext ctx(machine);
+    infer::DiscoveredGeometry geom;
+    geom.lineSize = 64;
+    geom.levels.push_back({64, 64, ways});
+    infer::SetProber prober(ctx, geom, 0);
+    infer::CandidateSearchConfig cfg;
+    cfg.numThreads = threads;
+    infer::CandidateSearch search(
+        prober, infer::defaultCandidateSpecs(ways), cfg);
+    return search.run();
+}
+
+TEST(ParallelDeterminism, CandidateSearchBitIdentical)
+{
+    for (const std::string truth :
+         {std::string("nru"), std::string("qlru:H1,M1,R0,U2")}) {
+        const auto serial = runSearch(truth, 8, 1);
+        for (unsigned threads : threadCountsUnderTest()) {
+            const auto parallel = runSearch(truth, 8, threads);
+            EXPECT_EQ(serial.survivors, parallel.survivors)
+                << truth << " threads " << threads;
+            EXPECT_EQ(serial.verdict, parallel.verdict)
+                << truth << " threads " << threads;
+            EXPECT_EQ(serial.decided, parallel.decided)
+                << truth << " threads " << threads;
+            EXPECT_EQ(serial.roundsRun, parallel.roundsRun)
+                << truth << " threads " << threads;
+            EXPECT_EQ(serial.loadsUsed, parallel.loadsUsed)
+                << truth << " threads " << threads;
+        }
+    }
+}
+
+void
+expectSameMetric(const eval::MetricResult& a,
+                 const eval::MetricResult& b, const std::string& label)
+{
+    EXPECT_EQ(a.value, b.value) << label;
+    EXPECT_EQ(a.unbounded, b.unbounded) << label;
+    EXPECT_EQ(a.exhaustedBudget, b.exhaustedBudget) << label;
+    EXPECT_EQ(a.statesExplored, b.statesExplored) << label;
+    EXPECT_EQ(a.render(), b.render()) << label;
+}
+
+TEST(ParallelDeterminism, PredictabilitySweepBitIdentical)
+{
+    const std::vector<std::string> specs = {"lru", "fifo", "plru",
+                                            "nru", "srrip"};
+    const std::vector<unsigned> ways = {2, 4, 8};
+    eval::PredictabilityConfig serial_cfg;
+    serial_cfg.maxStates = 100'000;
+    serial_cfg.numThreads = 1;
+    const auto serial =
+        eval::predictabilitySweep(specs, ways, serial_cfg);
+    ASSERT_FALSE(serial.empty());
+    for (unsigned threads : threadCountsUnderTest()) {
+        eval::PredictabilityConfig cfg = serial_cfg;
+        cfg.numThreads = threads;
+        const auto parallel =
+            eval::predictabilitySweep(specs, ways, cfg);
+        ASSERT_EQ(serial.size(), parallel.size());
+        for (size_t i = 0; i < serial.size(); ++i) {
+            const std::string label = serial[i].spec + "/k" +
+                std::to_string(serial[i].ways) + " threads " +
+                std::to_string(threads);
+            EXPECT_EQ(serial[i].spec, parallel[i].spec) << label;
+            EXPECT_EQ(serial[i].ways, parallel[i].ways) << label;
+            expectSameMetric(serial[i].turnover, parallel[i].turnover,
+                             label + " turnover");
+            expectSameMetric(serial[i].evictBound,
+                             parallel[i].evictBound,
+                             label + " evictBound");
+        }
+    }
+}
+
+TEST(ParallelDeterminism, PredictabilitySweepSkipsUnsupported)
+{
+    // plru at k=6 must be skipped identically on both paths.
+    const auto rows = eval::predictabilitySweep({"plru", "lru"},
+                                                {4, 6}, {});
+    ASSERT_EQ(rows.size(), 3u);
+    EXPECT_EQ(rows[0].spec, "plru");
+    EXPECT_EQ(rows[0].ways, 4u);
+    EXPECT_EQ(rows[1].spec, "lru");
+    EXPECT_EQ(rows[2].ways, 6u);
+}
+
+/** Renders a machine report to text for whole-output comparison. */
+std::string
+renderReport(const infer::MachineReport& report,
+             const hw::MachineSpec& truth)
+{
+    std::ostringstream os;
+    infer::printMachineReport(os, report, &truth);
+    return os.str();
+}
+
+TEST(ParallelDeterminism, PipelineReportBitIdentical)
+{
+    // nru forces the candidate-search path through the pipeline; the
+    // whole report (verdicts, agreement, measurement cost, rendered
+    // text) must not depend on the thread count.
+    auto run = [](unsigned threads) {
+        auto spec = singleLevelSpec("nru", 8);
+        hw::Machine machine(spec);
+        infer::InferenceOptions opts;
+        opts.search.numThreads = threads;
+        return infer::inferMachine(machine, opts);
+    };
+    const auto spec = singleLevelSpec("nru", 8);
+    const auto serial = run(1);
+    const std::string serial_text = renderReport(serial, spec);
+    for (unsigned threads : {4u, TaskPool::hardwareThreads()}) {
+        const auto parallel = run(threads);
+        ASSERT_EQ(serial.levels.size(), parallel.levels.size());
+        for (size_t i = 0; i < serial.levels.size(); ++i) {
+            const auto& a = serial.levels[i];
+            const auto& b = parallel.levels[i];
+            EXPECT_EQ(a.verdict, b.verdict) << "threads " << threads;
+            EXPECT_EQ(a.survivors, b.survivors)
+                << "threads " << threads;
+            EXPECT_EQ(a.agreement, b.agreement)
+                << "threads " << threads;
+            EXPECT_EQ(a.loadsUsed, b.loadsUsed)
+                << "threads " << threads;
+        }
+        EXPECT_EQ(serial.totalLoads, parallel.totalLoads)
+            << "threads " << threads;
+        EXPECT_EQ(serial_text, renderReport(parallel, spec))
+            << "threads " << threads;
+    }
+}
+
+} // namespace

@@ -219,6 +219,108 @@ TEST_P(PolicyProperty, ContentsStayConsistent)
     }
 }
 
+/**
+ * 10k-access fuzz over every registry policy, combining the automaton
+ * invariants in one seeded, reproducible run: the victim is always a
+ * valid way, a hit never changes occupancy or displaces anything, a
+ * capacity miss replaces exactly the victim way, and occupancy only
+ * ever grows by cold fills.
+ */
+TEST_P(PolicyProperty, FuzzedInvariantsHold)
+{
+    SetModel model(make());
+    Rng rng(0xF022 + ways());
+    const unsigned universe = ways() + 4;
+    for (int i = 0; i < 10'000; ++i) {
+        const unsigned occupancy_before = model.validCount();
+        const bool full = occupancy_before == ways();
+        const Way fill_way = model.nextFillWay();
+        ASSERT_LT(fill_way, ways()) << "access " << i;
+
+        const BlockId b = rng.nextBelow(universe);
+        const bool resident_before = model.contains(b);
+        const bool hit = model.access(b);
+        ASSERT_EQ(hit, resident_before) << "access " << i;
+
+        if (hit) {
+            // Hits never change occupancy.
+            ASSERT_EQ(model.validCount(), occupancy_before)
+                << "access " << i;
+        } else if (full) {
+            // A capacity miss installs into exactly the pre-access
+            // victim way and keeps the set full.
+            ASSERT_EQ(model.validCount(), ways()) << "access " << i;
+            ASSERT_EQ(model.blockAt(fill_way), b) << "access " << i;
+        } else {
+            // A cold miss grows occupancy by one.
+            ASSERT_EQ(model.validCount(), occupancy_before + 1)
+                << "access " << i;
+            ASSERT_EQ(model.blockAt(fill_way), b) << "access " << i;
+        }
+    }
+}
+
+/**
+ * LRU stack property: the eviction order of an LRU set is exactly the
+ * recency order of the resident blocks. Both the explicit automaton
+ * and its permutation-engine form must track a reference recency
+ * stack through a 10k-access fuzz.
+ */
+TEST(PolicyLawsuit, LruStackProperty)
+{
+    for (const std::string spec :
+         {std::string("lru"), std::string("perm-lru")}) {
+        for (unsigned ways : {2u, 3u, 4u, 8u}) {
+            SetModel model(policy::makePolicy(spec, ways));
+            std::vector<BlockId> recency; // front = least recent
+            Rng rng(17 + ways);
+            const unsigned universe = ways + 3;
+            for (int i = 0; i < 10'000; ++i) {
+                const BlockId b = rng.nextBelow(universe);
+                model.access(b);
+                std::erase(recency, b);
+                recency.push_back(b);
+                if (recency.size() > ways)
+                    recency.erase(recency.begin()); // evicted
+                if (model.validCount() == ways) {
+                    ASSERT_EQ(model.evictionOrder(), recency)
+                        << spec << " k=" << ways << " access " << i;
+                }
+            }
+        }
+    }
+}
+
+/**
+ * FIFO insertion-order property: eviction order equals insertion
+ * order, and hits must not rearrange it.
+ */
+TEST(PolicyLawsuit, FifoInsertionOrderProperty)
+{
+    for (const std::string spec :
+         {std::string("fifo"), std::string("perm-fifo")}) {
+        for (unsigned ways : {2u, 3u, 4u, 8u}) {
+            SetModel model(policy::makePolicy(spec, ways));
+            std::vector<BlockId> fifo; // front = first inserted
+            Rng rng(23 + ways);
+            const unsigned universe = ways + 3;
+            for (int i = 0; i < 10'000; ++i) {
+                const BlockId b = rng.nextBelow(universe);
+                const bool hit = model.access(b);
+                if (!hit) {
+                    fifo.push_back(b);
+                    if (fifo.size() > ways)
+                        fifo.erase(fifo.begin()); // evicted
+                }
+                if (model.validCount() == ways) {
+                    ASSERT_EQ(model.evictionOrder(), fifo)
+                        << spec << " k=" << ways << " access " << i;
+                }
+            }
+        }
+    }
+}
+
 INSTANTIATE_TEST_SUITE_P(Registry, PolicyProperty,
                          testing::ValuesIn(allParams()), paramName);
 
