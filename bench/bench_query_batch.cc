@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Experiment Q1 — Prefix-sharing batch evaluation vs naive per-query
+ * re-execution, on both oracle backends:
+ *
+ *  (a) policy backend (snapshot sharing): the survival-probe family
+ *      permutation inference issues — one query per (block, miss
+ *      count) pair over a shared canonical prefix — where almost
+ *      every access is shared trie structure;
+ *  (b) machine backend (replay sharing): nested-prefix probe ladders
+ *      with duplicates, where deduplication and longest-first
+ *      observation answer short queries from already-measured
+ *      replays.
+ *
+ * Reported: accesses/experiments naive vs shared, the saving, and
+ * wall-clock timings of both paths.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <vector>
+
+#include "recap/common/table.hh"
+#include "recap/hw/machine.hh"
+#include "recap/infer/geometry_probe.hh"
+#include "recap/infer/measurement.hh"
+#include "recap/query/oracle.hh"
+
+namespace
+{
+
+using namespace recap;
+using query::BatchOptions;
+using query::BatchStats;
+using query::BlockId;
+using query::CompiledQuery;
+
+hw::MachineSpec
+singleLevelSpec(const std::string& policy, unsigned ways)
+{
+    hw::MachineSpec spec;
+    spec.name = "rig";
+    spec.description = "single-level rig";
+    hw::CacheLevelSpec lvl;
+    lvl.name = "L1";
+    lvl.capacityBytes = uint64_t{64} * 64 * ways;
+    lvl.ways = ways;
+    lvl.hitLatency = 4;
+    lvl.policySpec = policy;
+    spec.levels = {lvl};
+    spec.memoryLatency = 100;
+    return spec;
+}
+
+/**
+ * The survival-probe family of permutation inference: "does block b
+ * survive m fresh misses after the canonical fill?", for every
+ * (b, m). All k*(k+1) queries share the canonical-fill prefix and
+ * fresh misses extend each other, so the snapshot trie collapses the
+ * batch to one spine plus one probe leaf per query.
+ */
+std::vector<CompiledQuery>
+survivalFamily(unsigned ways)
+{
+    std::vector<CompiledQuery> queries;
+    std::vector<BlockId> prefix;
+    for (unsigned b = 1; b <= ways; ++b)
+        prefix.push_back(b);
+    for (unsigned b = 1; b <= ways; ++b) {
+        for (unsigned m = 0; m <= ways; ++m) {
+            std::vector<BlockId> seq = prefix;
+            for (unsigned f = 0; f < m; ++f)
+                seq.push_back(5000 + f);
+            queries.push_back(query::makeSurvivalQuery(seq, b));
+        }
+    }
+    return queries;
+}
+
+/** Nested probe ladders with duplicates (machine workload). */
+std::vector<CompiledQuery>
+ladderFamily(unsigned ways, unsigned rungs)
+{
+    std::vector<CompiledQuery> queries;
+    for (unsigned len = 1; len <= rungs; ++len) {
+        std::vector<BlockId> seq;
+        for (unsigned i = 1; i <= len; ++i)
+            seq.push_back(i);
+        queries.push_back(query::makeObserveAllQuery(seq));
+        queries.push_back(query::makeSurvivalQuery(seq, 1));
+    }
+    // Exact repeats: fully answered from the observation trie.
+    const auto firstCopy = queries;
+    queries.insert(queries.end(), firstCopy.begin(), firstCopy.end());
+    (void)ways;
+    return queries;
+}
+
+struct RunCost
+{
+    uint64_t accesses = 0;
+    uint64_t experiments = 0;
+};
+
+RunCost
+runPolicy(const std::vector<CompiledQuery>& queries, bool sharing)
+{
+    query::PolicyOracle oracle("lru", 8);
+    BatchOptions opts;
+    opts.prefixSharing = sharing;
+    oracle.evaluateBatch(queries, opts);
+    return {oracle.accessesIssued(), oracle.experimentsRun()};
+}
+
+RunCost
+runMachine(const std::vector<CompiledQuery>& queries, bool sharing)
+{
+    const auto spec = singleLevelSpec("plru", 8);
+    hw::Machine machine(spec);
+    infer::MeasurementContext ctx(machine);
+    query::MachineOracle oracle(ctx, infer::assumedGeometry(spec), 0);
+    BatchOptions opts;
+    opts.prefixSharing = sharing;
+    oracle.evaluateBatch(queries, opts);
+    return {ctx.loadsIssued(), ctx.experimentsRun()};
+}
+
+void
+printComparison()
+{
+    std::cout << "====================================================\n";
+    std::cout << " Q1: prefix-sharing batches vs naive re-execution\n";
+    std::cout << "====================================================\n\n";
+    TextTable table({"backend / workload", "queries", "naive", "shared",
+                     "saving", "experiments"});
+    {
+        const auto queries = survivalFamily(8);
+        const auto naive = runPolicy(queries, false);
+        const auto shared = runPolicy(queries, true);
+        table.addRow(
+            {"policy lru k=8, survival family",
+             std::to_string(queries.size()),
+             std::to_string(naive.accesses) + " acc",
+             std::to_string(shared.accesses) + " acc",
+             formatPercent(1.0 - static_cast<double>(shared.accesses) /
+                                     naive.accesses),
+             std::to_string(naive.experiments) + " -> " +
+                 std::to_string(shared.experiments)});
+    }
+    {
+        const auto queries = ladderFamily(8, 24);
+        const auto naive = runMachine(queries, false);
+        const auto shared = runMachine(queries, true);
+        table.addRow(
+            {"machine plru k=8, probe ladders",
+             std::to_string(queries.size()),
+             std::to_string(naive.accesses) + " loads",
+             std::to_string(shared.accesses) + " loads",
+             formatPercent(1.0 - static_cast<double>(shared.accesses) /
+                                     naive.accesses),
+             std::to_string(naive.experiments) + " -> " +
+                 std::to_string(shared.experiments)});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+}
+
+void
+BM_PolicyNaive(benchmark::State& state)
+{
+    const auto queries = survivalFamily(8);
+    for (auto unused : state) {
+        benchmark::DoNotOptimize(runPolicy(queries, false).accesses);
+        (void)unused;
+    }
+}
+BENCHMARK(BM_PolicyNaive)->Unit(benchmark::kMicrosecond);
+
+void
+BM_PolicyShared(benchmark::State& state)
+{
+    const auto queries = survivalFamily(8);
+    for (auto unused : state) {
+        benchmark::DoNotOptimize(runPolicy(queries, true).accesses);
+        (void)unused;
+    }
+}
+BENCHMARK(BM_PolicyShared)->Unit(benchmark::kMicrosecond);
+
+void
+BM_MachineNaive(benchmark::State& state)
+{
+    const auto queries = ladderFamily(8, 24);
+    for (auto unused : state) {
+        benchmark::DoNotOptimize(runMachine(queries, false).accesses);
+        (void)unused;
+    }
+}
+BENCHMARK(BM_MachineNaive)->Unit(benchmark::kMicrosecond);
+
+void
+BM_MachineShared(benchmark::State& state)
+{
+    const auto queries = ladderFamily(8, 24);
+    for (auto unused : state) {
+        benchmark::DoNotOptimize(runMachine(queries, true).accesses);
+        (void)unused;
+    }
+}
+BENCHMARK(BM_MachineShared)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    printComparison();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

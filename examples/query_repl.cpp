@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Interactive membership-query REPL — recap-queryd's protocol with a
+ * human in the loop.
+ *
+ * Loads a named policy or a catalog machine and answers query lines
+ * exactly as the server does (same parser, same oracles, same JSON),
+ * so a session here is a valid recap-queryd transcript:
+ *
+ *   ./query_repl lru 8                 # policy oracle, 8 ways
+ *   ./query_repl qlru:H1,M1,R0,U2 16   # any factory spec
+ *   ./query_repl core2-e6300 L2        # machine oracle (counter mode)
+ *
+ *   > a b c d a?
+ *   {"ok":true,"query":"a b c d a?","probes":[...],...}
+ *   > a b c d e a? ; a b c d f b?     # one prefix-shared batch
+ *   > :quit
+ */
+
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "recap/hw/catalog.hh"
+#include "recap/hw/machine.hh"
+#include "recap/infer/geometry_probe.hh"
+#include "recap/infer/measurement.hh"
+#include "recap/policy/factory.hh"
+#include "recap/query/server.hh"
+
+using namespace recap;
+
+int
+main(int argc, char** argv)
+{
+    const std::string target = argc > 1 ? argv[1] : "lru";
+
+    std::unique_ptr<hw::Machine> machine;
+    std::unique_ptr<infer::MeasurementContext> ctx;
+    std::unique_ptr<query::QueryOracle> oracle;
+
+    if (policy::isKnownPolicySpec(target)) {
+        const unsigned ways =
+            argc > 2 ? static_cast<unsigned>(std::stoul(argv[2])) : 8;
+        oracle =
+            std::make_unique<query::PolicyOracle>(target, ways, 1);
+    } else {
+        // "L1"/"L2"/"L3" selects the probed level of a catalog machine.
+        unsigned level = 0;
+        if (argc > 2 && argv[2][0] == 'L')
+            level = static_cast<unsigned>(std::stoul(argv[2] + 1)) - 1;
+        const auto spec =
+            hw::reducedSpec(hw::catalogMachine(target), 512);
+        machine = std::make_unique<hw::Machine>(spec);
+        ctx = std::make_unique<infer::MeasurementContext>(*machine);
+        oracle = std::make_unique<query::MachineOracle>(
+            *ctx, infer::assumedGeometry(spec), level);
+    }
+
+    std::cout << "# query REPL — " << oracle->describe() << "\n"
+              << "# grammar: name ['?'] | '@' | '(' ... ')' ['^'N]; "
+                 "';' joins queries into one shared batch\n"
+              << "# commands: :ways :backend :stats :quit\n";
+
+    std::string line;
+    while (std::cout << "> " << std::flush &&
+           std::getline(std::cin, line)) {
+        const std::string response =
+            query::respondLine(line, *oracle);
+        if (!response.empty())
+            std::cout << response << "\n";
+        if (line == ":quit")
+            break;
+    }
+    return 0;
+}

@@ -1,6 +1,7 @@
 #include "recap/infer/candidate_search.hh"
 
 #include <algorithm>
+#include <optional>
 
 #include "recap/common/error.hh"
 #include "recap/common/parallel.hh"
@@ -9,6 +10,7 @@
 #include "recap/policy/factory.hh"
 #include "recap/policy/qlru.hh"
 #include "recap/policy/set_model.hh"
+#include "recap/query/oracle.hh"
 
 namespace recap::infer
 {
@@ -41,6 +43,26 @@ CandidateSearch::run()
 {
     const unsigned k = prober_.ways();
     const uint64_t loads_before = prober_.context().loadsIssued();
+    const uint64_t experiments_before =
+        prober_.context().experimentsRun();
+
+    // Query-layer view of the prober: every probe sequence runs as an
+    // observe-all membership query, so its cost lands in the same
+    // accounting funnel as the other inference techniques.
+    std::optional<query::MachineOracle> oracle;
+    if (cfg_.useQueryLayer)
+        oracle.emplace(prober_, query::ObservationMode::kCounter);
+    auto observe = [&](const std::vector<BlockId>& seq) {
+        if (!oracle)
+            return prober_.observe(seq);
+        const auto verdict =
+            oracle->evaluate(query::makeObserveAllQuery(seq));
+        std::vector<bool> hits;
+        hits.reserve(verdict.probes.size());
+        for (const auto& probe : verdict.probes)
+            hits.push_back(probe.hit);
+        return hits;
+    };
 
     struct Candidate
     {
@@ -169,7 +191,7 @@ CandidateSearch::run()
             }
         }
 
-        const std::vector<bool> observed = prober_.observe(seq);
+        const std::vector<bool> observed = observe(seq);
 
         std::vector<Candidate> next = eliminate(alive, seq, observed);
         if (next.size() == alive.size())
@@ -200,7 +222,7 @@ CandidateSearch::run()
         if (verdict.equivalent)
             break; // inseparable (or beyond budget): certify below
         ++result.roundsRun;
-        const auto observed = prober_.observe(verdict.counterexample);
+        const auto observed = observe(verdict.counterexample);
         std::vector<Candidate> next =
             eliminate(alive, verdict.counterexample, observed);
         if (next.size() == alive.size())
@@ -216,6 +238,8 @@ CandidateSearch::run()
     if (!alive.empty())
         result.verdict = alive.front().spec;
     result.loadsUsed = prober_.context().loadsIssued() - loads_before;
+    result.experimentsUsed =
+        prober_.context().experimentsRun() - experiments_before;
     return result;
 }
 

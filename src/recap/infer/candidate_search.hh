@@ -67,6 +67,15 @@ struct CandidateSearchConfig
      * ablation baseline.
      */
     bool targetedPhase = true;
+
+    /**
+     * Issue every observation through the query layer (a borrowing
+     * query::MachineOracle), so measurement cost is accounted
+     * centrally alongside the other inference techniques. Verdicts
+     * are unchanged — the differential tests assert it. false = the
+     * pre-query-layer direct SetProber path.
+     */
+    bool useQueryLayer = true;
 };
 
 /** Result of the candidate search. */
@@ -86,6 +95,9 @@ struct CandidateSearchResult
 
     /** Loads issued (measurement cost). */
     uint64_t loadsUsed = 0;
+
+    /** Experiments replayed (measurement cost). */
+    uint64_t experimentsUsed = 0;
 };
 
 /**

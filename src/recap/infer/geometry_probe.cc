@@ -5,6 +5,18 @@
 namespace recap::infer
 {
 
+DiscoveredGeometry
+assumedGeometry(const hw::MachineSpec& spec)
+{
+    DiscoveredGeometry geom;
+    for (const auto& lvl : spec.levels) {
+        const auto g = lvl.geometry();
+        geom.lineSize = g.lineSize;
+        geom.levels.push_back({g.lineSize, g.numSets, g.ways});
+    }
+    return geom;
+}
+
 GeometryProbe::GeometryProbe(MeasurementContext& ctx,
                              const GeometryProbeConfig& cfg)
     : ctx_(ctx), cfg_(cfg)

@@ -63,6 +63,14 @@ struct DiscoveredGeometry
     std::vector<LevelGeometry> levels;
 };
 
+/**
+ * The geometry a spec documents, in discovered form — the white-box
+ * shortcut for tools and tests that want a SetProber without paying
+ * for the measurement-based discovery. Inference pipelines must keep
+ * using GeometryProbe.
+ */
+DiscoveredGeometry assumedGeometry(const hw::MachineSpec& spec);
+
 /** Tuning knobs for the probe. */
 struct GeometryProbeConfig
 {

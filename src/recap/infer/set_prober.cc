@@ -1,5 +1,6 @@
 #include "recap/infer/set_prober.hh"
 
+#include <algorithm>
 #include <unordered_map>
 
 #include "recap/common/error.hh"
@@ -125,6 +126,32 @@ SetProber::observe(const std::vector<BlockId>& seq)
     return voted;
 }
 
+std::vector<unsigned>
+SetProber::observeLevels(const std::vector<BlockId>& seq)
+{
+    unsigned repeats = cfg_.voteRepeats;
+    if (repeats % 2 == 0)
+        ++repeats;
+    // votes[i][lvl]: how many replays served access i from lvl.
+    const unsigned depth = ctx_.depth() + 1;
+    std::vector<std::vector<unsigned>> votes(
+        seq.size(), std::vector<unsigned>(depth, 0));
+    for (unsigned r = 0; r < repeats; ++r) {
+        const std::vector<unsigned> levels = replayTimed(seq);
+        for (size_t i = 0; i < seq.size(); ++i)
+            ++votes[i][std::min(levels[i], depth - 1)];
+    }
+    std::vector<unsigned> voted(seq.size(), 0);
+    for (size_t i = 0; i < seq.size(); ++i) {
+        unsigned best = 0;
+        for (unsigned lvl = 1; lvl < depth; ++lvl)
+            if (votes[i][lvl] > votes[i][best])
+                best = lvl;
+        voted[i] = best;
+    }
+    return voted;
+}
+
 void
 SetProber::thrash(unsigned count)
 {
@@ -156,6 +183,20 @@ SetProber::replayObserved(const std::vector<BlockId>& seq)
     for (BlockId b : seq)
         outcome.push_back(routedObservedAccess(b));
     return outcome;
+}
+
+std::vector<unsigned>
+SetProber::replayTimed(const std::vector<BlockId>& seq)
+{
+    ctx_.beginExperiment();
+    ctx_.flush();
+    std::vector<unsigned> levels;
+    levels.reserve(seq.size());
+    for (BlockId b : seq) {
+        evictInnerLevels();
+        levels.push_back(ctx_.timedLevel(blockAddr(b)));
+    }
+    return levels;
 }
 
 void

@@ -96,6 +96,15 @@ class SetProber
     std::vector<bool> observe(const std::vector<BlockId>& seq);
 
     /**
+     * Replays flush + @p seq timing every access instead of reading
+     * counters, and reports the level each access was served from
+     * (majority-voted per position; ties resolve to the innermost
+     * level). An access served at the target level or any inner one
+     * is a hit on the probed set; depth() means memory.
+     */
+    std::vector<unsigned> observeLevels(const std::vector<BlockId>& seq);
+
+    /**
      * Floods the probed set with @p count never-before-seen lines
      * (no observation) — used to train set-dueling counters.
      */
@@ -113,6 +122,9 @@ class SetProber
   private:
     /** One un-voted replay of flush + seq with per-access outcomes. */
     std::vector<bool> replayObserved(const std::vector<BlockId>& seq);
+
+    /** One un-voted timed replay with per-access serving levels. */
+    std::vector<unsigned> replayTimed(const std::vector<BlockId>& seq);
 
     /** Evicts the probed blocks' lines from every inner level. */
     void evictInnerLevels();

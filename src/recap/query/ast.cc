@@ -1,0 +1,169 @@
+#include "recap/query/ast.hh"
+
+#include <unordered_map>
+
+#include "recap/common/error.hh"
+
+namespace recap::query
+{
+
+bool
+Group::operator==(const Group& other) const
+{
+    return items == other.items;
+}
+
+bool
+Node::operator==(const Node& other) const
+{
+    return repeat == other.repeat && op == other.op;
+}
+
+namespace
+{
+
+void
+printNode(const Node& node, std::string& out)
+{
+    if (const auto* access = std::get_if<Access>(&node.op)) {
+        out += access->block;
+        if (access->probe)
+            out += '?';
+    } else if (std::holds_alternative<Flush>(node.op)) {
+        out += '@';
+    } else {
+        const auto& group = std::get<Group>(node.op);
+        out += "( ";
+        for (const Node& item : group.items) {
+            printNode(item, out);
+            out += ' ';
+        }
+        out += ')';
+    }
+    if (node.repeat != 1) {
+        out += '^';
+        out += std::to_string(node.repeat);
+    }
+}
+
+/** Compilation state: the intern table and the growing step list. */
+struct Compiler
+{
+    std::vector<Step> steps;
+    std::vector<std::string> names;
+    std::unordered_map<std::string, BlockId> idOf;
+    std::size_t maxSteps;
+
+    void
+    emit(Step step)
+    {
+        require(steps.size() < maxSteps,
+                "query::compile: expansion exceeds the step limit (" +
+                    std::to_string(maxSteps) + ")");
+        steps.push_back(step);
+    }
+
+    BlockId
+    intern(const std::string& name)
+    {
+        const auto it = idOf.find(name);
+        if (it != idOf.end())
+            return it->second;
+        names.push_back(name);
+        const BlockId id = static_cast<BlockId>(names.size());
+        idOf.emplace(name, id);
+        return id;
+    }
+
+    void
+    walk(const Node& node)
+    {
+        for (unsigned r = 0; r < node.repeat; ++r) {
+            if (const auto* access = std::get_if<Access>(&node.op)) {
+                emit({intern(access->block), false, access->probe});
+            } else if (std::holds_alternative<Flush>(node.op)) {
+                emit({0, true, false});
+            } else {
+                for (const Node& item : std::get<Group>(node.op).items)
+                    walk(item);
+            }
+        }
+    }
+};
+
+} // namespace
+
+std::string
+print(const Query& query)
+{
+    std::string out;
+    for (std::size_t i = 0; i < query.items.size(); ++i) {
+        if (i > 0)
+            out += ' ';
+        printNode(query.items[i], out);
+    }
+    return out;
+}
+
+unsigned
+CompiledQuery::probeCount() const
+{
+    unsigned n = 0;
+    for (const Step& step : steps)
+        if (!step.flush && step.probe)
+            ++n;
+    return n;
+}
+
+std::string
+CompiledQuery::blockName(BlockId block) const
+{
+    if (block >= 1 && block <= blockNames.size())
+        return blockNames[static_cast<std::size_t>(block) - 1];
+    return "b" + std::to_string(block);
+}
+
+CompiledQuery
+compile(const Query& query, std::size_t maxSteps)
+{
+    require(!query.items.empty(), "query::compile: empty query");
+    Compiler compiler;
+    compiler.maxSteps = maxSteps;
+    for (const Node& node : query.items)
+        compiler.walk(node);
+
+    bool hasAccess = false;
+    for (const Step& step : compiler.steps)
+        hasAccess = hasAccess || !step.flush;
+    require(hasAccess,
+            "query::compile: query performs no accesses (only flushes)");
+
+    CompiledQuery out;
+    out.steps = std::move(compiler.steps);
+    out.blockNames = std::move(compiler.names);
+    out.text = print(query);
+    return out;
+}
+
+CompiledQuery
+makeSurvivalQuery(const std::vector<BlockId>& seq, BlockId probe)
+{
+    CompiledQuery q;
+    q.steps.reserve(seq.size() + 1);
+    for (BlockId b : seq)
+        q.steps.push_back({b, false, false});
+    q.steps.push_back({probe, false, true});
+    return q;
+}
+
+CompiledQuery
+makeObserveAllQuery(const std::vector<BlockId>& seq)
+{
+    CompiledQuery q;
+    q.steps.reserve(seq.size());
+    for (BlockId b : seq)
+        q.steps.push_back({b, false, true});
+    return q;
+}
+
+} // namespace recap::query

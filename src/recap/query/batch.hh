@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Prefix-sharing batch evaluation of membership queries.
+ *
+ * A batch of structurally similar queries (the shape every
+ * reverse-engineering technique produces: "replay this prefix, then
+ * probe") repeats enormous amounts of work when each query re-executes
+ * from scratch. Both evaluators here share that work through a trie
+ * over query access-prefixes; what "sharing" means differs per
+ * backend, because the backends have different physics:
+ *
+ *  - Snapshot sharing (PolicyOracle): the trie is walked once with a
+ *    live SetModel; at branch points the automaton state is
+ *    snapshotted (SetModel copy) and each subtree continues from the
+ *    snapshot. A batch of N queries costs one access per DISTINCT
+ *    prefix instead of one per query step. Disjoint root subtrees
+ *    evaluate in parallel on the PR-1 TaskPool; results are
+ *    bit-identical for every thread count (and, for deterministic
+ *    policies, to naive per-query replay).
+ *
+ *  - Replay sharing (MachineOracle): hardware state cannot be
+ *    snapshotted, and observation is destructive — but one observed
+ *    replay of a segment yields the outcome of EVERY position along
+ *    it. The evaluator therefore deduplicates identical
+ *    flush-delimited segments across the batch and reorders the
+ *    remaining ones longest-first, so any segment that is a prefix of
+ *    an already-observed one reads its outcomes from the trie instead
+ *    of re-running the experiment.
+ */
+
+#ifndef RECAP_QUERY_BATCH_HH_
+#define RECAP_QUERY_BATCH_HH_
+
+#include <vector>
+
+#include "recap/query/oracle.hh"
+
+namespace recap::query
+{
+
+/**
+ * Snapshot-sharing evaluation of @p queries against @p oracle.
+ * Verdict costs are marginal: a query pays only for the trie nodes
+ * it was the first to need.
+ */
+std::vector<QueryVerdict>
+batchEvaluateSnapshot(PolicyOracle& oracle,
+                      const std::vector<CompiledQuery>& queries,
+                      const BatchOptions& opts = {},
+                      BatchStats* stats = nullptr);
+
+/**
+ * Replay-sharing evaluation of @p queries against @p oracle.
+ * Experiments run in a deterministic order (unique segments,
+ * longest first); verdict costs are marginal as above. BatchStats
+ * naive-cost figures for segments that were never run are estimated
+ * from the observation that covered them.
+ */
+std::vector<QueryVerdict>
+batchEvaluateReplay(MachineOracle& oracle,
+                    const std::vector<CompiledQuery>& queries,
+                    const BatchOptions& opts = {},
+                    BatchStats* stats = nullptr);
+
+} // namespace recap::query
+
+#endif // RECAP_QUERY_BATCH_HH_

@@ -1,0 +1,214 @@
+#include "recap/query/oracle.hh"
+
+#include "recap/common/error.hh"
+#include "recap/policy/factory.hh"
+#include "recap/query/batch.hh"
+
+namespace recap::query
+{
+
+std::vector<QueryVerdict>
+QueryOracle::evaluateBatch(const std::vector<CompiledQuery>& queries,
+                           const BatchOptions& opts, BatchStats* stats)
+{
+    (void)opts;
+    std::vector<QueryVerdict> verdicts;
+    verdicts.reserve(queries.size());
+    for (const CompiledQuery& q : queries)
+        verdicts.push_back(evaluate(q));
+    if (stats) {
+        stats->queries += queries.size();
+        for (const QueryVerdict& v : verdicts) {
+            stats->naiveCost += v.accesses;
+            stats->sharedCost += v.accesses;
+            stats->experimentsRun += v.experiments;
+        }
+    }
+    return verdicts;
+}
+
+std::vector<Segment>
+splitSegments(const CompiledQuery& query)
+{
+    std::vector<Segment> segments;
+    Segment current;
+    for (uint32_t i = 0; i < query.steps.size(); ++i) {
+        const Step& step = query.steps[i];
+        if (step.flush) {
+            if (!current.blocks.empty())
+                segments.push_back(std::move(current));
+            current = Segment{};
+        } else {
+            current.blocks.push_back(step.block);
+            current.stepIndex.push_back(i);
+        }
+    }
+    if (!current.blocks.empty())
+        segments.push_back(std::move(current));
+    return segments;
+}
+
+PolicyOracle::PolicyOracle(policy::PolicyPtr prototype)
+    : prototype_(std::move(prototype))
+{
+    require(prototype_ != nullptr,
+            "PolicyOracle: need a policy prototype");
+    spec_ = prototype_->name();
+}
+
+PolicyOracle::PolicyOracle(const std::string& spec, unsigned ways,
+                           uint64_t seed)
+    : prototype_(policy::makePolicy(spec, ways, seed)), spec_(spec)
+{}
+
+unsigned
+PolicyOracle::ways() const
+{
+    return prototype_->ways();
+}
+
+std::string
+PolicyOracle::describe() const
+{
+    return "policy:" + spec_ + " k=" + std::to_string(ways());
+}
+
+policy::SetModel
+PolicyOracle::freshModel() const
+{
+    policy::SetModel model(prototype_->clone());
+    model.flush();
+    return model;
+}
+
+void
+PolicyOracle::account(uint64_t experiments, uint64_t accesses)
+{
+    experiments_ += experiments;
+    accesses_ += accesses;
+}
+
+QueryVerdict
+PolicyOracle::evaluate(const CompiledQuery& query)
+{
+    policy::SetModel model = freshModel();
+    QueryVerdict verdict;
+    verdict.experiments = 1;
+    for (uint32_t i = 0; i < query.steps.size(); ++i) {
+        const Step& step = query.steps[i];
+        if (step.flush) {
+            model.flush();
+            continue;
+        }
+        const bool hit = model.access(step.block);
+        ++verdict.accesses;
+        if (step.probe) {
+            verdict.probes.push_back(
+                {i, step.block, hit, hit ? 0u : 1u});
+        }
+    }
+    account(verdict.experiments, verdict.accesses);
+    return verdict;
+}
+
+std::vector<QueryVerdict>
+PolicyOracle::evaluateBatch(const std::vector<CompiledQuery>& queries,
+                            const BatchOptions& opts, BatchStats* stats)
+{
+    if (!opts.prefixSharing)
+        return QueryOracle::evaluateBatch(queries, opts, stats);
+    return batchEvaluateSnapshot(*this, queries, opts, stats);
+}
+
+MachineOracle::MachineOracle(infer::MeasurementContext& ctx,
+                             const infer::DiscoveredGeometry& geom,
+                             unsigned targetLevel,
+                             const MachineOracleConfig& cfg)
+    : owned_(std::make_unique<infer::SetProber>(ctx, geom, targetLevel,
+                                                cfg.prober)),
+      prober_(owned_.get()), mode_(cfg.mode)
+{}
+
+MachineOracle::MachineOracle(infer::SetProber& prober,
+                             ObservationMode mode)
+    : prober_(&prober), mode_(mode)
+{}
+
+unsigned
+MachineOracle::ways() const
+{
+    return prober_->ways();
+}
+
+std::string
+MachineOracle::describe() const
+{
+    return std::string("machine:L") +
+           std::to_string(prober_->targetLevel() + 1) + " k=" +
+           std::to_string(ways()) +
+           (mode_ == ObservationMode::kCounter ? " (counter mode)"
+                                               : " (latency mode)");
+}
+
+std::vector<MachineOracle::PositionOutcome>
+MachineOracle::observeSegment(const std::vector<BlockId>& blocks)
+{
+    infer::MeasurementContext& ctx = prober_->context();
+    const uint64_t loadsBefore = ctx.loadsIssued();
+    const uint64_t experimentsBefore = ctx.experimentsRun();
+
+    std::vector<PositionOutcome> outcomes(blocks.size());
+    const unsigned target = prober_->targetLevel();
+    if (mode_ == ObservationMode::kCounter) {
+        const std::vector<bool> hits = prober_->observe(blocks);
+        for (std::size_t i = 0; i < blocks.size(); ++i) {
+            outcomes[i].hit = hits[i];
+            outcomes[i].level = hits[i] ? target : ctx.depth();
+        }
+    } else {
+        const std::vector<unsigned> levels =
+            prober_->observeLevels(blocks);
+        for (std::size_t i = 0; i < blocks.size(); ++i) {
+            outcomes[i].level = levels[i];
+            outcomes[i].hit = levels[i] <= target;
+        }
+    }
+    experiments_ += ctx.experimentsRun() - experimentsBefore;
+    accesses_ += ctx.loadsIssued() - loadsBefore;
+    return outcomes;
+}
+
+QueryVerdict
+MachineOracle::evaluate(const CompiledQuery& query)
+{
+    const uint64_t experimentsBefore = experiments_;
+    const uint64_t accessesBefore = accesses_;
+
+    QueryVerdict verdict;
+    for (const Segment& segment : splitSegments(query)) {
+        const auto outcomes = observeSegment(segment.blocks);
+        for (std::size_t i = 0; i < segment.blocks.size(); ++i) {
+            const uint32_t step = segment.stepIndex[i];
+            if (!query.steps[step].probe)
+                continue;
+            verdict.probes.push_back({step, segment.blocks[i],
+                                      outcomes[i].hit,
+                                      outcomes[i].level});
+        }
+    }
+    verdict.experiments = experiments_ - experimentsBefore;
+    verdict.accesses = accesses_ - accessesBefore;
+    return verdict;
+}
+
+std::vector<QueryVerdict>
+MachineOracle::evaluateBatch(const std::vector<CompiledQuery>& queries,
+                             const BatchOptions& opts,
+                             BatchStats* stats)
+{
+    if (!opts.prefixSharing)
+        return QueryOracle::evaluateBatch(queries, opts, stats);
+    return batchEvaluateReplay(*this, queries, opts, stats);
+}
+
+} // namespace recap::query

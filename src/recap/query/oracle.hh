@@ -1,0 +1,261 @@
+/**
+ * @file
+ * QueryOracle: the object that answers membership queries.
+ *
+ * Two backends:
+ *  - PolicyOracle replays queries against a policy::SetModel
+ *    automaton — exact, noiseless, and cheap; the replay substrate
+ *    for what-if analysis and the fast path of batch evaluation.
+ *  - MachineOracle runs queries as real measurement experiments on a
+ *    machine under test, through infer::SetProber (inner-level
+ *    eviction, majority voting, hw::NoiseConfig-aware) in either
+ *    counter mode (per-level hit counters) or latency mode (timed
+ *    loads classified into levels).
+ *
+ * Every experiment issued through an oracle goes through
+ * MeasurementContext::beginExperiment(), so measurement cost is
+ * accounted in one place for every inference technique that speaks
+ * the query layer.
+ */
+
+#ifndef RECAP_QUERY_ORACLE_HH_
+#define RECAP_QUERY_ORACLE_HH_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "recap/infer/set_prober.hh"
+#include "recap/query/ast.hh"
+
+namespace recap::query
+{
+
+/** Outcome of one probed access. */
+struct ProbeOutcome
+{
+    /** Index of the probed step in CompiledQuery::steps. */
+    uint32_t step = 0;
+
+    /** The probed block. */
+    BlockId block = 0;
+
+    /** True iff the access hit the probed set. */
+    bool hit = false;
+
+    /**
+     * Level that served the access. Machine backend: cache level
+     * index, depth() = memory (counter mode reports the target level
+     * on hits). Policy backend: 0 on hit, 1 ("beyond the set") on
+     * miss.
+     */
+    unsigned level = 0;
+
+    bool operator==(const ProbeOutcome&) const = default;
+};
+
+/** Answer to one query, with its measurement cost. */
+struct QueryVerdict
+{
+    /** One outcome per probed step, in step order. */
+    std::vector<ProbeOutcome> probes;
+
+    /** Experiments this query consumed (0 when fully shared). */
+    uint64_t experiments = 0;
+
+    /** Loads/accesses this query consumed (0 when fully shared). */
+    uint64_t accesses = 0;
+};
+
+/** Knobs for batch evaluation (see batch.hh). */
+struct BatchOptions
+{
+    /**
+     * Enable the prefix-sharing evaluator; false replays every query
+     * independently (the naive baseline the tests diff against).
+     */
+    bool prefixSharing = true;
+
+    /**
+     * Worker threads for the policy backend's independent trie
+     * subtrees; 0 = hardware concurrency, 1 = serial. Results are
+     * bit-identical for every value. The machine backend is a single
+     * stateful device and always evaluates serially.
+     */
+    unsigned numThreads = 1;
+};
+
+/** Cost accounting of one batch evaluation. */
+struct BatchStats
+{
+    uint64_t queries = 0;
+
+    /** Accesses naive per-query re-execution would have cost. */
+    uint64_t naiveCost = 0;
+
+    /** Accesses actually performed. */
+    uint64_t sharedCost = 0;
+
+    /** Experiments actually run / avoided by sharing. */
+    uint64_t experimentsRun = 0;
+    uint64_t experimentsSaved = 0;
+
+    /** Steps answered from a shared prefix instead of re-execution. */
+    uint64_t prefixReuses = 0;
+};
+
+/**
+ * Interface every query backend implements. evaluate() answers one
+ * query; evaluateBatch() answers many, sharing work across common
+ * access prefixes where the backend allows it (default: naive loop).
+ */
+class QueryOracle
+{
+  public:
+    virtual ~QueryOracle() = default;
+
+    /** Associativity of the probed set. */
+    virtual unsigned ways() const = 0;
+
+    /** Human-readable backend description for banners and logs. */
+    virtual std::string describe() const = 0;
+
+    virtual QueryVerdict evaluate(const CompiledQuery& query) = 0;
+
+    virtual std::vector<QueryVerdict>
+    evaluateBatch(const std::vector<CompiledQuery>& queries,
+                  const BatchOptions& opts = {},
+                  BatchStats* stats = nullptr);
+
+    /** Experiments issued through this oracle so far. */
+    virtual uint64_t experimentsRun() const = 0;
+
+    /** Loads/accesses issued through this oracle so far. */
+    virtual uint64_t accessesIssued() const = 0;
+};
+
+/**
+ * One maximal flush-free run of accesses of a compiled query.
+ * Machine experiments always replay from a flush, so a query is
+ * evaluated segment by segment; `stepIndex[i]` maps segment position
+ * i back to the step it came from.
+ */
+struct Segment
+{
+    std::vector<BlockId> blocks;
+    std::vector<uint32_t> stepIndex;
+};
+
+/** Splits @p query at flush steps; empty runs are dropped. */
+std::vector<Segment> splitSegments(const CompiledQuery& query);
+
+/**
+ * Replay backend: answers queries against a policy automaton.
+ */
+class PolicyOracle : public QueryOracle
+{
+  public:
+    /** Takes ownership of @p prototype (its current state = reset). */
+    explicit PolicyOracle(policy::PolicyPtr prototype);
+
+    /** Convenience: builds the policy from a factory spec string. */
+    PolicyOracle(const std::string& spec, unsigned ways,
+                 uint64_t seed = 1);
+
+    unsigned ways() const override;
+    std::string describe() const override;
+    QueryVerdict evaluate(const CompiledQuery& query) override;
+    std::vector<QueryVerdict>
+    evaluateBatch(const std::vector<CompiledQuery>& queries,
+                  const BatchOptions& opts = {},
+                  BatchStats* stats = nullptr) override;
+    uint64_t experimentsRun() const override { return experiments_; }
+    uint64_t accessesIssued() const override { return accesses_; }
+
+    /** A fresh (flushed) set model of the prototype policy. */
+    policy::SetModel freshModel() const;
+
+    /** Adds batch-evaluator costs to the cumulative counters. */
+    void account(uint64_t experiments, uint64_t accesses);
+
+  private:
+    policy::PolicyPtr prototype_;
+    std::string spec_;
+    uint64_t experiments_ = 0;
+    uint64_t accesses_ = 0;
+};
+
+/** How MachineOracle reads hit/miss evidence off the machine. */
+enum class ObservationMode
+{
+    kCounter, ///< per-level hit-counter deltas around each load
+    kLatency, ///< timed loads classified into levels
+};
+
+/** Configuration for an owning MachineOracle. */
+struct MachineOracleConfig
+{
+    ObservationMode mode = ObservationMode::kCounter;
+
+    /** Prober knobs (anchor address, voting repeats, ...). */
+    infer::SetProberConfig prober;
+};
+
+/**
+ * Measurement backend: answers queries by running experiments on the
+ * machine under test, at one set of one cache level.
+ */
+class MachineOracle : public QueryOracle
+{
+  public:
+    /** Owns its SetProber, built over @p ctx. */
+    MachineOracle(infer::MeasurementContext& ctx,
+                  const infer::DiscoveredGeometry& geom,
+                  unsigned targetLevel,
+                  const MachineOracleConfig& cfg = {});
+
+    /** Borrows an existing prober (the inference-layer form). */
+    explicit MachineOracle(
+        infer::SetProber& prober,
+        ObservationMode mode = ObservationMode::kCounter);
+
+    unsigned ways() const override;
+    std::string describe() const override;
+    QueryVerdict evaluate(const CompiledQuery& query) override;
+    std::vector<QueryVerdict>
+    evaluateBatch(const std::vector<CompiledQuery>& queries,
+                  const BatchOptions& opts = {},
+                  BatchStats* stats = nullptr) override;
+    uint64_t experimentsRun() const override { return experiments_; }
+    uint64_t accessesIssued() const override { return accesses_; }
+
+    infer::SetProber& prober() { return *prober_; }
+    ObservationMode mode() const { return mode_; }
+
+    /** Per-position outcome of one observed segment replay. */
+    struct PositionOutcome
+    {
+        bool hit = false;
+        unsigned level = 0;
+    };
+
+    /**
+     * Observes every position of one flush-delimited segment (one
+     * voted experiment batch on the machine) and updates the cost
+     * counters. The batch evaluator and evaluate() both funnel every
+     * machine experiment through here.
+     */
+    std::vector<PositionOutcome>
+    observeSegment(const std::vector<BlockId>& blocks);
+
+  private:
+    std::unique_ptr<infer::SetProber> owned_;
+    infer::SetProber* prober_;
+    ObservationMode mode_;
+    uint64_t experiments_ = 0;
+    uint64_t accesses_ = 0;
+};
+
+} // namespace recap::query
+
+#endif // RECAP_QUERY_ORACLE_HH_

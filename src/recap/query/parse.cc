@@ -1,0 +1,241 @@
+#include "recap/query/parse.hh"
+
+#include <cctype>
+
+namespace recap::query
+{
+
+namespace
+{
+
+struct Token
+{
+    enum class Kind
+    {
+        kName,   ///< block name, possibly followed by kProbe
+        kProbe,  ///< '?'
+        kFlush,  ///< '@'
+        kLParen, ///< '('
+        kRParen, ///< ')'
+        kCaret,  ///< '^'
+        kCount,  ///< decimal repetition count
+        kEnd,
+    };
+
+    Kind kind;
+    std::size_t pos;      ///< byte offset of the first character
+    std::string text;     ///< kName spelling
+    unsigned value = 0;   ///< kCount value
+};
+
+const char*
+tokenName(Token::Kind kind)
+{
+    switch (kind) {
+    case Token::Kind::kName: return "a block name";
+    case Token::Kind::kProbe: return "'?'";
+    case Token::Kind::kFlush: return "'@'";
+    case Token::Kind::kLParen: return "'('";
+    case Token::Kind::kRParen: return "')'";
+    case Token::Kind::kCaret: return "'^'";
+    case Token::Kind::kCount: return "a repetition count";
+    case Token::Kind::kEnd: return "end of input";
+    }
+    return "?";
+}
+
+class Lexer
+{
+  public:
+    explicit Lexer(std::string_view text) : text_(text) { advance(); }
+
+    const Token& peek() const { return current_; }
+
+    Token
+    take()
+    {
+        Token t = current_;
+        advance();
+        return t;
+    }
+
+  private:
+    void
+    advance()
+    {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (std::isspace(static_cast<unsigned char>(c))) {
+                ++pos_;
+            } else if (c == '#') {
+                while (pos_ < text_.size() && text_[pos_] != '\n')
+                    ++pos_;
+            } else {
+                break;
+            }
+        }
+        current_.pos = pos_;
+        current_.text.clear();
+        current_.value = 0;
+        if (pos_ >= text_.size()) {
+            current_.kind = Token::Kind::kEnd;
+            return;
+        }
+        const char c = text_[pos_];
+        switch (c) {
+        case '?': current_.kind = Token::Kind::kProbe; ++pos_; return;
+        case '@': current_.kind = Token::Kind::kFlush; ++pos_; return;
+        case '(': current_.kind = Token::Kind::kLParen; ++pos_; return;
+        case ')': current_.kind = Token::Kind::kRParen; ++pos_; return;
+        case '^': current_.kind = Token::Kind::kCaret; ++pos_; return;
+        default: break;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            uint64_t value = 0;
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+                value = value * 10 +
+                        static_cast<uint64_t>(text_[pos_] - '0');
+                if (value > 1'000'000'000) {
+                    throw ParseError("repetition count too large",
+                                     current_.pos);
+                }
+                ++pos_;
+            }
+            current_.kind = Token::Kind::kCount;
+            current_.value = static_cast<unsigned>(value);
+            return;
+        }
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            while (pos_ < text_.size() &&
+                   (std::isalnum(
+                        static_cast<unsigned char>(text_[pos_])) ||
+                    text_[pos_] == '_')) {
+                current_.text += text_[pos_];
+                ++pos_;
+            }
+            current_.kind = Token::Kind::kName;
+            return;
+        }
+        throw ParseError(std::string("unexpected character '") + c +
+                             "'",
+                         pos_);
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+    Token current_;
+};
+
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : lexer_(text) {}
+
+    Query
+    parse()
+    {
+        Query query;
+        query.items = parseItems(/*insideGroup=*/false);
+        if (query.items.empty())
+            throw ParseError("empty query", lexer_.peek().pos);
+        return query;
+    }
+
+  private:
+    bool
+    startsAtom(Token::Kind kind) const
+    {
+        return kind == Token::Kind::kName ||
+               kind == Token::Kind::kFlush ||
+               kind == Token::Kind::kLParen;
+    }
+
+    std::vector<Node>
+    parseItems(bool insideGroup)
+    {
+        std::vector<Node> items;
+        while (startsAtom(lexer_.peek().kind))
+            items.push_back(parseItem());
+        const Token& next = lexer_.peek();
+        if (insideGroup) {
+            if (next.kind != Token::Kind::kRParen) {
+                throw ParseError(
+                    std::string("expected ')' or an item, got ") +
+                        tokenName(next.kind),
+                    next.pos);
+            }
+        } else if (next.kind != Token::Kind::kEnd) {
+            throw ParseError(std::string("expected an item, got ") +
+                                 tokenName(next.kind),
+                             next.pos);
+        }
+        return items;
+    }
+
+    Node
+    parseItem()
+    {
+        Node node;
+        const Token atom = lexer_.take();
+        switch (atom.kind) {
+        case Token::Kind::kName: {
+            Access access;
+            access.block = atom.text;
+            if (lexer_.peek().kind == Token::Kind::kProbe) {
+                lexer_.take();
+                access.probe = true;
+            }
+            node.op = std::move(access);
+            break;
+        }
+        case Token::Kind::kFlush:
+            node.op = Flush{};
+            break;
+        case Token::Kind::kLParen: {
+            Group group;
+            group.items = parseItems(/*insideGroup=*/true);
+            if (group.items.empty())
+                throw ParseError("empty group", atom.pos);
+            lexer_.take(); // the ')'
+            node.op = std::move(group);
+            break;
+        }
+        default:
+            throw ParseError(std::string("expected an item, got ") +
+                                 tokenName(atom.kind),
+                             atom.pos);
+        }
+        if (lexer_.peek().kind == Token::Kind::kCaret) {
+            const Token caret = lexer_.take();
+            const Token count = lexer_.peek();
+            if (count.kind != Token::Kind::kCount) {
+                throw ParseError(
+                    std::string("expected a repetition count after "
+                                "'^', got ") +
+                        tokenName(count.kind),
+                    count.kind == Token::Kind::kEnd ? caret.pos
+                                                    : count.pos);
+            }
+            lexer_.take();
+            if (count.value == 0) {
+                throw ParseError("repetition count must be >= 1",
+                                 count.pos);
+            }
+            node.repeat = count.value;
+        }
+        return node;
+    }
+
+    Lexer lexer_;
+};
+
+} // namespace
+
+Query
+parseQuery(std::string_view text)
+{
+    return Parser(text).parse();
+}
+
+} // namespace recap::query

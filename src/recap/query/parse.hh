@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Hand-written lexer and recursive-descent parser for the query
+ * language of ast.hh.
+ *
+ * Grammar (whitespace separates tokens; `#` comments to end of line):
+ *
+ *   query  := item+
+ *   item   := atom ( '^' COUNT )?
+ *   atom   := NAME '?'?  |  '@'  |  '(' item+ ')'
+ *   NAME   := [A-Za-z_][A-Za-z0-9_]*
+ *   COUNT  := [0-9]+          (must be >= 1)
+ *
+ * Errors carry the exact byte offset into the input so callers (the
+ * REPL, recap-queryd) can point at the offending character.
+ */
+
+#ifndef RECAP_QUERY_PARSE_HH_
+#define RECAP_QUERY_PARSE_HH_
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "recap/query/ast.hh"
+
+namespace recap::query
+{
+
+/** Raised on any lexical or syntactic error, with the position. */
+class ParseError : public std::runtime_error
+{
+  public:
+    ParseError(const std::string& what, std::size_t position)
+        : std::runtime_error(what + " (at offset " +
+                             std::to_string(position) + ")"),
+          position_(position), message_(what)
+    {}
+
+    /** Byte offset of the offending character in the input. */
+    std::size_t position() const { return position_; }
+
+    /** The diagnostic without the position suffix. */
+    const std::string& message() const { return message_; }
+
+  private:
+    std::size_t position_;
+    std::string message_;
+};
+
+/**
+ * Parses @p text into a Query AST.
+ * @throws ParseError on any malformed input; never crashes (the
+ *         fuzz tests drive this with arbitrary bytes).
+ */
+Query parseQuery(std::string_view text);
+
+} // namespace recap::query
+
+#endif // RECAP_QUERY_PARSE_HH_

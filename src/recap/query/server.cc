@@ -1,0 +1,325 @@
+#include "recap/query/server.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <istream>
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "recap/common/error.hh"
+#include "recap/hw/catalog.hh"
+#include "recap/hw/machine.hh"
+#include "recap/query/parse.hh"
+
+namespace recap::query
+{
+
+namespace
+{
+
+std::string
+jsonEscape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+errorJson(const std::string& what, std::optional<std::size_t> position,
+          std::optional<std::size_t> queryIndex)
+{
+    std::ostringstream out;
+    out << "{\"ok\":false,\"error\":\"" << jsonEscape(what) << '"';
+    if (position)
+        out << ",\"position\":" << *position;
+    if (queryIndex)
+        out << ",\"query\":" << *queryIndex;
+    out << '}';
+    return out.str();
+}
+
+void
+writeVerdict(std::ostringstream& out, const CompiledQuery& query,
+             const QueryVerdict& verdict)
+{
+    out << "\"query\":\"" << jsonEscape(query.text)
+        << "\",\"probes\":[";
+    for (std::size_t i = 0; i < verdict.probes.size(); ++i) {
+        const ProbeOutcome& probe = verdict.probes[i];
+        if (i > 0)
+            out << ',';
+        out << "{\"step\":" << probe.step << ",\"block\":\""
+            << jsonEscape(query.blockName(probe.block))
+            << "\",\"hit\":" << (probe.hit ? "true" : "false")
+            << ",\"level\":" << probe.level << '}';
+    }
+    out << "],\"experiments\":" << verdict.experiments
+        << ",\"accesses\":" << verdict.accesses;
+}
+
+std::string
+trim(const std::string& s)
+{
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+} // namespace
+
+std::string
+respondLine(const std::string& line, QueryOracle& oracle,
+            const ServerOptions& opts)
+{
+    const std::string request = trim(line);
+    if (request.empty() || request[0] == '#')
+        return "";
+
+    if (request[0] == ':') {
+        if (request == ":quit")
+            return "{\"ok\":true,\"bye\":true}";
+        if (request == ":ways") {
+            return "{\"ok\":true,\"ways\":" +
+                   std::to_string(oracle.ways()) + "}";
+        }
+        if (request == ":backend") {
+            return "{\"ok\":true,\"backend\":\"" +
+                   jsonEscape(oracle.describe()) + "\"}";
+        }
+        if (request == ":stats") {
+            return "{\"ok\":true,\"experiments\":" +
+                   std::to_string(oracle.experimentsRun()) +
+                   ",\"accesses\":" +
+                   std::to_string(oracle.accessesIssued()) + "}";
+        }
+        return errorJson("unknown command: " + request, std::nullopt,
+                         std::nullopt);
+    }
+
+    // Split `;`-separated queries; offsets locate errors in the line.
+    std::vector<std::pair<std::string, std::size_t>> parts;
+    std::size_t start = 0;
+    for (;;) {
+        const std::size_t semi = line.find(';', start);
+        parts.emplace_back(
+            line.substr(start, semi == std::string::npos
+                                   ? std::string::npos
+                                   : semi - start),
+            start);
+        if (semi == std::string::npos)
+            break;
+        start = semi + 1;
+    }
+
+    std::vector<CompiledQuery> queries;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        try {
+            queries.push_back(compile(parseQuery(parts[i].first)));
+        } catch (const ParseError& e) {
+            return errorJson(e.message(),
+                             parts[i].second + e.position(),
+                             parts.size() > 1
+                                 ? std::optional<std::size_t>(i)
+                                 : std::nullopt);
+        } catch (const UsageError& e) {
+            return errorJson(e.what(), std::nullopt,
+                             parts.size() > 1
+                                 ? std::optional<std::size_t>(i)
+                                 : std::nullopt);
+        }
+    }
+
+    std::ostringstream out;
+    try {
+        if (queries.size() == 1) {
+            const QueryVerdict verdict = oracle.evaluate(queries[0]);
+            out << "{\"ok\":true,";
+            writeVerdict(out, queries[0], verdict);
+            out << '}';
+        } else {
+            BatchStats stats;
+            const std::vector<QueryVerdict> verdicts =
+                oracle.evaluateBatch(queries, opts.batch, &stats);
+            out << "{\"ok\":true,\"batch\":[";
+            for (std::size_t i = 0; i < verdicts.size(); ++i) {
+                if (i > 0)
+                    out << ',';
+                out << '{';
+                writeVerdict(out, queries[i], verdicts[i]);
+                out << '}';
+            }
+            out << "],\"sharing\":{\"queries\":" << stats.queries
+                << ",\"naive\":" << stats.naiveCost
+                << ",\"actual\":" << stats.sharedCost
+                << ",\"experiments\":" << stats.experimentsRun
+                << ",\"experimentsSaved\":" << stats.experimentsSaved
+                << "}}";
+        }
+    } catch (const std::exception& e) {
+        return errorJson(e.what(), std::nullopt, std::nullopt);
+    }
+    return out.str();
+}
+
+unsigned
+runSession(std::istream& in, std::ostream& out, QueryOracle& oracle,
+           const ServerOptions& opts)
+{
+    unsigned answered = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+        const std::string response = respondLine(line, oracle, opts);
+        if (response.empty())
+            continue;
+        out << response << '\n' << std::flush;
+        ++answered;
+        if (trim(line) == ":quit")
+            break;
+    }
+    return answered;
+}
+
+namespace
+{
+
+/** Everything a machine-backed session owns. */
+struct MachineSession
+{
+    hw::Machine machine;
+    infer::MeasurementContext ctx;
+    std::unique_ptr<MachineOracle> oracle;
+
+    MachineSession(const hw::MachineSpec& spec, uint64_t seed,
+                   const hw::NoiseConfig& noise, unsigned level,
+                   const MachineOracleConfig& cfg)
+        : machine(spec, seed, noise), ctx(machine),
+          oracle(std::make_unique<MachineOracle>(
+              ctx, infer::assumedGeometry(spec), level, cfg))
+    {}
+};
+
+} // namespace
+
+int
+querydMain(int argc, const char* const* argv, std::istream& in,
+           std::ostream& out, std::ostream& err)
+{
+    std::string policySpec;
+    std::string machineName;
+    unsigned ways = 8;
+    unsigned level = 0;
+    unsigned votes = 1;
+    unsigned maxSets = 512;
+    uint64_t seed = 1;
+    double noiseP = 0.0;
+    ObservationMode mode = ObservationMode::kCounter;
+    ServerOptions opts;
+
+    const auto usage = [&err] {
+        err << "usage: recap-queryd --policy <spec> [--ways N] "
+               "[--seed S]\n"
+               "       recap-queryd --machine <name> [--level L] "
+               "[--mode counter|latency]\n"
+               "                    [--noise P] [--votes N] "
+               "[--seed S] [--max-sets N]\n"
+               "       common: [--naive] [--threads N]\n";
+        return 2;
+    };
+
+    try {
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            const auto value = [&]() -> std::string {
+                require(i + 1 < argc,
+                        "missing value for " + arg);
+                return argv[++i];
+            };
+            if (arg == "--policy")
+                policySpec = value();
+            else if (arg == "--machine")
+                machineName = value();
+            else if (arg == "--ways")
+                ways = static_cast<unsigned>(std::stoul(value()));
+            else if (arg == "--level")
+                level = static_cast<unsigned>(std::stoul(value()));
+            else if (arg == "--votes")
+                votes = static_cast<unsigned>(std::stoul(value()));
+            else if (arg == "--max-sets")
+                maxSets = static_cast<unsigned>(std::stoul(value()));
+            else if (arg == "--seed")
+                seed = std::stoull(value());
+            else if (arg == "--noise")
+                noiseP = std::stod(value());
+            else if (arg == "--threads")
+                opts.batch.numThreads =
+                    static_cast<unsigned>(std::stoul(value()));
+            else if (arg == "--naive")
+                opts.batch.prefixSharing = false;
+            else if (arg == "--mode") {
+                const std::string m = value();
+                require(m == "counter" || m == "latency",
+                        "--mode must be counter or latency");
+                mode = m == "counter" ? ObservationMode::kCounter
+                                      : ObservationMode::kLatency;
+            } else {
+                err << "recap-queryd: unknown option " << arg << "\n";
+                return usage();
+            }
+        }
+        require(policySpec.empty() != machineName.empty(),
+                "exactly one of --policy / --machine is required");
+
+        if (!policySpec.empty()) {
+            PolicyOracle oracle(policySpec, ways, seed);
+            err << "# recap-queryd serving " << oracle.describe()
+                << "\n";
+            runSession(in, out, oracle, opts);
+            return 0;
+        }
+
+        const auto spec = hw::reducedSpec(
+            hw::catalogMachine(machineName), maxSets);
+        hw::NoiseConfig noise;
+        noise.disturbProbability = noiseP;
+        MachineOracleConfig cfg;
+        cfg.mode = mode;
+        cfg.prober.voteRepeats = votes;
+        MachineSession session(spec, seed, noise, level, cfg);
+        err << "# recap-queryd serving " << session.oracle->describe()
+            << " on " << spec.name << "\n";
+        runSession(in, out, *session.oracle, opts);
+        return 0;
+    } catch (const std::exception& e) {
+        err << "recap-queryd: " << e.what() << "\n";
+        return usage();
+    }
+}
+
+} // namespace recap::query

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * recap-queryd: a line-oriented oracle server.
+ *
+ * Protocol (one request line -> one newline-delimited JSON response):
+ *
+ *   - a query line, e.g. `a b c d a?`, answers with per-probe
+ *     hit/miss verdicts, serving levels, and this query's
+ *     measurement cost:
+ *       {"ok":true,"query":"a b c d a?","probes":[{"step":4,
+ *        "block":"a","hit":true,"level":0}],"experiments":1,
+ *        "accesses":5}
+ *   - `;`-separated queries on one line evaluate as ONE batch
+ *     through the prefix-sharing evaluator and answer with a
+ *     "batch" array plus sharing statistics;
+ *   - `:ways`, `:backend`, `:stats` report oracle metadata;
+ *     `:quit` ends the session;
+ *   - blank lines and `#` comments are ignored (no response);
+ *   - malformed input answers {"ok":false,"error":...,"position":N}
+ *     and the session continues.
+ *
+ * The session loop is stream-parameterized so tests drive it with
+ * string streams; the recap-queryd binary connects it to
+ * stdin/stdout.
+ */
+
+#ifndef RECAP_QUERY_SERVER_HH_
+#define RECAP_QUERY_SERVER_HH_
+
+#include <iosfwd>
+#include <string>
+
+#include "recap/query/oracle.hh"
+
+namespace recap::query
+{
+
+/** Session knobs. */
+struct ServerOptions
+{
+    /** Batch evaluation knobs for `;`-separated query lines. */
+    BatchOptions batch;
+};
+
+/**
+ * Answers one request line (without trailing newline).
+ * @return the JSON response, or "" for lines that get no response
+ *         (blank / comment).
+ */
+std::string respondLine(const std::string& line, QueryOracle& oracle,
+                        const ServerOptions& opts = {});
+
+/**
+ * Runs a full session: reads @p in line by line, writes one JSON
+ * response line per request to @p out, returns when the stream ends
+ * or a `:quit` arrives.
+ * @return the number of query lines answered.
+ */
+unsigned runSession(std::istream& in, std::ostream& out,
+                    QueryOracle& oracle,
+                    const ServerOptions& opts = {});
+
+/**
+ * The recap-queryd entry point (argv parsing + oracle construction +
+ * session), parameterized over streams so it is testable in-process.
+ *
+ * Usage:
+ *   recap-queryd --policy <spec> [--ways N] [--seed S]
+ *   recap-queryd --machine <catalog-name> [--level L]
+ *                [--mode counter|latency] [--noise P] [--votes N]
+ *                [--seed S] [--max-sets N]
+ *   common: [--naive] [--threads N]
+ *
+ * @return 0 on a clean session, 2 on a usage error.
+ */
+int querydMain(int argc, const char* const* argv, std::istream& in,
+               std::ostream& out, std::ostream& err);
+
+} // namespace recap::query
+
+#endif // RECAP_QUERY_SERVER_HH_

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Differential tests for the query-layer rewiring of the inference
+ * techniques: routing PermutationInference and CandidateSearch probes
+ * through query::MachineOracle batches must leave every verdict
+ * unchanged relative to the pre-query-layer direct SetProber path.
+ */
+
+#include <gtest/gtest.h>
+
+#include "recap/hw/catalog.hh"
+#include "recap/infer/candidate_search.hh"
+#include "recap/infer/geometry_probe.hh"
+#include "recap/infer/naming.hh"
+#include "recap/infer/permutation_infer.hh"
+#include "recap/infer/set_prober.hh"
+#include "recap/policy/factory.hh"
+
+namespace
+{
+
+using namespace recap;
+using infer::CandidateSearch;
+using infer::CandidateSearchConfig;
+using infer::CandidateSearchResult;
+using infer::MeasurementContext;
+using infer::PermutationInference;
+using infer::PermutationInferenceConfig;
+using infer::PermutationInferenceResult;
+using infer::SetProber;
+using infer::SetProberConfig;
+
+/** A single-level machine with the given hidden policy. */
+hw::MachineSpec
+singleLevelSpec(const std::string& policy, unsigned ways,
+                unsigned sets = 64)
+{
+    hw::MachineSpec spec;
+    spec.name = "probe-rig";
+    spec.description = "single-level test machine";
+    hw::CacheLevelSpec lvl;
+    lvl.name = "L1";
+    lvl.capacityBytes = uint64_t{64} * sets * ways;
+    lvl.ways = ways;
+    lvl.hitLatency = 4;
+    lvl.policySpec = policy;
+    spec.levels = {lvl};
+    spec.memoryLatency = 100;
+    return spec;
+}
+
+PermutationInferenceResult
+inferOnce(const std::string& policy, unsigned ways,
+          const PermutationInferenceConfig& cfg)
+{
+    const auto spec = singleLevelSpec(policy, ways);
+    hw::Machine machine(spec);
+    MeasurementContext ctx(machine);
+    SetProber prober(ctx, infer::assumedGeometry(spec), 0);
+    return PermutationInference(prober, cfg).run();
+}
+
+TEST(QueryInfer, PermutationVerdictsMatchTheDirectPath)
+{
+    for (const char* policy : {"lru", "fifo", "plru", "nru", "srrip",
+                               "qlru:H1,M1,R0,U2"}) {
+        for (unsigned ways : {4u, 8u}) {
+            PermutationInferenceConfig direct;
+            direct.useQueryLayer = false;
+            PermutationInferenceConfig query;
+            query.useQueryLayer = true;
+            const auto before = inferOnce(policy, ways, direct);
+            const auto after = inferOnce(policy, ways, query);
+
+            ASSERT_EQ(before.isPermutation, after.isPermutation)
+                << policy << " k=" << ways << ": "
+                << before.failureReason << " / "
+                << after.failureReason;
+            if (before.isPermutation) {
+                EXPECT_EQ(
+                    infer::canonicalPermutationName(*before.policy),
+                    infer::canonicalPermutationName(*after.policy))
+                    << policy << " k=" << ways;
+            } else {
+                EXPECT_EQ(before.failureReason, after.failureReason)
+                    << policy << " k=" << ways;
+            }
+            EXPECT_GT(after.experimentsUsed, 0u);
+            EXPECT_GT(after.loadsUsed, 0u);
+        }
+    }
+}
+
+TEST(QueryInfer, PermutationDifferentialHoldsForAblationSettings)
+{
+    // Linear-scan survival and disabled spot check exercise the other
+    // batching shapes (lockstep upward scan, full hit-perm loop).
+    for (const char* policy : {"fifo", "nru"}) {
+        PermutationInferenceConfig direct;
+        direct.useQueryLayer = false;
+        direct.binarySearchSurvival = false;
+        direct.earlySpotCheck = false;
+        PermutationInferenceConfig query = direct;
+        query.useQueryLayer = true;
+        const auto before = inferOnce(policy, 8, direct);
+        const auto after = inferOnce(policy, 8, query);
+        ASSERT_EQ(before.isPermutation, after.isPermutation) << policy;
+        if (!before.isPermutation)
+            EXPECT_EQ(before.failureReason, after.failureReason)
+                << policy;
+    }
+}
+
+TEST(QueryInfer, NoisyPermutationInferenceStillRecoversLru)
+{
+    const auto spec = singleLevelSpec("lru", 4);
+    hw::NoiseConfig noise;
+    noise.disturbProbability = 0.005;
+    hw::Machine machine(spec, /*seed=*/1, noise);
+    MeasurementContext ctx(machine);
+    SetProberConfig pc;
+    pc.voteRepeats = 9;
+    SetProber prober(ctx, infer::assumedGeometry(spec), 0, pc);
+    PermutationInferenceConfig cfg;
+    cfg.useQueryLayer = true;
+    const auto result = PermutationInference(prober, cfg).run();
+    ASSERT_TRUE(result.isPermutation) << result.failureReason;
+    EXPECT_EQ(infer::canonicalPermutationName(*result.policy), "LRU");
+}
+
+CandidateSearchResult
+searchOnce(const std::string& policy, bool useQueryLayer)
+{
+    const auto spec = singleLevelSpec(policy, 8);
+    hw::Machine machine(spec);
+    MeasurementContext ctx(machine);
+    SetProber prober(ctx, infer::assumedGeometry(spec), 0);
+    CandidateSearchConfig cfg;
+    cfg.useQueryLayer = useQueryLayer;
+    cfg.numThreads = 1;
+    const std::vector<std::string> candidates{
+        "lru",  "fifo", "plru",  "nru",
+        "bip",  "srrip", "brrip", "qlru:H1,M1,R0,U2",
+    };
+    return CandidateSearch(prober, candidates, cfg).run();
+}
+
+TEST(QueryInfer, CandidateSearchVerdictsMatchTheDirectPath)
+{
+    for (const char* policy : {"nru", "srrip", "qlru:H1,M1,R0,U2"}) {
+        const auto direct = searchOnce(policy, false);
+        const auto query = searchOnce(policy, true);
+        EXPECT_EQ(direct.survivors, query.survivors) << policy;
+        EXPECT_EQ(direct.decided, query.decided) << policy;
+        EXPECT_EQ(direct.verdict, query.verdict) << policy;
+        EXPECT_EQ(direct.roundsRun, query.roundsRun) << policy;
+        EXPECT_EQ(direct.verdict, policy) << "search missed";
+        EXPECT_GT(query.experimentsUsed, 0u);
+    }
+}
+
+TEST(QueryInfer, QueryLayerCostEqualsTheContextDelta)
+{
+    // Satellite contract: with the query layer on, every experiment
+    // an inference runs is visible in MeasurementContext's counters
+    // (nothing bypasses beginExperiment()).
+    const auto spec = singleLevelSpec("lru", 8);
+    hw::Machine machine(spec);
+    MeasurementContext ctx(machine);
+    SetProber prober(ctx, infer::assumedGeometry(spec), 0);
+    PermutationInferenceConfig cfg;
+    cfg.useQueryLayer = true;
+    const auto result = PermutationInference(prober, cfg).run();
+    ASSERT_TRUE(result.isPermutation) << result.failureReason;
+    EXPECT_EQ(result.experimentsUsed, ctx.experimentsRun());
+    EXPECT_EQ(result.loadsUsed, ctx.loadsIssued());
+}
+
+} // namespace

@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Tests for the membership-query DSL: lexer/parser structure, precise
+ * error positions, canonical printing with the parse(print(ast)) ==
+ * ast round-trip property (directed and fuzzed), and compilation to
+ * the flat step form (interning, repetition expansion, guards).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <variant>
+
+#include "recap/common/error.hh"
+#include "recap/common/rng.hh"
+#include "recap/query/ast.hh"
+#include "recap/query/parse.hh"
+
+namespace
+{
+
+using namespace recap;
+using query::Access;
+using query::BlockId;
+using query::CompiledQuery;
+using query::Flush;
+using query::Group;
+using query::Node;
+using query::ParseError;
+using query::parseQuery;
+using query::Query;
+using query::Step;
+
+TEST(QueryParse, SingleProbedAccess)
+{
+    const Query q = parseQuery("a?");
+    ASSERT_EQ(q.items.size(), 1u);
+    const auto& access = std::get<Access>(q.items[0].op);
+    EXPECT_EQ(access.block, "a");
+    EXPECT_TRUE(access.probe);
+    EXPECT_EQ(q.items[0].repeat, 1u);
+}
+
+TEST(QueryParse, AccessFlushGroupAndRepeat)
+{
+    const Query q = parseQuery("a b? @ ( c d )^3 e^2");
+    ASSERT_EQ(q.items.size(), 5u);
+    EXPECT_FALSE(std::get<Access>(q.items[0].op).probe);
+    EXPECT_TRUE(std::get<Access>(q.items[1].op).probe);
+    EXPECT_TRUE(std::holds_alternative<Flush>(q.items[2].op));
+    const auto& group = std::get<Group>(q.items[3].op);
+    ASSERT_EQ(group.items.size(), 2u);
+    EXPECT_EQ(q.items[3].repeat, 3u);
+    EXPECT_EQ(std::get<Access>(q.items[4].op).block, "e");
+    EXPECT_EQ(q.items[4].repeat, 2u);
+}
+
+TEST(QueryParse, WhitespaceAndCommentsAreInsignificant)
+{
+    const Query terse = parseQuery("a b?(c @)^2");
+    const Query spaced =
+        parseQuery("  a\tb?  ( c  @ )^2   # trailing comment");
+    EXPECT_EQ(terse, spaced);
+}
+
+TEST(QueryParse, NamesAllowUnderscoresAndDigits)
+{
+    const Query q = parseQuery("_x9 Block_2?");
+    EXPECT_EQ(std::get<Access>(q.items[0].op).block, "_x9");
+    EXPECT_EQ(std::get<Access>(q.items[1].op).block, "Block_2");
+}
+
+TEST(QueryParse, NestedGroups)
+{
+    const Query q = parseQuery("( a ( b c? )^2 )^4");
+    const auto& outer = std::get<Group>(q.items[0].op);
+    ASSERT_EQ(outer.items.size(), 2u);
+    const auto& inner = std::get<Group>(outer.items[1].op);
+    EXPECT_EQ(inner.items.size(), 2u);
+    EXPECT_EQ(outer.items[1].repeat, 2u);
+    EXPECT_EQ(q.items[0].repeat, 4u);
+}
+
+void
+expectError(const std::string& text, std::size_t position)
+{
+    try {
+        parseQuery(text);
+        FAIL() << "expected ParseError for: " << text;
+    } catch (const ParseError& e) {
+        EXPECT_EQ(e.position(), position) << text << ": " << e.what();
+        EXPECT_FALSE(e.message().empty());
+    }
+}
+
+TEST(QueryParse, ErrorPositionsArePrecise)
+{
+    expectError("", 0);            // empty query
+    expectError("   # only", 9);   // nothing but a comment
+    expectError("?", 0);           // probe without a name
+    expectError("a b $", 4);       // unexpected character
+    expectError("a^0", 2);         // zero repetition
+    expectError("a^", 1);          // missing count (points at '^')
+    expectError("a^x", 2);         // non-count after '^'
+    expectError("a )", 2);         // stray ')'
+    expectError("( a b", 5);       // unterminated group
+    expectError("()", 0);          // empty group (points at '(')
+    expectError("a 3", 2);         // count without '^'
+    expectError("a^99999999999", 2); // count overflow
+}
+
+TEST(QueryParse, PrintIsCanonical)
+{
+    EXPECT_EQ(query::print(parseQuery("  a   b?(c @)^2 ")),
+              "a b? ( c @ )^2");
+    EXPECT_EQ(query::print(parseQuery("a^1")), "a");
+    EXPECT_EQ(query::print(parseQuery("( a )^5")), "( a )^5");
+}
+
+TEST(QueryParse, RoundTripOnDirectedExamples)
+{
+    const char* kExamples[] = {
+        "a",
+        "a?",
+        "@",
+        "a b c d a?",
+        "a b c d a? @ a?",
+        "( a b )^3 c?",
+        "( a ( b? @ )^2 c )^7 _tail9",
+        "x^1000000000",
+    };
+    for (const char* text : kExamples) {
+        const Query q = parseQuery(text);
+        EXPECT_EQ(parseQuery(query::print(q)), q) << text;
+    }
+}
+
+/** Generates a random valid AST (the round-trip fuzz driver). */
+Node
+randomNode(Rng& rng, unsigned depth)
+{
+    Node node;
+    const auto pick = rng.nextBelow(depth == 0 ? 3 : 4);
+    if (pick == 0) {
+        node.op = Flush{};
+    } else if (pick < 3) {
+        Access access;
+        static const char* kNames[] = {"a", "b",  "c",   "x_1",
+                                       "Z", "_u", "q9q", "blk"};
+        access.block = kNames[rng.nextBelow(8)];
+        access.probe = rng.nextBool(0.3);
+        node.op = std::move(access);
+    } else {
+        Group group;
+        const auto n = 1 + rng.nextBelow(3);
+        for (std::size_t i = 0; i < n; ++i)
+            group.items.push_back(randomNode(rng, depth - 1));
+        node.op = std::move(group);
+    }
+    if (rng.nextBool(0.3))
+        node.repeat = 2 + static_cast<unsigned>(rng.nextBelow(5));
+    return node;
+}
+
+TEST(QueryParse, RoundTripPropertyFuzzed)
+{
+    Rng rng(20260806);
+    for (int iter = 0; iter < 500; ++iter) {
+        Query q;
+        const auto n = 1 + rng.nextBelow(6);
+        for (std::size_t i = 0; i < n; ++i)
+            q.items.push_back(randomNode(rng, 3));
+        const std::string text = query::print(q);
+        ASSERT_EQ(parseQuery(text), q) << text;
+        // Canonical text is a fixed point of print∘parse.
+        ASSERT_EQ(query::print(parseQuery(text)), text) << text;
+    }
+}
+
+TEST(QueryParse, ArbitraryBytesNeverCrash)
+{
+    // Anything but a clean parse must surface as ParseError (never a
+    // crash, never another exception type).
+    static const char kCharset[] =
+        "ab?@()^ 019_#$%\\\"\n\t\xff\x01;:~";
+    Rng rng(424242);
+    for (int iter = 0; iter < 4000; ++iter) {
+        std::string text;
+        const auto len = rng.nextBelow(24);
+        for (std::size_t i = 0; i < len; ++i)
+            text += kCharset[rng.nextBelow(sizeof kCharset - 1)];
+        try {
+            const Query q = parseQuery(text);
+            EXPECT_FALSE(q.items.empty());
+        } catch (const ParseError& e) {
+            EXPECT_LE(e.position(), text.size()) << text;
+        }
+    }
+}
+
+TEST(QueryParse, FuzzedParsesSurviveCompileOrReportUsageErrors)
+{
+    Rng rng(7);
+    for (int iter = 0; iter < 500; ++iter) {
+        Query q;
+        const auto n = 1 + rng.nextBelow(4);
+        for (std::size_t i = 0; i < n; ++i)
+            q.items.push_back(randomNode(rng, 2));
+        try {
+            const CompiledQuery compiled =
+                query::compile(q, /*maxSteps=*/512);
+            EXPECT_FALSE(compiled.steps.empty());
+        } catch (const UsageError&) {
+            // all-flush queries or oversized expansions
+        }
+    }
+}
+
+TEST(QueryCompile, InternsNamesInFirstOccurrenceOrder)
+{
+    const CompiledQuery q =
+        query::compile(parseQuery("a b a c? @ b?"));
+    ASSERT_EQ(q.steps.size(), 6u);
+    EXPECT_EQ(q.steps[0].block, 1u);
+    EXPECT_EQ(q.steps[1].block, 2u);
+    EXPECT_EQ(q.steps[2].block, 1u);
+    EXPECT_EQ(q.steps[3].block, 3u);
+    EXPECT_TRUE(q.steps[3].probe);
+    EXPECT_TRUE(q.steps[4].flush);
+    EXPECT_EQ(q.steps[5].block, 2u);
+    ASSERT_EQ(q.blockNames.size(), 3u);
+    EXPECT_EQ(q.blockName(1), "a");
+    EXPECT_EQ(q.blockName(3), "c");
+    EXPECT_EQ(q.probeCount(), 2u);
+    EXPECT_EQ(q.text, "a b a c? @ b?");
+}
+
+TEST(QueryCompile, ExpandsRepetitions)
+{
+    const CompiledQuery q = query::compile(parseQuery("( a b )^3 a^2"));
+    ASSERT_EQ(q.steps.size(), 8u);
+    for (int i = 0; i < 6; i += 2) {
+        EXPECT_EQ(q.steps[i].block, 1u);
+        EXPECT_EQ(q.steps[i + 1].block, 2u);
+    }
+    EXPECT_EQ(q.steps[6].block, 1u);
+    EXPECT_EQ(q.steps[7].block, 1u);
+}
+
+TEST(QueryCompile, GuardsAgainstExponentialExpansion)
+{
+    // 100^4 steps from 24 characters of text.
+    const Query q =
+        parseQuery("( ( ( a^100 )^100 )^100 )^100");
+    EXPECT_THROW(query::compile(q), UsageError);
+    EXPECT_THROW(query::compile(parseQuery("a^10"), 5), UsageError);
+}
+
+TEST(QueryCompile, RejectsAccessFreeQueries)
+{
+    EXPECT_THROW(query::compile(parseQuery("@ @^3")), UsageError);
+}
+
+TEST(QueryCompile, ProgrammaticBuildersShapeAndFallbackNames)
+{
+    const CompiledQuery survival =
+        query::makeSurvivalQuery({5, 7, 5}, 9);
+    ASSERT_EQ(survival.steps.size(), 4u);
+    EXPECT_FALSE(survival.steps[0].probe);
+    EXPECT_EQ(survival.steps[3].block, 9u);
+    EXPECT_TRUE(survival.steps[3].probe);
+    EXPECT_EQ(survival.probeCount(), 1u);
+    EXPECT_EQ(survival.blockName(9), "b9");
+
+    const CompiledQuery all = query::makeObserveAllQuery({1, 2, 1});
+    ASSERT_EQ(all.steps.size(), 3u);
+    for (const Step& step : all.steps)
+        EXPECT_TRUE(step.probe);
+}
+
+} // namespace

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Tests for recap-queryd's line protocol: scripted sessions against
+ * the policy oracle and a noisy machine oracle, JSON error responses
+ * with positions, batch lines, and the in-process entry point the
+ * binary wraps.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "recap/query/oracle.hh"
+#include "recap/query/parse.hh"
+#include "recap/query/server.hh"
+
+namespace
+{
+
+using namespace recap;
+using query::PolicyOracle;
+using query::respondLine;
+using query::runSession;
+using query::ServerOptions;
+
+bool
+contains(const std::string& haystack, const std::string& needle)
+{
+    return haystack.find(needle) != std::string::npos;
+}
+
+TEST(QueryServer, AnswersQueriesWithVerdictJson)
+{
+    PolicyOracle oracle("lru", 4);
+    const std::string hit = respondLine("a b c d a?", oracle);
+    EXPECT_TRUE(contains(hit, "\"ok\":true")) << hit;
+    EXPECT_TRUE(contains(hit, "\"query\":\"a b c d a?\"")) << hit;
+    EXPECT_TRUE(contains(hit, "\"block\":\"a\",\"hit\":true")) << hit;
+    EXPECT_TRUE(contains(hit, "\"experiments\":1")) << hit;
+
+    const std::string miss = respondLine("a b c d e a?", oracle);
+    EXPECT_TRUE(contains(miss, "\"hit\":false")) << miss;
+}
+
+TEST(QueryServer, ReportsParseErrorsWithLinePositions)
+{
+    PolicyOracle oracle("lru", 4);
+    const std::string bad = respondLine("a b $ c", oracle);
+    EXPECT_TRUE(contains(bad, "\"ok\":false")) << bad;
+    EXPECT_TRUE(contains(bad, "\"position\":4")) << bad;
+
+    // In a `;`-joined line the position is line-relative and the
+    // failing query's index is reported.
+    const std::string batch = respondLine("a b? ; c ^0", oracle);
+    EXPECT_TRUE(contains(batch, "\"ok\":false")) << batch;
+    EXPECT_TRUE(contains(batch, "\"position\":10")) << batch;
+    EXPECT_TRUE(contains(batch, "\"query\":1")) << batch;
+}
+
+TEST(QueryServer, CommandsReportOracleMetadata)
+{
+    PolicyOracle oracle("srrip", 8);
+    EXPECT_TRUE(contains(respondLine(":ways", oracle), "\"ways\":8"));
+    EXPECT_TRUE(
+        contains(respondLine(":backend", oracle), "srrip"));
+    oracle.evaluate(query::compile(query::parseQuery("a b?")));
+    const std::string stats = respondLine(":stats", oracle);
+    EXPECT_TRUE(contains(stats, "\"experiments\":1")) << stats;
+    EXPECT_TRUE(contains(stats, "\"accesses\":2")) << stats;
+    EXPECT_TRUE(
+        contains(respondLine(":bogus", oracle), "\"ok\":false"));
+}
+
+TEST(QueryServer, BlankAndCommentLinesGetNoResponse)
+{
+    PolicyOracle oracle("lru", 4);
+    EXPECT_EQ(respondLine("", oracle), "");
+    EXPECT_EQ(respondLine("   \t ", oracle), "");
+    EXPECT_EQ(respondLine("# a b c d a?", oracle), "");
+}
+
+TEST(QueryServer, SemicolonLinesEvaluateAsOneSharedBatch)
+{
+    PolicyOracle oracle("lru", 4);
+    const std::string response = respondLine(
+        "a b c d a? ; a b c d e a? ; a b c d e f a?", oracle);
+    EXPECT_TRUE(contains(response, "\"batch\":[")) << response;
+    EXPECT_TRUE(contains(response, "\"sharing\":{\"queries\":3"))
+        << response;
+    EXPECT_TRUE(contains(response, "\"hit\":true")) << response;
+    EXPECT_TRUE(contains(response, "\"hit\":false")) << response;
+    // Shared prefixes: the batch costs less than naive re-execution.
+    const auto naive = response.find("\"naive\":");
+    const auto actual = response.find("\"actual\":");
+    ASSERT_NE(naive, std::string::npos);
+    ASSERT_NE(actual, std::string::npos);
+    EXPECT_LT(std::stoul(response.substr(actual + 9)),
+              std::stoul(response.substr(naive + 8)));
+}
+
+TEST(QueryServer, ScriptedSessionRunsToQuit)
+{
+    PolicyOracle oracle("lru", 4);
+    std::istringstream in("# warmup comment\n"
+                          "a b c d a?\n"
+                          "\n"
+                          ":ways\n"
+                          "bad $ line\n"
+                          ":quit\n"
+                          "a b c d a?\n"); // after :quit: unanswered
+    std::ostringstream out;
+    const unsigned answered = runSession(in, out, oracle);
+    EXPECT_EQ(answered, 4u); // query, :ways, error, :quit
+    std::vector<std::string> lines;
+    std::istringstream parsed(out.str());
+    for (std::string line; std::getline(parsed, line);)
+        lines.push_back(line);
+    ASSERT_EQ(lines.size(), 4u);
+    EXPECT_TRUE(contains(lines[0], "\"hit\":true"));
+    EXPECT_TRUE(contains(lines[1], "\"ways\":4"));
+    EXPECT_TRUE(contains(lines[2], "\"ok\":false"));
+    EXPECT_TRUE(contains(lines[3], "\"bye\":true"));
+}
+
+int
+runQueryd(const std::vector<std::string>& args,
+          const std::string& script, std::string& out,
+          std::string& err)
+{
+    std::vector<const char*> argv{"recap-queryd"};
+    for (const auto& arg : args)
+        argv.push_back(arg.c_str());
+    std::istringstream in(script);
+    std::ostringstream outStream;
+    std::ostringstream errStream;
+    const int rc =
+        query::querydMain(static_cast<int>(argv.size()), argv.data(),
+                          in, outStream, errStream);
+    out = outStream.str();
+    err = errStream.str();
+    return rc;
+}
+
+TEST(QuerydMain, ServesAPolicyOracleSession)
+{
+    std::string out;
+    std::string err;
+    const int rc = runQueryd({"--policy", "lru", "--ways", "4"},
+                             "a b c d a?\n@ a?\n:quit\n", out, err);
+    EXPECT_EQ(rc, 0) << err;
+    EXPECT_TRUE(contains(out, "\"hit\":true")) << out;
+    EXPECT_TRUE(contains(out, "\"hit\":false")) << out;
+    EXPECT_TRUE(contains(err, "policy:lru")) << err;
+}
+
+TEST(QuerydMain, ServesANoisyMachineOracleSession)
+{
+    // A noisy machine with pinned seed and voting must still answer
+    // the fill-then-probe session correctly.
+    std::string out;
+    std::string err;
+    const int rc = runQueryd(
+        {"--machine", "core2-e6300", "--level", "1", "--noise",
+         "0.01", "--votes", "9", "--seed", "5", "--max-sets", "512",
+         "--mode", "latency"},
+        "a b c d e f g h a?\nfresh?\n:stats\n:quit\n", out, err);
+    EXPECT_EQ(rc, 0) << err;
+    EXPECT_TRUE(contains(err, "machine:L2")) << err;
+    EXPECT_TRUE(contains(err, "latency")) << err;
+    std::vector<std::string> lines;
+    std::istringstream parsed(out);
+    for (std::string line; std::getline(parsed, line);)
+        lines.push_back(line);
+    ASSERT_EQ(lines.size(), 4u);
+    EXPECT_TRUE(contains(lines[0], "\"hit\":true,\"level\":1"))
+        << lines[0];
+    EXPECT_TRUE(contains(lines[1], "\"hit\":false")) << lines[1];
+    EXPECT_TRUE(contains(lines[2], "\"experiments\":")) << lines[2];
+}
+
+TEST(QuerydMain, BatchLinesRespectTheNaiveFlag)
+{
+    std::string out;
+    std::string err;
+    const int rc = runQueryd({"--policy", "lru", "--ways", "4",
+                              "--naive"},
+                             "a b c a? ; a b c d a?\n:quit\n", out,
+                             err);
+    EXPECT_EQ(rc, 0) << err;
+    EXPECT_TRUE(contains(out, "\"sharing\":")) << out;
+    // Naive mode: actual cost equals the naive cost.
+    EXPECT_TRUE(contains(out, "\"naive\":9,\"actual\":9")) << out;
+}
+
+TEST(QuerydMain, RejectsBadInvocations)
+{
+    std::string out;
+    std::string err;
+    EXPECT_EQ(runQueryd({}, "", out, err), 2);
+    EXPECT_TRUE(contains(err, "usage:")) << err;
+    EXPECT_EQ(runQueryd({"--policy", "lru", "--machine", "x"}, "",
+                        out, err),
+              2);
+    EXPECT_EQ(runQueryd({"--frobnicate"}, "", out, err), 2);
+    EXPECT_EQ(runQueryd({"--policy", "no-such-policy"}, "", out, err),
+              2);
+}
+
+} // namespace

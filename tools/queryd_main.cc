@@ -1,0 +1,22 @@
+/**
+ * @file
+ * recap-queryd — the membership-query oracle as a service.
+ *
+ * Reads query lines from stdin, writes newline-delimited JSON
+ * responses to stdout (protocol in src/recap/query/server.hh), so
+ * external tools can drive a policy automaton or a simulated machine
+ * under test without linking against recap:
+ *
+ *   printf 'a b c d a?\n' | recap-queryd --policy lru --ways 4
+ */
+
+#include <iostream>
+
+#include "recap/query/server.hh"
+
+int
+main(int argc, char** argv)
+{
+    return recap::query::querydMain(argc, argv, std::cin, std::cout,
+                                    std::cerr);
+}
