@@ -1,0 +1,281 @@
+#include "recap/hw/faults.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "recap/common/error.hh"
+#include "recap/hw/machine.hh"
+
+namespace recap::hw
+{
+
+namespace
+{
+
+double
+clampProbability(double p)
+{
+    return std::min(1.0, std::max(0.0, p));
+}
+
+} // namespace
+
+bool
+FaultConfig::anyAccessFaults() const
+{
+    return (disturb.enabled && disturb.probability > 0.0) ||
+           (adjacentLine.enabled && adjacentLine.probability > 0.0) ||
+           (stream.enabled && stream.degree > 0) ||
+           (interrupts.enabled && interrupts.burstAccesses > 0);
+}
+
+bool
+FaultConfig::anyLatencyFaults() const
+{
+    return (jitter.enabled && jitter.probability > 0.0 &&
+            jitter.cycles > 0) ||
+           (tlb.enabled && tlb.probability > 0.0) ||
+           (interrupts.enabled && interrupts.latencyPenalty > 0);
+}
+
+bool
+FaultConfig::anyCounterFaults() const
+{
+    return counters.enabled && (counters.garbleProbability > 0.0 ||
+                                counters.dropProbability > 0.0);
+}
+
+FaultConfig
+FaultConfig::fromNoise(const NoiseConfig& noise)
+{
+    FaultConfig cfg;
+    if (noise.disturbProbability > 0.0) {
+        cfg.disturb.enabled = true;
+        cfg.disturb.probability =
+            clampProbability(noise.disturbProbability);
+    }
+    if (noise.latencyJitterProbability > 0.0) {
+        cfg.jitter.enabled = true;
+        cfg.jitter.probability =
+            clampProbability(noise.latencyJitterProbability);
+        cfg.jitter.cycles = noise.latencyJitterCycles;
+    }
+    return cfg;
+}
+
+FaultConfig
+FaultConfig::hostile(double intensity)
+{
+    require(intensity >= 0.0,
+            "FaultConfig::hostile: intensity must be >= 0");
+    FaultConfig cfg;
+    if (intensity == 0.0)
+        return cfg;
+
+    cfg.disturb.enabled = true;
+    cfg.disturb.probability = clampProbability(0.004 * intensity);
+
+    cfg.adjacentLine.enabled = true;
+    cfg.adjacentLine.probability = clampProbability(0.05 * intensity);
+
+    cfg.stream.enabled = true;
+    cfg.stream.trainLength = 3;
+    cfg.stream.degree = 2;
+
+    cfg.interrupts.enabled = true;
+    cfg.interrupts.meanQuietLoads =
+        std::max(50.0, 60000.0 / intensity);
+    cfg.interrupts.burstAccesses = 16;
+    cfg.interrupts.latencyPenalty = 600;
+
+    cfg.tlb.enabled = true;
+    cfg.tlb.probability = clampProbability(0.002 * intensity);
+    cfg.tlb.penalty = 150;
+
+    cfg.jitter.enabled = true;
+    cfg.jitter.probability = clampProbability(0.02 * intensity);
+    cfg.jitter.cycles = 30;
+
+    cfg.counters.enabled = true;
+    cfg.counters.garbleProbability =
+        clampProbability(0.0015 * intensity);
+    cfg.counters.dropProbability =
+        clampProbability(0.0015 * intensity);
+
+    cfg.phases.enabled = true;
+    cfg.phases.burstyMultiplier = 8.0;
+    cfg.phases.meanQuietLoads = 6000.0;
+    cfg.phases.meanBurstyLoads = 1500.0;
+    return cfg;
+}
+
+FaultModel::FaultModel(const FaultConfig& cfg, uint64_t seed,
+                       const cache::Geometry& l1)
+    : cfg_(cfg), l1_(l1),
+      passthrough_(!cfg.anyAccessFaults() && !cfg.phases.enabled),
+      rng_(seed ^ 0xfeedfaceULL), counterRng_(seed ^ 0xc0c0a5e5ULL)
+{
+    if (cfg_.phases.enabled) {
+        phaseLoadsLeft_ =
+            1 + rng_.nextGeometric(cfg_.phases.meanQuietLoads);
+    }
+    if (cfg_.interrupts.enabled)
+        armInterruptTimer();
+}
+
+double
+FaultModel::phaseScale() const
+{
+    if (!cfg_.phases.enabled || !bursty_)
+        return 1.0;
+    return cfg_.phases.burstyMultiplier;
+}
+
+void
+FaultModel::tickPhase()
+{
+    if (!cfg_.phases.enabled)
+        return;
+    if (phaseLoadsLeft_ > 0) {
+        --phaseLoadsLeft_;
+        return;
+    }
+    bursty_ = !bursty_;
+    const double mean = bursty_ ? cfg_.phases.meanBurstyLoads
+                                : cfg_.phases.meanQuietLoads;
+    phaseLoadsLeft_ = 1 + rng_.nextGeometric(mean);
+}
+
+void
+FaultModel::armInterruptTimer()
+{
+    // Bursty phases make interrupts proportionally more frequent.
+    const double mean =
+        std::max(1.0, cfg_.interrupts.meanQuietLoads / phaseScale());
+    loadsUntilInterrupt_ = 1 + rng_.nextGeometric(mean);
+}
+
+cache::Addr
+FaultModel::conflictingAddr(cache::Addr addr)
+{
+    // A fresh-tagged line in the same innermost set (and, with the
+    // usual power-of-two alignment, often the same outer sets) —
+    // the damaging kind of interference.
+    const uint64_t way_span =
+        static_cast<uint64_t>(l1_.lineSize) * l1_.numSets;
+    return l1_.blockBase(addr) + way_span * (1 + rng_.nextBelow(64));
+}
+
+FaultModel::Interference
+FaultModel::beforeLoad(cache::Addr addr)
+{
+    Interference out;
+    ++loadsSeen_;
+    if (passthrough_)
+        return out;
+    tickPhase();
+    const double scale = phaseScale();
+
+    if (cfg_.disturb.enabled && cfg_.disturb.probability > 0.0 &&
+        rng_.nextBool(
+            clampProbability(cfg_.disturb.probability * scale))) {
+        out.disturbances.push_back(conflictingAddr(addr));
+    }
+
+    if (cfg_.adjacentLine.enabled &&
+        cfg_.adjacentLine.probability > 0.0 &&
+        rng_.nextBool(clampProbability(
+            cfg_.adjacentLine.probability * scale))) {
+        // The 128-byte-aligned buddy line of the demand load.
+        out.background.push_back(l1_.blockBase(addr) ^ l1_.lineSize);
+    }
+
+    if (cfg_.stream.enabled && cfg_.stream.degree > 0) {
+        const uint64_t line = l1_.blockNumber(addr);
+        if (streamRun_ > 0 && line == lastLine_ + 1)
+            ++streamRun_;
+        else
+            streamRun_ = 1;
+        lastLine_ = line;
+        if (streamRun_ >= cfg_.stream.trainLength) {
+            for (unsigned d = 1; d <= cfg_.stream.degree; ++d) {
+                out.background.push_back(
+                    (line + d) *
+                    static_cast<uint64_t>(l1_.lineSize));
+            }
+        }
+    }
+
+    if (cfg_.interrupts.enabled) {
+        if (loadsUntilInterrupt_ > 0)
+            --loadsUntilInterrupt_;
+        if (loadsUntilInterrupt_ == 0) {
+            // The handler's working set tramples the victim set
+            // mid-experiment and stalls the interrupted load.
+            for (unsigned i = 0; i < cfg_.interrupts.burstAccesses;
+                 ++i) {
+                out.background.push_back(conflictingAddr(addr));
+            }
+            out.latencyPenalty += cfg_.interrupts.latencyPenalty;
+            armInterruptTimer();
+        }
+    }
+    return out;
+}
+
+uint64_t
+FaultModel::perturbLatency(uint64_t cycles, uint64_t pendingPenalty)
+{
+    uint64_t out = cycles + pendingPenalty;
+    const double scale = phaseScale();
+    if (cfg_.tlb.enabled && cfg_.tlb.probability > 0.0 &&
+        rng_.nextBool(clampProbability(cfg_.tlb.probability * scale)))
+        out += cfg_.tlb.penalty;
+    if (cfg_.jitter.enabled && cfg_.jitter.probability > 0.0 &&
+        rng_.nextBool(
+            clampProbability(cfg_.jitter.probability * scale))) {
+        // Strictly additive and guarded against a zero magnitude:
+        // jitter can never underflow the base latency or invert the
+        // level ordering.
+        if (cfg_.jitter.cycles > 0)
+            out += 1 + rng_.nextBelow(cfg_.jitter.cycles);
+    }
+    return out;
+}
+
+CounterSnapshot
+FaultModel::readCounters(const CounterSnapshot& exact)
+{
+    if (!cfg_.counters.enabled) {
+        stale_ = exact;
+        staleValid_ = true;
+        return exact;
+    }
+
+    if (staleValid_ && cfg_.counters.dropProbability > 0.0 &&
+        counterRng_.nextBool(cfg_.counters.dropProbability)) {
+        // Dropped read: the experimenter sees the previous values.
+        return stale_;
+    }
+
+    CounterSnapshot out = exact;
+    if (cfg_.counters.garbleProbability > 0.0 &&
+        counterRng_.nextBool(cfg_.counters.garbleProbability) &&
+        !out.words.empty() && cfg_.counters.garbleMagnitude > 0) {
+        const std::size_t field =
+            counterRng_.nextBelow(out.words.size());
+        const uint64_t delta =
+            1 + counterRng_.nextBelow(cfg_.counters.garbleMagnitude);
+        if (counterRng_.nextBool(0.5)) {
+            out.words[field] += delta;
+        } else {
+            out.words[field] -=
+                std::min<uint64_t>(delta, out.words[field]);
+        }
+    }
+    stale_ = out;
+    staleValid_ = true;
+    return out;
+}
+
+} // namespace recap::hw

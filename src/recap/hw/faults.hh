@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Composable fault injection for the machine under test.
+ *
+ * The paper's microbenchmarks only work on real Intel hardware
+ * because they survive prefetchers, interrupts, TLB effects and
+ * timer jitter. FaultModel reproduces those interference sources on
+ * the simulated substrate so the inference stack can be hardened
+ * against them:
+ *
+ *   - same-set disturbing accesses (SMT sibling / other-core traffic
+ *     landing in the probed set — the legacy NoiseConfig source),
+ *   - an adjacent-line prefetcher (every demand load may pull its
+ *     128-byte buddy line),
+ *   - a stream prefetcher (ascending line-granular streams trigger
+ *     prefetches several lines ahead),
+ *   - interrupt/preemption bursts (a burst of foreign accesses that
+ *     evicts the victim set mid-experiment, plus a large latency
+ *     penalty on the interrupted load),
+ *   - TLB-miss latency outliers (a page walk inflates one reading),
+ *   - additive timer jitter on latency readings,
+ *   - garbled or dropped performance-counter reads, and
+ *   - time-varying phases (quiet/bursty) that modulate all of the
+ *     above, modelling co-runner activity coming and going.
+ *
+ * Every source is individually toggleable and seed-deterministic:
+ * with equal seeds and equal call sequences a FaultModel injects the
+ * exact same interference, so noisy experiments reproduce bit for
+ * bit.
+ */
+
+#ifndef RECAP_HW_FAULTS_HH_
+#define RECAP_HW_FAULTS_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "recap/cache/geometry.hh"
+#include "recap/common/rng.hh"
+
+namespace recap::hw
+{
+
+struct NoiseConfig; // legacy shim, defined in machine.hh
+
+/** Same-set disturbing access, per demand load. */
+struct DisturbFault
+{
+    bool enabled = false;
+    double probability = 0.01; ///< per demand load
+};
+
+/** Adjacent-line ("buddy") prefetcher. */
+struct AdjacentLineFault
+{
+    bool enabled = false;
+    double probability = 0.2; ///< buddy fetch per demand load
+};
+
+/** Ascending-stream prefetcher. */
+struct StreamFault
+{
+    bool enabled = false;
+    unsigned trainLength = 3; ///< consecutive +1-line strides to arm
+    unsigned degree = 2;      ///< lines fetched ahead once armed
+};
+
+/** Interrupt / preemption bursts. */
+struct InterruptFault
+{
+    bool enabled = false;
+    double meanQuietLoads = 4000.0;  ///< mean loads between bursts
+    unsigned burstAccesses = 24;     ///< same-set evictions per burst
+    uint64_t latencyPenalty = 600;   ///< cycles added to the load hit
+                                     ///< by the interrupt
+};
+
+/** TLB-miss (page walk) latency outliers. */
+struct TlbFault
+{
+    bool enabled = false;
+    double probability = 0.002; ///< per timed load
+    uint64_t penalty = 150;     ///< page-walk cycles
+};
+
+/** Additive timer jitter on latency readings. */
+struct JitterFault
+{
+    bool enabled = false;
+    double probability = 0.05;
+    unsigned cycles = 30; ///< magnitude; 0 is valid and injects none
+};
+
+/** Garbled / dropped performance-counter reads. */
+struct CounterFault
+{
+    bool enabled = false;
+    double garbleProbability = 0.01; ///< a hit count is perturbed
+    double dropProbability = 0.01;   ///< the read returns stale values
+    unsigned garbleMagnitude = 2;    ///< max |perturbation| per field
+};
+
+/** Quiet/bursty activity phases modulating the other sources. */
+struct PhaseFault
+{
+    bool enabled = false;
+    double burstyMultiplier = 8.0;  ///< intensity scale when bursty
+    double meanQuietLoads = 6000.0; ///< mean quiet-phase length
+    double meanBurstyLoads = 1500.0;///< mean bursty-phase length
+};
+
+/**
+ * The full fault configuration. Default-constructed = no faults (a
+ * noiseless machine). NoiseConfig maps onto the disturb and jitter
+ * sources via fromNoise().
+ */
+struct FaultConfig
+{
+    DisturbFault disturb;
+    AdjacentLineFault adjacentLine;
+    StreamFault stream;
+    InterruptFault interrupts;
+    TlbFault tlb;
+    JitterFault jitter;
+    CounterFault counters;
+    PhaseFault phases;
+
+    /** True iff any source can perturb the access stream. */
+    bool anyAccessFaults() const;
+
+    /** True iff any source can perturb latency readings. */
+    bool anyLatencyFaults() const;
+
+    /** True iff counter reads can be perturbed. */
+    bool anyCounterFaults() const;
+
+    bool anyFaults() const
+    {
+        return anyAccessFaults() || anyLatencyFaults() ||
+               anyCounterFaults();
+    }
+
+    /** The legacy NoiseConfig, expressed as fault sources. */
+    static FaultConfig fromNoise(const NoiseConfig& noise);
+
+    /**
+     * Every source enabled, with per-source default intensities
+     * scaled by @p intensity (probabilities clamped to [0,1], burst
+     * gaps shrunk accordingly). intensity 1.0 is the calibrated
+     * "hostile machine" of the robustness experiments; 0.0 disables
+     * everything.
+     */
+    static FaultConfig hostile(double intensity = 1.0);
+};
+
+/** Counter snapshot as FaultModel perturbs it (mirrors PerfCounts). */
+struct CounterSnapshot
+{
+    /** accesses/hits/misses per level, flattened. */
+    std::vector<uint64_t> words;
+};
+
+/**
+ * The injector. A Machine owns one FaultModel and consults it
+ *  - before every demand load (what interference precedes it),
+ *  - after every timed load (how the latency reading is perturbed),
+ *  - around every counter read (garble/drop).
+ *
+ * The access/latency faults and the counter faults draw from two
+ * independent RNG streams so that reading counters never perturbs
+ * the interference sequence.
+ */
+class FaultModel
+{
+  public:
+    /**
+     * @param cfg     Fault sources and intensities.
+     * @param seed    Determinism root; equal seeds, equal behaviour.
+     * @param l1      Innermost-level geometry (disturbances and
+     *                bursts alias the probed set through it).
+     */
+    FaultModel(const FaultConfig& cfg, uint64_t seed,
+               const cache::Geometry& l1);
+
+    const FaultConfig& config() const { return cfg_; }
+
+    /** Interference to inject before one demand load. */
+    struct Interference
+    {
+        /**
+         * Disturbing loads that model another measurement-visible
+         * actor; the legacy source. Counted as issued loads for
+         * backwards-compatible cost accounting.
+         */
+        std::vector<cache::Addr> disturbances;
+
+        /**
+         * Prefetcher / interrupt traffic: perturbs cache state and
+         * per-level counters but is not an experimenter load.
+         */
+        std::vector<cache::Addr> background;
+
+        /** Latency penalty the pending load must absorb (cycles). */
+        uint64_t latencyPenalty = 0;
+    };
+
+    /**
+     * Advances phase/burst/prefetcher state for one demand load of
+     * @p addr and returns the interference to apply before it.
+     */
+    Interference beforeLoad(cache::Addr addr);
+
+    /**
+     * Perturbs one latency reading (TLB outlier + jitter + any burst
+     * penalty from the matching beforeLoad()). Strictly additive:
+     * never returns less than @p cycles, so level ordering is never
+     * inverted by a fault.
+     */
+    uint64_t perturbLatency(uint64_t cycles,
+                            uint64_t pendingPenalty = 0);
+
+    /**
+     * Perturbs one counter read. @p exact is the true snapshot; the
+     * returned snapshot may be garbled (fields perturbed) or stale
+     * (the previous returned snapshot, modelling a dropped read).
+     */
+    CounterSnapshot readCounters(const CounterSnapshot& exact);
+
+    /** Loads seen so far (phase clock; for tests). */
+    uint64_t loadsSeen() const { return loadsSeen_; }
+
+    /** True iff currently in a bursty phase (for tests). */
+    bool inBurstyPhase() const { return bursty_; }
+
+  private:
+    /** Current intensity multiplier (phase modulation). */
+    double phaseScale() const;
+
+    /** Advances the phase state machine by one load. */
+    void tickPhase();
+
+    /** Draws the loads until the next interrupt burst. */
+    void armInterruptTimer();
+
+    /** A fresh same-set conflicting address for @p addr. */
+    cache::Addr conflictingAddr(cache::Addr addr);
+
+    FaultConfig cfg_;
+    cache::Geometry l1_;
+    bool passthrough_; ///< no access faults and no phases: skip work
+    Rng rng_;        ///< access + latency fault stream
+    Rng counterRng_; ///< counter fault stream (independent)
+
+    uint64_t loadsSeen_ = 0;
+
+    // Phase state.
+    bool bursty_ = false;
+    uint64_t phaseLoadsLeft_ = 0;
+
+    // Interrupt state.
+    uint64_t loadsUntilInterrupt_ = 0;
+
+    // Stream-prefetcher state.
+    uint64_t lastLine_ = 0;
+    unsigned streamRun_ = 0;
+
+    // Counter-read state (dropped reads return the stale snapshot).
+    bool staleValid_ = false;
+    CounterSnapshot stale_;
+};
+
+} // namespace recap::hw
+
+#endif // RECAP_HW_FAULTS_HH_

@@ -6,12 +6,56 @@
 namespace recap::hw
 {
 
+namespace
+{
+
+/** Validates @p spec before the member initializers consume it. */
+const MachineSpec&
+validated(const MachineSpec& spec)
+{
+    spec.validate();
+    return spec;
+}
+
+/** Flattens per-level stats into a fault-injectable word vector. */
+CounterSnapshot
+flatten(const PerfCounts& counts)
+{
+    CounterSnapshot snap;
+    snap.words.reserve(counts.levels.size() * 3 + 1);
+    for (const auto& lvl : counts.levels) {
+        snap.words.push_back(lvl.accesses);
+        snap.words.push_back(lvl.hits);
+        snap.words.push_back(lvl.misses);
+    }
+    snap.words.push_back(counts.memoryAccesses);
+    return snap;
+}
+
+void
+unflatten(const CounterSnapshot& snap, PerfCounts& counts)
+{
+    std::size_t w = 0;
+    for (auto& lvl : counts.levels) {
+        lvl.accesses = snap.words[w++];
+        lvl.hits = snap.words[w++];
+        lvl.misses = snap.words[w++];
+    }
+    counts.memoryAccesses = snap.words[w++];
+}
+
+} // namespace
+
 Machine::Machine(const MachineSpec& spec, uint64_t seed,
                  const NoiseConfig& noise)
-    : spec_(spec), hierarchy_(spec.memoryLatency), noise_(noise),
-      noiseRng_(seed ^ 0xfeedfaceULL)
+    : Machine(spec, seed, FaultConfig::fromNoise(noise))
+{}
+
+Machine::Machine(const MachineSpec& spec, uint64_t seed,
+                 const FaultConfig& faults)
+    : spec_(validated(spec)), hierarchy_(spec.memoryLatency),
+      faults_(faults, seed, spec.levels.front().geometry())
 {
-    spec_.validate();
     uint64_t level_seed = seed;
     for (const auto& lvl : spec_.levels) {
         if (lvl.isAdaptive()) {
@@ -33,14 +77,10 @@ Machine::Machine(const MachineSpec& spec, uint64_t seed,
 uint64_t
 Machine::timedAccess(cache::Addr addr)
 {
-    const unsigned level = issue(addr);
-    uint64_t cycles = hierarchy_.latencyOf(level);
-    if (noise_.latencyJitterProbability > 0.0 &&
-        noiseRng_.nextBool(noise_.latencyJitterProbability)) {
-        // Interrupt-style jitter only ever adds latency.
-        cycles += 1 + noiseRng_.nextBelow(noise_.latencyJitterCycles);
-    }
-    return cycles;
+    uint64_t penalty = 0;
+    const unsigned level = issue(addr, &penalty);
+    return faults_.perturbLatency(hierarchy_.latencyOf(level),
+                                  penalty);
 }
 
 void
@@ -70,6 +110,13 @@ Machine::counters() const
     for (unsigned i = 0; i < depth(); ++i)
         counts.levels.push_back(hierarchy_.level(i).cache.stats());
     counts.memoryAccesses = memoryAccesses_;
+
+    if (!faults_.config().anyCounterFaults())
+        return counts;
+    // A hostile machine may garble or drop the read: the returned
+    // snapshot is what the experimenter's counter read observed, not
+    // necessarily the truth.
+    unflatten(faults_.readCounters(flatten(counts)), counts);
     return counts;
 }
 
@@ -109,25 +156,30 @@ Machine::levelCache(unsigned level) const
     return hierarchy_.level(level).cache;
 }
 
+void
+Machine::injectAccess(cache::Addr addr)
+{
+    if (hierarchy_.access(addr) == depth())
+        ++memoryAccesses_;
+}
+
 unsigned
-Machine::issue(cache::Addr addr)
+Machine::issue(cache::Addr addr, uint64_t* latencyPenalty)
 {
     ++loadsIssued_;
-    if (noise_.disturbProbability > 0.0 &&
-        noiseRng_.nextBool(noise_.disturbProbability)) {
-        // A disturbing access lands in the same L1 set (and, with
-        // matching alignment, often the same outer sets) as the load,
-        // which is the damaging kind of interference.
-        const auto& g = spec_.levels[0].geometry();
-        const uint64_t way_span =
-            static_cast<uint64_t>(g.lineSize) * g.numSets;
-        const cache::Addr disturb =
-            g.blockBase(addr) + way_span * (1 + noiseRng_.nextBelow(64));
-        const unsigned lvl = hierarchy_.access(disturb);
-        if (lvl == depth())
-            ++memoryAccesses_;
+    FaultModel::Interference plan = faults_.beforeLoad(addr);
+    // Legacy disturbances model another measurement-visible actor and
+    // count as issued loads; prefetcher/interrupt traffic perturbs
+    // cache state and per-level counters only.
+    for (cache::Addr d : plan.disturbances) {
+        injectAccess(d);
         ++loadsIssued_;
     }
+    for (cache::Addr b : plan.background)
+        injectAccess(b);
+    if (latencyPenalty)
+        *latencyPenalty = plan.latencyPenalty;
+
     const unsigned level = hierarchy_.access(addr);
     if (level == depth())
         ++memoryAccesses_;

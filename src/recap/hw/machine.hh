@@ -24,12 +24,17 @@
 
 #include "recap/cache/hierarchy.hh"
 #include "recap/common/rng.hh"
+#include "recap/hw/faults.hh"
 #include "recap/hw/spec.hh"
 
 namespace recap::hw
 {
 
-/** Noise configuration for the measurement observables. */
+/**
+ * Legacy flat noise configuration — a thin compatibility shim over
+ * FaultConfig (see faults.hh for the composable model). Maps to the
+ * disturb + jitter sources via FaultConfig::fromNoise().
+ */
 struct NoiseConfig
 {
     /**
@@ -66,12 +71,26 @@ class Machine
     /**
      * @param spec  Machine description; validated.
      * @param seed  Seed for stochastic policies and the noise model.
-     * @param noise Measurement noise configuration.
+     * @param noise Legacy measurement noise configuration.
      */
     explicit Machine(const MachineSpec& spec, uint64_t seed = 1,
                      const NoiseConfig& noise = {});
 
+    /**
+     * @param spec   Machine description; validated.
+     * @param seed   Seed for stochastic policies and fault injection.
+     * @param faults Composable interference model (see faults.hh).
+     */
+    Machine(const MachineSpec& spec, uint64_t seed,
+            const FaultConfig& faults);
+
     const MachineSpec& spec() const { return spec_; }
+
+    /** The active fault configuration. */
+    const FaultConfig& faultConfig() const
+    {
+        return faults_.config();
+    }
 
     /** Number of cache levels. */
     unsigned depth() const { return hierarchy_.depth(); }
@@ -88,7 +107,10 @@ class Machine
     /** Flushes all cache levels (wbinvd). */
     void wbinvd();
 
-    /** Reads the performance counters (exact; not noise-perturbed). */
+    /**
+     * Reads the performance counters. Under counter faults the read
+     * may be garbled or dropped (stale snapshot); otherwise exact.
+     */
     PerfCounts counters() const;
 
     /** Total loads issued so far (measurement-cost accounting). */
@@ -118,13 +140,20 @@ class Machine
     const cache::Cache& levelCache(unsigned level) const;
 
   private:
-    /** Performs a load, returns the hit level (depth() = memory). */
-    unsigned issue(cache::Addr addr);
+    /**
+     * Performs a load, returns the hit level (depth() = memory) and
+     * the latency penalty injected interference charged to it.
+     */
+    unsigned issue(cache::Addr addr, uint64_t* latencyPenalty = nullptr);
+
+    /** Injects one interfering access (not an experimenter load). */
+    void injectAccess(cache::Addr addr);
 
     MachineSpec spec_;
     cache::Hierarchy hierarchy_;
-    NoiseConfig noise_;
-    Rng noiseRng_;
+    // Mutable: counter-read faults (garble/drop) consume RNG state
+    // even though counters() is logically const for the experimenter.
+    mutable FaultModel faults_;
     uint64_t loadsIssued_ = 0;
     uint64_t memoryAccesses_ = 0;
 };

@@ -52,16 +52,53 @@ CandidateSearch::run()
     std::optional<query::MachineOracle> oracle;
     if (cfg_.useQueryLayer)
         oracle.emplace(prober_, query::ObservationMode::kCounter);
+
+    const bool robust = prober_.config().vote.enabled;
+    double minConfidence = 1.0;
+
+    /** One observed sequence with per-position trust. */
+    struct Observation
+    {
+        std::vector<bool> hits;
+        std::vector<bool> determined;
+    };
     auto observe = [&](const std::vector<BlockId>& seq) {
-        if (!oracle)
-            return prober_.observe(seq);
+        Observation obs;
+        if (!oracle) {
+            const SetProber::ObservedSequence raw =
+                prober_.observeRobust(seq);
+            obs.hits = raw.hits;
+            obs.determined = raw.determined;
+            for (size_t j = 0; j < seq.size(); ++j)
+                if (raw.determined[j])
+                    minConfidence =
+                        std::min(minConfidence, raw.confidence[j]);
+            return obs;
+        }
         const auto verdict =
             oracle->evaluate(query::makeObserveAllQuery(seq));
-        std::vector<bool> hits;
-        hits.reserve(verdict.probes.size());
-        for (const auto& probe : verdict.probes)
-            hits.push_back(probe.hit);
-        return hits;
+        obs.hits.reserve(verdict.probes.size());
+        obs.determined.reserve(verdict.probes.size());
+        for (const auto& probe : verdict.probes) {
+            obs.hits.push_back(probe.hit);
+            obs.determined.push_back(probe.determined);
+            if (probe.determined)
+                minConfidence =
+                    std::min(minConfidence, probe.confidence);
+        }
+        return obs;
+    };
+
+    // A round whose observation is mostly no-quorum positions holds
+    // no evidence; eliminating on it would act on guesses.
+    auto lowInfo = [&](const Observation& obs) {
+        if (!robust)
+            return false;
+        size_t undecided = 0;
+        for (bool d : obs.determined)
+            if (!d)
+                ++undecided;
+        return undecided * 2 > obs.determined.size();
     };
 
     struct Candidate
@@ -87,14 +124,19 @@ CandidateSearch::run()
     const unsigned threads = resolveThreads(cfg_.numThreads);
     auto eliminate = [&](std::vector<Candidate>& candidates,
                          const std::vector<BlockId>& seq,
-                         const std::vector<bool>& observed) {
+                         const Observation& observed) {
         std::vector<char> match(candidates.size(), 0);
         parallelFor(candidates.size(), threads, [&](std::size_t i) {
             policy::SetModel model(candidates[i].prototype->clone());
             model.flush();
             bool ok = true;
             for (std::size_t j = 0; j < seq.size(); ++j) {
-                if (model.access(seq[j]) != observed[j]) {
+                // Undetermined positions carry no evidence: the model
+                // still advances, but a disagreement there never
+                // eliminates.
+                const bool hit = model.access(seq[j]);
+                if (observed.determined[j] &&
+                    hit != observed.hits[j]) {
                     ok = false;
                     break;
                 }
@@ -148,6 +190,8 @@ CandidateSearch::run()
     };
 
     unsigned stall = 0;
+    unsigned lowInfoRounds = 0;
+    bool abortedLowInfo = false;
     for (unsigned round = 0;
          round < cfg_.maxRounds && alive.size() > 1 &&
          stall < cfg_.stallRounds;
@@ -191,7 +235,14 @@ CandidateSearch::run()
             }
         }
 
-        const std::vector<bool> observed = observe(seq);
+        const Observation observed = observe(seq);
+        if (lowInfo(observed)) {
+            if (++lowInfoRounds > cfg_.maxLowInfoRounds) {
+                abortedLowInfo = true;
+                break;
+            }
+            continue; // no evidence this round; don't count a stall
+        }
 
         std::vector<Candidate> next = eliminate(alive, seq, observed);
         if (next.size() == alive.size())
@@ -222,7 +273,14 @@ CandidateSearch::run()
         if (verdict.equivalent)
             break; // inseparable (or beyond budget): certify below
         ++result.roundsRun;
-        const auto observed = observe(verdict.counterexample);
+        const Observation observed = observe(verdict.counterexample);
+        if (lowInfo(observed)) {
+            if (++lowInfoRounds > cfg_.maxLowInfoRounds) {
+                abortedLowInfo = true;
+                break;
+            }
+            continue;
+        }
         std::vector<Candidate> next =
             eliminate(alive, verdict.counterexample, observed);
         if (next.size() == alive.size())
@@ -237,6 +295,65 @@ CandidateSearch::run()
                       survivors_equivalent());
     if (!alive.empty())
         result.verdict = alive.front().spec;
+    result.confidence = minConfidence;
+
+    if (robust) {
+        // Graceful degradation instead of a wrong spec.
+        if (abortedLowInfo) {
+            result.undetermined = true;
+            result.decided = false;
+            result.diagnostics = "observations mostly without "
+                                 "quorums (machine too noisy)";
+        } else if (alive.empty()) {
+            result.undetermined = true;
+            result.diagnostics =
+                "every candidate eliminated: the evidence was "
+                "inconsistent with the whole library (noise or an "
+                "unmodelled policy)";
+        } else if (result.decided) {
+            // Confirmation replays: the survivor must also predict
+            // fresh sequences it was never selected on.
+            Rng confirmRng(cfg_.seed ^ 0x5afe5eedULL);
+            for (unsigned round = 0;
+                 round < cfg_.confirmRounds && !result.undetermined;
+                 ++round) {
+                const unsigned universe =
+                    k + 1 +
+                    static_cast<unsigned>(confirmRng.nextBelow(4));
+                const unsigned length = cfg_.lengthFactor * k;
+                std::vector<BlockId> seq(length);
+                for (auto& b : seq)
+                    b = 1 + confirmRng.nextBelow(universe);
+                ++result.roundsRun;
+                const Observation observed = observe(seq);
+                if (lowInfo(observed)) {
+                    result.undetermined = true;
+                    result.decided = false;
+                    result.diagnostics =
+                        "confirmation replay had no quorum";
+                    break;
+                }
+                policy::SetModel model(
+                    alive.front().prototype->clone());
+                model.flush();
+                for (size_t j = 0; j < seq.size(); ++j) {
+                    const bool hit = model.access(seq[j]);
+                    if (observed.determined[j] &&
+                        hit != observed.hits[j]) {
+                        result.undetermined = true;
+                        result.decided = false;
+                        result.diagnostics =
+                            "confirmation replay contradicted the "
+                            "surviving candidate";
+                        break;
+                    }
+                }
+            }
+        }
+        if (result.undetermined)
+            result.verdict.clear();
+    }
+
     result.loadsUsed = prober_.context().loadsIssued() - loads_before;
     result.experimentsUsed =
         prober_.context().experimentsRun() - experiments_before;

@@ -76,6 +76,21 @@ struct CandidateSearchConfig
      * pre-query-layer direct SetProber path.
      */
     bool useQueryLayer = true;
+
+    /**
+     * With adaptive voting enabled on the prober: extra fresh probe
+     * sequences replayed after a decided verdict; any determined
+     * mismatch against the surviving candidate downgrades the
+     * verdict to undetermined instead of shipping a wrong answer.
+     */
+    unsigned confirmRounds = 2;
+
+    /**
+     * With adaptive voting enabled: rounds whose observations are
+     * mostly undetermined are skipped (they carry no evidence);
+     * after this many of them the search aborts as undetermined.
+     */
+    unsigned maxLowInfoRounds = 6;
 };
 
 /** Result of the candidate search. */
@@ -89,6 +104,23 @@ struct CandidateSearchResult
 
     /** A representative surviving spec ("" when none survived). */
     std::string verdict;
+
+    /**
+     * True when the machine was too noisy to decide: observations
+     * never reached quorums, every candidate was eliminated by
+     * contradictory evidence, or the confirmation replay disagreed
+     * with the survivor. Graceful degradation — never a wrong spec.
+     */
+    bool undetermined = false;
+
+    /**
+     * Lowest vote confidence among the determined observations the
+     * verdict rests on; 1.0 on a noiseless machine.
+     */
+    double confidence = 1.0;
+
+    /** Why the search is undetermined, when it is. */
+    std::string diagnostics;
 
     /** Probe rounds actually run. */
     unsigned roundsRun = 0;

@@ -49,6 +49,37 @@ MeasurementContext::observeAtLevel(unsigned level, cache::Addr addr)
     return obs;
 }
 
+MeasurementContext::TimedReading
+MeasurementContext::timedReading(cache::Addr addr)
+{
+    TimedReading r;
+    r.cycles = machine_.timedAccess(addr);
+    r.level = machine_.classifyLatency(r.cycles);
+    r.outlier = outlierFence_ != 0 && r.cycles > outlierFence_;
+    return r;
+}
+
+void
+MeasurementContext::calibrateLatencyFence(unsigned samples)
+{
+    require(samples >= 1,
+            "MeasurementContext::calibrateLatencyFence: need samples");
+    beginExperiment();
+    flush();
+    // Cold, never-reused lines far above any probing range; the
+    // stride skips many lines so a stream prefetcher cannot train on
+    // the calibration run itself. Every load is served from memory —
+    // the slowest genuine latency — so anything beyond the fence must
+    // be interference (TLB walk, interrupt stall).
+    const cache::Addr base = uint64_t{1} << 52;
+    const uint64_t stride = uint64_t{1} << 20;
+    std::vector<uint64_t> readings;
+    readings.reserve(samples);
+    for (unsigned i = 0; i < samples; ++i)
+        readings.push_back(machine_.timedAccess(base + stride * i));
+    outlierFence_ = outlierFence(robustStats(std::move(readings)));
+}
+
 bool
 majorityVote(unsigned repeats, const std::function<bool()>& experiment)
 {

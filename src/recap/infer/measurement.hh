@@ -16,6 +16,7 @@
 
 #include "recap/cache/geometry.hh"
 #include "recap/hw/machine.hh"
+#include "recap/infer/robust.hh"
 
 namespace recap::infer
 {
@@ -63,6 +64,35 @@ class MeasurementContext
 
     LevelObservation observeAtLevel(unsigned level, cache::Addr addr);
 
+    /** One timed load with outlier flagging. */
+    struct TimedReading
+    {
+        unsigned level = 0;   ///< classified serving level
+        uint64_t cycles = 0;  ///< raw reading
+        bool outlier = false; ///< above the calibrated fence
+    };
+
+    /**
+     * Timed load classified into a level, with the reading flagged
+     * as an interference outlier (TLB walk, interrupt stall) when it
+     * exceeds the calibrated fence. Without calibration no reading
+     * is ever flagged.
+     */
+    TimedReading timedReading(cache::Addr addr);
+
+    /**
+     * Calibrates the latency outlier fence the way a real
+     * experimenter does: samples cold (memory-served) loads, takes
+     * robust statistics (median + MAD, so TLB/interrupt outliers in
+     * the calibration run itself are rejected), and fences readings
+     * that no genuine memory access could produce. Costs @p samples
+     * loads, accounted as one experiment.
+     */
+    void calibrateLatencyFence(unsigned samples = 33);
+
+    /** The calibrated fence; 0 = uncalibrated (gate disabled). */
+    uint64_t latencyOutlierFence() const { return outlierFence_; }
+
     /** Loads issued on the machine so far. */
     uint64_t loadsIssued() const { return machine_.loadsIssued(); }
 
@@ -75,6 +105,7 @@ class MeasurementContext
   private:
     hw::Machine& machine_;
     uint64_t experiments_ = 0;
+    uint64_t outlierFence_ = 0;
 };
 
 /**

@@ -77,11 +77,28 @@ PermutationInference::PermutationInference(
     : prober_(prober), cfg_(cfg)
 {}
 
+void
+PermutationInference::noteVote(double confidence, bool determined,
+                               const char* where)
+{
+    if (determined) {
+        minConfidence_ = std::min(minConfidence_, confidence);
+        return;
+    }
+    if (!sawUndetermined_) {
+        sawUndetermined_ = true;
+        undeterminedNote_ = where;
+    }
+}
+
 PermutationInferenceResult
 PermutationInference::run()
 {
     const unsigned k = prober_.ways();
     PermutationInferenceResult result;
+    sawUndetermined_ = false;
+    minConfidence_ = 1.0;
+    undeterminedNote_.clear();
     const uint64_t loads_before = prober_.context().loadsIssued();
     const uint64_t experiments_before =
         prober_.context().experimentsRun();
@@ -97,6 +114,13 @@ PermutationInference::run()
 
     auto finish = [&](PermutationInferenceResult r) {
         oracle_ = nullptr;
+        r.confidence = minConfidence_;
+        if (!r.isPermutation && sawUndetermined_) {
+            // Some probe never reached a quorum: the machine was too
+            // noisy to decide, so report "don't know", not "refuted".
+            r.undetermined = true;
+            r.diagnostics = undeterminedNote_;
+        }
         r.loadsUsed = prober_.context().loadsIssued() - loads_before;
         r.experimentsUsed =
             prober_.context().experimentsRun() - experiments_before;
@@ -282,7 +306,11 @@ PermutationInference::evictionOrderAfter(
         return seq;
     };
     auto survives_m = [&](BlockId block, unsigned m) {
-        return prober_.survives(seqFor(m), block);
+        const VoteOutcome vote =
+            prober_.survivesVote(seqFor(m), block);
+        noteVote(vote.confidence, vote.determined(),
+                 "survival probe without a quorum");
+        return vote.value();
     };
 
     // positionOf[b]: the largest number of fresh misses b survives.
@@ -333,8 +361,13 @@ PermutationInference::evictionOrderAfter(
                     seqFor(m), candidates[c]));
             const auto verdicts = oracle_->evaluateBatch(queries);
             std::vector<bool> out(probes.size());
-            for (size_t i = 0; i < probes.size(); ++i)
-                out[i] = verdicts[i].probes.front().hit;
+            for (size_t i = 0; i < probes.size(); ++i) {
+                const query::ProbeOutcome& probe =
+                    verdicts[i].probes.front();
+                noteVote(probe.confidence, probe.determined,
+                         "survival probe without a quorum");
+                out[i] = probe.hit;
+            }
             return out;
         };
 
@@ -413,6 +446,11 @@ PermutationInference::evictionOrderAfter(
         }
     }
 
+    // Any undetermined probe poisons the whole reconstruction: a
+    // position built on a no-quorum bit would be a guess.
+    if (sawUndetermined_)
+        return std::nullopt;
+
     // The resident candidates' positions must be exactly {0,..,k-1}.
     std::vector<BlockId> order(k, 0);
     std::vector<bool> filled(k, false);
@@ -454,6 +492,22 @@ PermutationInference::validate(
             predicted.push_back(model.access(b));
     };
 
+    // A mismatch refutes only where the observation is determined;
+    // undetermined positions abstain, but when they swamp the
+    // evidence the validation itself is undetermined (a candidate
+    // must not be accepted on vacuous agreement).
+    uint64_t totalPositions = 0;
+    uint64_t undeterminedPositions = 0;
+    auto concludeValidation = [&] {
+        if (undeterminedPositions * 2 > totalPositions) {
+            noteVote(0.0, false,
+                     "cross-validation mostly without quorums");
+            reason = "cross-validation was mostly undetermined";
+            return false;
+        }
+        return true;
+    };
+
     if (!cfg_.useQueryLayer) {
         // Direct path: one observation per round, stop on mismatch.
         for (unsigned round = 0; round < cfg_.validationRounds;
@@ -461,14 +515,24 @@ PermutationInference::validate(
             std::vector<BlockId> seq;
             std::vector<bool> predicted;
             nextRound(seq, predicted);
-            const std::vector<bool> observed = prober_.observe(seq);
-            if (observed != predicted) {
-                reason = "cross-validation mismatch in round " +
-                         std::to_string(round);
-                return false;
+            const SetProber::ObservedSequence obs =
+                prober_.observeRobust(seq);
+            for (size_t j = 0; j < seq.size(); ++j) {
+                ++totalPositions;
+                if (!obs.determined[j]) {
+                    ++undeterminedPositions;
+                    continue;
+                }
+                minConfidence_ =
+                    std::min(minConfidence_, obs.confidence[j]);
+                if (obs.hits[j] != predicted[j]) {
+                    reason = "cross-validation mismatch in round " +
+                             std::to_string(round);
+                    return false;
+                }
             }
         }
-        return true;
+        return concludeValidation();
     }
 
     // Query path: rounds evaluate as observe-all query batches in
@@ -493,8 +557,16 @@ PermutationInference::validate(
             const auto& probes = verdicts[round - start].probes;
             const auto& predicted = predictions[round - start];
             bool match = probes.size() == predicted.size();
-            for (size_t j = 0; match && j < probes.size(); ++j)
+            for (size_t j = 0; match && j < probes.size(); ++j) {
+                ++totalPositions;
+                if (!probes[j].determined) {
+                    ++undeterminedPositions;
+                    continue;
+                }
+                minConfidence_ =
+                    std::min(minConfidence_, probes[j].confidence);
                 match = probes[j].hit == predicted[j];
+            }
             if (!match) {
                 reason = "cross-validation mismatch in round " +
                          std::to_string(round);
@@ -502,7 +574,7 @@ PermutationInference::validate(
             }
         }
     }
-    return true;
+    return concludeValidation();
 }
 
 } // namespace recap::infer

@@ -81,6 +81,23 @@ struct PermutationInferenceResult
     /** Why inference failed, when !isPermutation. */
     std::string failureReason;
 
+    /**
+     * True when the run could not tell: a survival probe or too much
+     * of the validation evidence came back undetermined under
+     * adaptive voting. A graceful "I don't know" — distinct from a
+     * refutation, which is a determined "not a permutation policy".
+     */
+    bool undetermined = false;
+
+    /**
+     * Lowest vote confidence among the probes this verdict rests on;
+     * 1.0 on a noiseless machine or with adaptive voting disabled.
+     */
+    double confidence = 1.0;
+
+    /** What came back undetermined, when undetermined. */
+    std::string diagnostics;
+
     /** Loads issued by this inference (measurement cost). */
     uint64_t loadsUsed = 0;
 
@@ -115,11 +132,20 @@ class PermutationInference
     bool validate(const policy::PermutationPolicy& candidate,
                   std::string& reason);
 
+    /** Folds one vote's confidence/outcome into the run verdict. */
+    void noteVote(double confidence, bool determined,
+                  const char* where);
+
     SetProber& prober_;
     PermutationInferenceConfig cfg_;
 
     /** Query-layer view of the prober; null on the direct path. */
     query::MachineOracle* oracle_ = nullptr;
+
+    // Per-run robustness state (reset by run()).
+    bool sawUndetermined_ = false;
+    double minConfidence_ = 1.0;
+    std::string undeterminedNote_;
 };
 
 } // namespace recap::infer

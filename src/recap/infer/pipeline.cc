@@ -1,5 +1,8 @@
 #include "recap/infer/pipeline.hh"
 
+#include <algorithm>
+#include <exception>
+
 #include "recap/common/rng.hh"
 #include "recap/infer/naming.hh"
 #include "recap/policy/factory.hh"
@@ -42,6 +45,142 @@ measureAgreement(SetProber& prober,
                    static_cast<double>(total) : 0.0;
 }
 
+namespace
+{
+
+/** The inferLevelAt body; may throw, the wrapper catches. */
+LevelReport
+inferLevelAtImpl(MeasurementContext& ctx,
+                 const DiscoveredGeometry& geometry, unsigned level,
+                 cache::Addr baseAddr, const InferenceOptions& opts,
+                 uint64_t seedSalt)
+{
+    LevelReport lvl;
+    lvl.levelName = "L" + std::to_string(level + 1);
+    lvl.geometry = geometry.levels[level];
+    const uint64_t loads_before = ctx.loadsIssued();
+    const bool robust = opts.robust.vote.enabled;
+
+    SetProberConfig pc;
+    pc.baseAddr = baseAddr;
+    pc.voteRepeats = opts.voteRepeats;
+    pc.vote = opts.robust.vote;
+    SetProber prober(ctx, geometry, level, pc);
+
+    auto finish = [&](LevelReport r) {
+        if (robust && r.outcome == LevelOutcome::kDecided &&
+            r.agreement < opts.robust.minAgreement) {
+            // A verdict that cannot predict the machine is not a
+            // verdict; degrade instead of shipping it.
+            r.outcome = LevelOutcome::kUndetermined;
+            r.diagnostics = "post-hoc agreement " +
+                            std::to_string(r.agreement) +
+                            " below the robust acceptance gate";
+            r.verdict = "undetermined";
+        }
+        r.loadsUsed = ctx.loadsIssued() - loads_before;
+        return r;
+    };
+
+    // Step 1: permutation inference on the probed set.
+    PermutationInferenceConfig perm_cfg = opts.permutation;
+    perm_cfg.seed = opts.seed + 31 * level + seedSalt;
+    PermutationInference perm(prober, perm_cfg);
+    const auto perm_result = perm.run();
+    lvl.confidence = perm_result.confidence;
+
+    if (perm_result.isPermutation) {
+        lvl.isPermutation = true;
+        lvl.verdict = canonicalPermutationName(*perm_result.policy);
+        lvl.agreement = measureAgreement(
+            prober, *perm_result.policy, opts.agreementRounds,
+            opts.seed + level + seedSalt);
+        return finish(lvl);
+    }
+
+    // Step 2: candidate-elimination fallback. An undetermined
+    // permutation run still falls through — adaptive voting may yet
+    // settle the (different) experiments the search runs — but its
+    // diagnosis is kept in case the search cannot decide either.
+    CandidateSearchConfig search_cfg = opts.search;
+    search_cfg.seed = opts.seed + 57 * level + seedSalt;
+    CandidateSearch search(prober, defaultCandidateSpecs(prober.ways()),
+                           search_cfg);
+    const auto search_result = search.run();
+    lvl.confidence = std::min(lvl.confidence,
+                              search_result.confidence);
+
+    lvl.survivors = search_result.survivors;
+    if (search_result.undetermined) {
+        lvl.outcome = LevelOutcome::kUndetermined;
+        lvl.verdict = "undetermined";
+        lvl.diagnostics = "candidate search: " +
+                          search_result.diagnostics;
+        if (perm_result.undetermined) {
+            lvl.diagnostics += "; permutation inference: " +
+                               perm_result.diagnostics;
+        }
+        return finish(lvl);
+    }
+    if (search_result.verdict.empty()) {
+        if (robust && perm_result.undetermined) {
+            lvl.outcome = LevelOutcome::kUndetermined;
+            lvl.verdict = "undetermined";
+            lvl.diagnostics = "permutation inference: " +
+                              perm_result.diagnostics;
+            return finish(lvl);
+        }
+        lvl.verdict = "unidentified (no candidate matched)";
+        return finish(lvl);
+    }
+
+    lvl.verdict =
+        prettySpecName(search_result.verdict, lvl.geometry.ways);
+    if (!search_result.decided) {
+        lvl.verdict += " (ambiguous: " +
+            std::to_string(search_result.survivors.size()) +
+            " candidates left)";
+    } else if (search_result.survivors.size() > 1) {
+        lvl.verdict += " (+" +
+            std::to_string(search_result.survivors.size() - 1) +
+            " equivalent form)";
+    }
+    const auto model = policy::makePolicy(search_result.verdict,
+                                          lvl.geometry.ways);
+    lvl.agreement =
+        measureAgreement(prober, *model, opts.agreementRounds,
+                         opts.seed + level + seedSalt);
+    return finish(lvl);
+}
+
+} // namespace
+
+LevelReport
+inferLevelAt(MeasurementContext& ctx,
+             const DiscoveredGeometry& geometry, unsigned level,
+             cache::Addr baseAddr, const InferenceOptions& opts,
+             uint64_t seedSalt)
+{
+    try {
+        return inferLevelAtImpl(ctx, geometry, level, baseAddr, opts,
+                                seedSalt);
+    } catch (const std::exception& e) {
+        // Graceful degradation: a blown-up attempt (a probe
+        // construction the discovered geometry cannot support, a
+        // garbled counter tripping an internal check, ...) is an
+        // undetermined level, not an aborted pipeline.
+        LevelReport lvl;
+        lvl.levelName = "L" + std::to_string(level + 1);
+        if (level < geometry.levels.size())
+            lvl.geometry = geometry.levels[level];
+        lvl.outcome = LevelOutcome::kUndetermined;
+        lvl.verdict = "undetermined";
+        lvl.confidence = 0.0;
+        lvl.diagnostics = std::string("inference error: ") + e.what();
+        return lvl;
+    }
+}
+
 MachineReport
 inferMachine(hw::Machine& machine, const InferenceOptions& opts)
 {
@@ -49,17 +188,19 @@ inferMachine(hw::Machine& machine, const InferenceOptions& opts)
     report.machineName = machine.spec().name;
 
     MeasurementContext ctx(machine);
+    const bool robust = opts.robust.vote.enabled;
+    if (opts.robust.calibrateLatency)
+        ctx.calibrateLatencyFence();
 
     GeometryProbeConfig geo_cfg = opts.geometry;
     geo_cfg.voteRepeats = std::max(geo_cfg.voteRepeats,
                                    opts.voteRepeats);
+    if (robust) // geometry probing votes full experiments; boost it
+        geo_cfg.voteRepeats = std::max(geo_cfg.voteRepeats, 5u);
     GeometryProbe geo_probe(ctx, geo_cfg);
     report.geometry = geo_probe.discoverAll();
 
     for (unsigned level = 0; level < machine.depth(); ++level) {
-        LevelReport lvl;
-        lvl.levelName = "L" + std::to_string(level + 1);
-        lvl.geometry = report.geometry.levels[level];
         const uint64_t loads_before = ctx.loadsIssued();
 
         // Step 1: adaptivity scan.
@@ -73,7 +214,11 @@ inferMachine(hw::Machine& machine, const InferenceOptions& opts)
                                       acfg);
         }
 
+        std::string adaptiveNote;
         if (adaptive.adaptive && !adaptive.constituentsIdentical) {
+            LevelReport lvl;
+            lvl.levelName = "L" + std::to_string(level + 1);
+            lvl.geometry = report.geometry.levels[level];
             lvl.adaptive = true;
             lvl.adaptiveSelected = adaptive.policySelected.verdict;
             lvl.adaptiveUnselected = adaptive.policyUnselected.verdict;
@@ -94,6 +239,7 @@ inferMachine(hw::Machine& machine, const InferenceOptions& opts)
                     static_cast<uint64_t>(report.geometry.lineSize) *
                     adaptive.leadersSelected.front();
                 pc.voteRepeats = opts.voteRepeats;
+                pc.vote = opts.robust.vote;
                 SetProber prober(ctx, report.geometry, level, pc);
                 const auto model = policy::makePolicy(
                     lvl.adaptiveSelected, lvl.geometry.ways);
@@ -101,61 +247,90 @@ inferMachine(hw::Machine& machine, const InferenceOptions& opts)
                     prober, *model, opts.agreementRounds,
                     opts.seed + level);
             }
-            lvl.loadsUsed = ctx.loadsIssued() - loads_before;
-            report.levels.push_back(std::move(lvl));
-            continue;
+            // Robust mode trusts an adaptivity claim only when both
+            // constituents were identified and the selected one
+            // predicts its leader set. Interference can make duel
+            // windows look different on a non-adaptive level; an
+            // unverified claim falls through to plain (quorum-gated)
+            // inference instead of shipping a wrong verdict.
+            const bool trusted = !robust ||
+                (!lvl.adaptiveSelected.empty() &&
+                 !lvl.adaptiveUnselected.empty() &&
+                 lvl.agreement >= opts.robust.minAgreement);
+            if (trusted) {
+                lvl.loadsUsed = ctx.loadsIssued() - loads_before;
+                report.levels.push_back(std::move(lvl));
+                continue;
+            }
+            adaptiveNote = "adaptivity scan fired but did not "
+                           "survive the robust gate (" +
+                           lvl.verdict + ")";
+        }
+
+        // Steps 2-3 (permutation inference + candidate fallback),
+        // independently on `quorumSets` distinct sets; a strict
+        // majority of decided attempts must agree on the verdict.
+        const unsigned quorum = std::max(1u, opts.robust.quorumSets);
+        const SetProberConfig defaults;
+        std::vector<LevelReport> attempts;
+        attempts.reserve(quorum);
+        for (unsigned q = 0; q < quorum; ++q) {
+            // Consecutive line-sized offsets probe distinct sets at
+            // every level.
+            const cache::Addr base =
+                defaults.baseAddr +
+                static_cast<uint64_t>(report.geometry.lineSize) * q;
+            attempts.push_back(inferLevelAt(
+                ctx, report.geometry, level, base, opts,
+                q == 0 ? 0 : 1000003ULL * q));
+        }
+
+        LevelReport lvl;
+        if (quorum == 1) {
+            lvl = std::move(attempts.front());
+        } else {
+            unsigned bestVotes = 0;
+            int bestAttempt = -1;
+            for (std::size_t a = 0; a < attempts.size(); ++a) {
+                if (attempts[a].outcome != LevelOutcome::kDecided)
+                    continue;
+                unsigned votes = 0;
+                for (const LevelReport& other : attempts)
+                    if (other.outcome == LevelOutcome::kDecided &&
+                        other.verdict == attempts[a].verdict)
+                        ++votes;
+                if (votes > bestVotes) {
+                    bestVotes = votes;
+                    bestAttempt = static_cast<int>(a);
+                }
+            }
+            if (bestAttempt >= 0 && bestVotes * 2 > quorum) {
+                lvl = std::move(attempts[bestAttempt]);
+                for (const LevelReport& other : attempts)
+                    lvl.confidence = std::min(lvl.confidence,
+                                              other.confidence);
+                lvl.diagnostics = "cross-set quorum " +
+                                  std::to_string(bestVotes) + "/" +
+                                  std::to_string(quorum);
+            } else {
+                lvl.levelName = "L" + std::to_string(level + 1);
+                lvl.geometry = report.geometry.levels[level];
+                lvl.outcome = LevelOutcome::kUndetermined;
+                lvl.verdict = "undetermined";
+                lvl.confidence = 0.0;
+                lvl.diagnostics = "cross-set quorum split:";
+                for (const LevelReport& other : attempts) {
+                    lvl.diagnostics += " [" + other.verdict;
+                    if (!other.diagnostics.empty())
+                        lvl.diagnostics += ": " + other.diagnostics;
+                    lvl.diagnostics += "]";
+                }
+            }
         }
         lvl.heterogeneousOnly = adaptive.heterogeneousOnly;
-
-        // Step 2: permutation inference on the default probed set.
-        SetProberConfig pc;
-        pc.voteRepeats = opts.voteRepeats;
-        SetProber prober(ctx, report.geometry, level, pc);
-
-        PermutationInferenceConfig perm_cfg = opts.permutation;
-        perm_cfg.seed = opts.seed + 31 * level;
-        PermutationInference perm(prober, perm_cfg);
-        const auto perm_result = perm.run();
-
-        if (perm_result.isPermutation) {
-            lvl.isPermutation = true;
-            lvl.verdict =
-                canonicalPermutationName(*perm_result.policy);
-            lvl.agreement = measureAgreement(
-                prober, *perm_result.policy, opts.agreementRounds,
-                opts.seed + level);
-            lvl.loadsUsed = ctx.loadsIssued() - loads_before;
-            report.levels.push_back(std::move(lvl));
-            continue;
-        }
-
-        // Step 3: candidate-elimination fallback.
-        CandidateSearchConfig search_cfg = opts.search;
-        search_cfg.seed = opts.seed + 57 * level;
-        CandidateSearch search(
-            prober, defaultCandidateSpecs(prober.ways()), search_cfg);
-        const auto search_result = search.run();
-
-        lvl.survivors = search_result.survivors;
-        if (search_result.verdict.empty()) {
-            lvl.verdict = "unidentified (no candidate matched)";
-        } else {
-            lvl.verdict = prettySpecName(search_result.verdict,
-                                         lvl.geometry.ways);
-            if (!search_result.decided) {
-                lvl.verdict += " (ambiguous: " +
-                    std::to_string(search_result.survivors.size()) +
-                    " candidates left)";
-            } else if (search_result.survivors.size() > 1) {
-                lvl.verdict += " (+" +
-                    std::to_string(search_result.survivors.size() - 1)
-                    + " equivalent form)";
-            }
-            const auto model = policy::makePolicy(
-                search_result.verdict, lvl.geometry.ways);
-            lvl.agreement = measureAgreement(
-                prober, *model, opts.agreementRounds,
-                opts.seed + level);
+        if (!adaptiveNote.empty()) {
+            lvl.diagnostics += lvl.diagnostics.empty() ? "" : "; ";
+            lvl.diagnostics += adaptiveNote;
         }
         lvl.loadsUsed = ctx.loadsIssued() - loads_before;
         report.levels.push_back(std::move(lvl));

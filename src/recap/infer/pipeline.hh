@@ -19,6 +19,39 @@
 namespace recap::infer
 {
 
+/**
+ * Robust-measurement options for hostile machines. All default to
+ * the legacy (trusting) behaviour; enabling `vote` switches every
+ * prober to the confidence-driven sequential test and arms the
+ * graceful-degradation paths (Undetermined instead of wrong).
+ */
+struct RobustOptions
+{
+    /** Adaptive voting config handed to every SetProber. */
+    AdaptiveVoteConfig vote;
+
+    /**
+     * Cross-set quorum: infer each level independently on this many
+     * distinct sets and require a strict majority to agree on the
+     * verdict; a split vote reports Undetermined with per-set
+     * diagnostics. 1 = single set (legacy).
+     */
+    unsigned quorumSets = 1;
+
+    /**
+     * With `vote` enabled: a decided verdict whose post-hoc
+     * agreement falls below this is downgraded to Undetermined.
+     */
+    double minAgreement = 0.85;
+
+    /**
+     * Calibrate the latency outlier fence up front so timed probing
+     * rejects TLB/interrupt outliers (see
+     * MeasurementContext::calibrateLatencyFence).
+     */
+    bool calibrateLatency = false;
+};
+
 /** Options for the full pipeline. */
 struct InferenceOptions
 {
@@ -36,7 +69,24 @@ struct InferenceOptions
     /** Validation rounds for the agreement measurement. */
     unsigned agreementRounds = 8;
 
+    /** Robust measurement (adaptive voting, quorums, calibration). */
+    RobustOptions robust;
+
     uint64_t seed = 99;
+};
+
+/** Did a level's inference reach a trustworthy verdict? */
+enum class LevelOutcome : uint8_t
+{
+    kDecided = 0,
+
+    /**
+     * The machine was too noisy (or too strange) to decide: probes
+     * without quorums, contradictory cross-set verdicts, or an
+     * inference error. `diagnostics` says which; `verdict` is
+     * "undetermined". Never a silently wrong answer.
+     */
+    kUndetermined = 1,
 };
 
 /** Per-level inference verdict. */
@@ -62,6 +112,18 @@ struct LevelReport
     /** Fraction of post-hoc validation probes the verdict predicts. */
     double agreement = 0.0;
 
+    /** Decided vs gracefully-degraded (see LevelOutcome). */
+    LevelOutcome outcome = LevelOutcome::kDecided;
+
+    /**
+     * Lowest vote confidence the verdict rests on; 1.0 on noiseless
+     * machines or with adaptive voting disabled.
+     */
+    double confidence = 1.0;
+
+    /** Why the level is undetermined, when it is. */
+    std::string diagnostics;
+
     /** Loads issued for this level's policy inference. */
     uint64_t loadsUsed = 0;
 };
@@ -83,6 +145,19 @@ struct MachineReport
 double measureAgreement(SetProber& prober,
                         const policy::ReplacementPolicy& model,
                         unsigned rounds, uint64_t seed);
+
+/**
+ * One non-adaptive inference attempt for level @p level probed at
+ * the set of @p baseAddr: permutation inference, candidate fallback,
+ * agreement measurement, robust gating. @p seedSalt decorrelates the
+ * probe sequences of repeated attempts (cross-set quorum). Never
+ * throws: inference errors surface as kUndetermined.
+ */
+LevelReport inferLevelAt(MeasurementContext& ctx,
+                         const DiscoveredGeometry& geometry,
+                         unsigned level, cache::Addr baseAddr,
+                         const InferenceOptions& opts,
+                         uint64_t seedSalt = 0);
 
 /** Runs the full pipeline against @p machine. */
 MachineReport inferMachine(hw::Machine& machine,

@@ -37,11 +37,14 @@ printMachineReport(std::ostream& os, const MachineReport& report,
     if (truth)
         headers.push_back("ground truth");
     headers.push_back("agreement");
+    headers.push_back("confidence");
     headers.push_back("loads used");
 
     TextTable table(std::move(headers));
+    bool anyUndetermined = false;
     for (size_t i = 0; i < report.levels.size(); ++i) {
         const auto& lvl = report.levels[i];
+        anyUndetermined |= lvl.outcome == LevelOutcome::kUndetermined;
         std::string method = lvl.adaptive
             ? "set-dueling detect"
             : (lvl.isPermutation ? "permutation infer"
@@ -55,10 +58,20 @@ printMachineReport(std::ostream& os, const MachineReport& report,
         if (truth)
             row.push_back(describeGroundTruth(truth->levels[i]));
         row.push_back(formatPercent(lvl.agreement));
+        row.push_back(formatPercent(lvl.confidence));
         row.push_back(std::to_string(lvl.loadsUsed));
         table.addRow(std::move(row));
     }
     table.print(os);
+    if (anyUndetermined) {
+        for (const auto& lvl : report.levels) {
+            if (lvl.outcome != LevelOutcome::kUndetermined)
+                continue;
+            os << "\n" << lvl.levelName
+               << " undetermined: " << lvl.diagnostics;
+        }
+        os << "\n";
+    }
     os << "\nTotal loads issued: " << report.totalLoads << "\n";
 }
 

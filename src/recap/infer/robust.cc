@@ -1,0 +1,166 @@
+#include "recap/infer/robust.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "recap/common/error.hh"
+
+namespace recap::infer
+{
+
+namespace
+{
+
+unsigned
+marginOf(unsigned yes, unsigned total)
+{
+    const unsigned no = total - yes;
+    return yes > no ? yes - no : no - yes;
+}
+
+VoteOutcome
+concludeVote(const AdaptiveVoteConfig& cfg, unsigned yes,
+             unsigned total)
+{
+    VoteOutcome out;
+    out.samples = total;
+    if (total == 0)
+        return out;
+    const unsigned majority = std::max(yes, total - yes);
+    out.confidence =
+        static_cast<double>(majority) / static_cast<double>(total);
+    const bool settled =
+        marginOf(yes, total) >= cfg.settleMargin ||
+        (out.confidence >= cfg.minConfidence && yes * 2 != total);
+    if (settled)
+        out.verdict = yes * 2 > total ? Verdict::kYes : Verdict::kNo;
+    else
+        out.verdict = Verdict::kUndetermined;
+    return out;
+}
+
+} // namespace
+
+VoteOutcome
+adaptiveVote(const AdaptiveVoteConfig& cfg,
+             const std::function<bool()>& experiment)
+{
+    const unsigned initial = std::max(1u, cfg.initialRepeats);
+    const unsigned step = std::max(1u, cfg.escalationStep);
+    const unsigned budget = std::max(initial, cfg.maxRepeats);
+
+    unsigned yes = 0;
+    unsigned n = 0;
+    unsigned target = initial;
+    for (;;) {
+        while (n < target) {
+            if (experiment())
+                ++yes;
+            ++n;
+            if (cfg.settleMargin > 0 &&
+                marginOf(yes, n) >= cfg.settleMargin) {
+                return concludeVote(cfg, yes, n);
+            }
+        }
+        if (target >= budget)
+            break;
+        // Contradictory readings: escalate the repetition budget.
+        target = std::min(budget, target + step);
+    }
+    return concludeVote(cfg, yes, n);
+}
+
+SequenceVote::SequenceVote(const AdaptiveVoteConfig& cfg,
+                           std::size_t positions)
+    : cfg_(cfg), yes_(positions, 0), counted_(positions, 0)
+{
+    cfg_.initialRepeats = std::max(1u, cfg_.initialRepeats);
+    cfg_.maxRepeats =
+        std::max(cfg_.initialRepeats, cfg_.maxRepeats);
+}
+
+void
+SequenceVote::addReplay(const std::vector<bool>& outcome)
+{
+    addReplay(outcome, {});
+}
+
+void
+SequenceVote::addReplay(const std::vector<bool>& outcome,
+                        const std::vector<bool>& counted)
+{
+    require(outcome.size() == yes_.size(),
+            "SequenceVote::addReplay: outcome size mismatch");
+    require(counted.empty() || counted.size() == yes_.size(),
+            "SequenceVote::addReplay: counted size mismatch");
+    for (std::size_t i = 0; i < yes_.size(); ++i) {
+        if (!counted.empty() && !counted[i])
+            continue; // outlier reading: abstain at this position
+        ++counted_[i];
+        if (outcome[i])
+            ++yes_[i];
+    }
+    ++replays_;
+}
+
+bool
+SequenceVote::done() const
+{
+    if (replays_ >= cfg_.maxRepeats)
+        return true;
+    if (replays_ < cfg_.initialRepeats)
+        return false;
+    for (std::size_t i = 0; i < yes_.size(); ++i) {
+        if (cfg_.settleMargin == 0)
+            continue;
+        if (marginOf(yes_[i], counted_[i]) < cfg_.settleMargin)
+            return false;
+    }
+    return true;
+}
+
+std::vector<VoteOutcome>
+SequenceVote::outcomes() const
+{
+    std::vector<VoteOutcome> out;
+    out.reserve(yes_.size());
+    for (std::size_t i = 0; i < yes_.size(); ++i)
+        out.push_back(concludeVote(cfg_, yes_[i], counted_[i]));
+    return out;
+}
+
+RobustStats
+robustStats(std::vector<uint64_t> samples)
+{
+    RobustStats stats;
+    if (samples.empty())
+        return stats;
+    std::sort(samples.begin(), samples.end());
+    const std::size_t n = samples.size();
+    stats.median = n % 2 == 1
+        ? samples[n / 2]
+        : (samples[n / 2 - 1] + samples[n / 2]) / 2;
+
+    std::vector<uint64_t> dev;
+    dev.reserve(n);
+    for (uint64_t s : samples)
+        dev.push_back(s > stats.median ? s - stats.median
+                                       : stats.median - s);
+    std::sort(dev.begin(), dev.end());
+    stats.mad = n % 2 == 1 ? dev[n / 2]
+                           : (dev[n / 2 - 1] + dev[n / 2]) / 2;
+    return stats;
+}
+
+uint64_t
+outlierFence(const RobustStats& stats, double madMultiplier,
+             uint64_t floor)
+{
+    const double spread =
+        madMultiplier * static_cast<double>(stats.mad);
+    const uint64_t allowance = std::max(
+        floor, static_cast<uint64_t>(std::llround(spread)));
+    return stats.median + allowance;
+}
+
+} // namespace recap::infer

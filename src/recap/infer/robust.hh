@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Robust measurement primitives: a confidence-driven sequential vote
+ * that replaces fixed-N majority voting, and robust statistics for
+ * latency-threshold calibration with outlier rejection.
+ *
+ * The sequential test follows the noise-hardening discipline of real
+ * reverse-engineering rigs (nanoBench, CacheQuery): repeat an
+ * experiment only until its outcome is statistically settled, retry
+ * with escalation when readings contradict each other, and — instead
+ * of guessing — report an explicit undetermined verdict with a
+ * confidence score when the budget runs out before a quorum forms.
+ *
+ * Everything here is deterministic: the sample count and verdict are
+ * a pure function of the (deterministic) experiment outcome stream.
+ */
+
+#ifndef RECAP_INFER_ROBUST_HH_
+#define RECAP_INFER_ROBUST_HH_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace recap::infer
+{
+
+/** Three-valued outcome of a robust boolean measurement. */
+enum class Verdict : uint8_t
+{
+    kNo = 0,
+    kYes = 1,
+    kUndetermined = 2,
+};
+
+/** Result of one sequential vote. */
+struct VoteOutcome
+{
+    Verdict verdict = Verdict::kUndetermined;
+
+    /** Majority fraction in [0.5, 1]; 1.0 = unanimous. */
+    double confidence = 0.0;
+
+    /** Experiment repetitions actually consumed. */
+    unsigned samples = 0;
+
+    /** The boolean reading (majority side, even when undetermined). */
+    bool value() const { return verdict == Verdict::kYes; }
+
+    bool determined() const
+    {
+        return verdict != Verdict::kUndetermined;
+    }
+};
+
+/**
+ * Knobs for the confidence-driven sequential test.
+ *
+ * Semantics: run initialRepeats experiments; once the absolute
+ * yes/no margin reaches settleMargin the vote settles early with the
+ * majority verdict. While unsettled, escalate in escalationStep-sized
+ * batches up to maxRepeats. A vote that exhausts the budget settles
+ * only if the majority fraction reaches minConfidence; otherwise it
+ * is kUndetermined (the readings were contradictory).
+ *
+ * In the zero-noise limit every reading agrees, so the vote settles
+ * after initialRepeats (or settleMargin, whichever is smaller) with
+ * the same verdict a fixed-N majority vote would return — the
+ * property the tests pin.
+ */
+struct AdaptiveVoteConfig
+{
+    /** Master switch; disabled = legacy fixed-N majority voting. */
+    bool enabled = false;
+
+    unsigned initialRepeats = 3;
+    unsigned escalationStep = 4;
+    unsigned maxRepeats = 31;
+
+    /** |yes - no| margin that settles the vote early. */
+    unsigned settleMargin = 3;
+
+    /** Majority fraction below which an exhausted vote abstains. */
+    double minConfidence = 0.65;
+};
+
+/**
+ * Runs @p experiment under the sequential test of @p cfg.
+ * cfg.enabled is ignored here — calling this IS choosing the
+ * adaptive path.
+ */
+VoteOutcome adaptiveVote(const AdaptiveVoteConfig& cfg,
+                         const std::function<bool()>& experiment);
+
+/**
+ * Incremental per-position sequential vote over whole-sequence
+ * replays: feed one replay's boolean outcomes at a time; done()
+ * reports when every position is settled (or the budget is spent).
+ *
+ * Used by SetProber to vote an observed sequence position-by-position
+ * while still paying for whole replays only.
+ */
+class SequenceVote
+{
+  public:
+    SequenceVote(const AdaptiveVoteConfig& cfg, std::size_t positions);
+
+    /** Accumulates one replay. @p outcome must have size positions. */
+    void addReplay(const std::vector<bool>& outcome);
+
+    /**
+     * Accumulates one replay where some positions may abstain
+     * (outlier readings rejected by calibration).
+     */
+    void addReplay(const std::vector<bool>& outcome,
+                   const std::vector<bool>& counted);
+
+    /** True once every position is settled or the budget is spent. */
+    bool done() const;
+
+    /** Replays consumed so far. */
+    unsigned replays() const { return replays_; }
+
+    /** Final (or current) per-position outcomes. */
+    std::vector<VoteOutcome> outcomes() const;
+
+  private:
+    AdaptiveVoteConfig cfg_;
+    std::vector<unsigned> yes_;
+    std::vector<unsigned> counted_;
+    unsigned replays_ = 0;
+};
+
+/**
+ * Robust location/scale estimates for latency calibration.
+ * Median and MAD (median absolute deviation) of @p samples; the
+ * input is copied and sorted internally.
+ */
+struct RobustStats
+{
+    uint64_t median = 0;
+    uint64_t mad = 0; ///< raw MAD (unscaled)
+};
+
+RobustStats robustStats(std::vector<uint64_t> samples);
+
+/**
+ * Outlier fence for latency readings: median + max(floor,
+ * madMultiplier * mad). Readings above the fence are rejected as
+ * interference (TLB walks, interrupt stalls) rather than classified.
+ */
+uint64_t outlierFence(const RobustStats& stats,
+                      double madMultiplier = 6.0,
+                      uint64_t floor = 24);
+
+} // namespace recap::infer
+
+#endif // RECAP_INFER_ROBUST_HH_

@@ -96,6 +96,8 @@ SetProber::blockAddr(BlockId block) const
 bool
 SetProber::survives(const std::vector<BlockId>& seq, BlockId probe)
 {
+    if (cfg_.vote.enabled)
+        return survivesVote(seq, probe).value();
     return majorityVote(cfg_.voteRepeats, [&] {
         ctx_.beginExperiment();
         ctx_.flush();
@@ -107,9 +109,41 @@ SetProber::survives(const std::vector<BlockId>& seq, BlockId probe)
     });
 }
 
+VoteOutcome
+SetProber::survivesVote(const std::vector<BlockId>& seq, BlockId probe)
+{
+    const auto experiment = [&] {
+        ctx_.beginExperiment();
+        ctx_.flush();
+        for (BlockId b : seq) {
+            evictInnerLevels();
+            ctx_.access(blockAddr(b));
+        }
+        return routedObservedAccess(probe);
+    };
+    if (cfg_.vote.enabled)
+        return adaptiveVote(cfg_.vote, experiment);
+
+    unsigned repeats = std::max(1u, cfg_.voteRepeats);
+    if (repeats % 2 == 0)
+        ++repeats;
+    unsigned yes = 0;
+    for (unsigned i = 0; i < repeats; ++i)
+        if (experiment())
+            ++yes;
+    VoteOutcome out;
+    out.samples = repeats;
+    out.verdict = yes * 2 > repeats ? Verdict::kYes : Verdict::kNo;
+    out.confidence = static_cast<double>(std::max(yes, repeats - yes)) /
+                     static_cast<double>(repeats);
+    return out;
+}
+
 std::vector<bool>
 SetProber::observe(const std::vector<BlockId>& seq)
 {
+    if (cfg_.vote.enabled)
+        return observeRobust(seq).hits;
     unsigned repeats = cfg_.voteRepeats;
     if (repeats % 2 == 0)
         ++repeats;
@@ -126,9 +160,56 @@ SetProber::observe(const std::vector<BlockId>& seq)
     return voted;
 }
 
+SetProber::ObservedSequence
+SetProber::observeRobust(const std::vector<BlockId>& seq)
+{
+    ObservedSequence out;
+    out.hits.resize(seq.size());
+    out.confidence.resize(seq.size());
+    out.determined.resize(seq.size());
+
+    if (!cfg_.vote.enabled) {
+        // Legacy fixed-N schedule, reported through the robust type.
+        unsigned repeats = std::max(1u, cfg_.voteRepeats);
+        if (repeats % 2 == 0)
+            ++repeats;
+        std::vector<unsigned> hits(seq.size(), 0);
+        for (unsigned r = 0; r < repeats; ++r) {
+            const std::vector<bool> outcome = replayObserved(seq);
+            for (size_t i = 0; i < seq.size(); ++i)
+                if (outcome[i])
+                    ++hits[i];
+        }
+        for (size_t i = 0; i < seq.size(); ++i) {
+            out.hits[i] = hits[i] > repeats / 2;
+            out.confidence[i] =
+                static_cast<double>(std::max(hits[i],
+                                             repeats - hits[i])) /
+                static_cast<double>(repeats);
+            out.determined[i] = true;
+        }
+        out.replays = repeats;
+        return out;
+    }
+
+    SequenceVote vote(cfg_.vote, seq.size());
+    while (!vote.done())
+        vote.addReplay(replayObserved(seq));
+    const std::vector<VoteOutcome> outcomes = vote.outcomes();
+    for (size_t i = 0; i < seq.size(); ++i) {
+        out.hits[i] = outcomes[i].value();
+        out.confidence[i] = outcomes[i].confidence;
+        out.determined[i] = outcomes[i].determined();
+    }
+    out.replays = vote.replays();
+    return out;
+}
+
 std::vector<unsigned>
 SetProber::observeLevels(const std::vector<BlockId>& seq)
 {
+    if (cfg_.vote.enabled)
+        return observeLevelsRobust(seq).levels;
     unsigned repeats = cfg_.voteRepeats;
     if (repeats % 2 == 0)
         ++repeats;
@@ -150,6 +231,79 @@ SetProber::observeLevels(const std::vector<BlockId>& seq)
         voted[i] = best;
     }
     return voted;
+}
+
+SetProber::ObservedLevels
+SetProber::observeLevelsRobust(const std::vector<BlockId>& seq)
+{
+    AdaptiveVoteConfig vc = cfg_.vote;
+    vc.initialRepeats = std::max(1u, vc.initialRepeats);
+    vc.maxRepeats = std::max(vc.initialRepeats, vc.maxRepeats);
+
+    const unsigned depth = ctx_.depth() + 1;
+    std::vector<std::vector<unsigned>> votes(
+        seq.size(), std::vector<unsigned>(depth, 0));
+    std::vector<unsigned> counted(seq.size(), 0);
+
+    // Top count and runner-up count at position i.
+    const auto topTwo = [&](size_t i) {
+        unsigned best = 0;
+        for (unsigned lvl = 1; lvl < depth; ++lvl)
+            if (votes[i][lvl] > votes[i][best])
+                best = lvl;
+        unsigned second = 0;
+        for (unsigned lvl = 0; lvl < depth; ++lvl)
+            if (lvl != best)
+                second = std::max(second, votes[i][lvl]);
+        return std::pair<unsigned, unsigned>(best, second);
+    };
+
+    unsigned replays = 0;
+    const auto settled = [&] {
+        if (replays >= vc.maxRepeats)
+            return true;
+        if (replays < vc.initialRepeats)
+            return false;
+        if (vc.settleMargin == 0)
+            return true;
+        for (size_t i = 0; i < seq.size(); ++i) {
+            const auto [best, second] = topTwo(i);
+            if (votes[i][best] - second < vc.settleMargin)
+                return false;
+        }
+        return true;
+    };
+
+    while (!settled()) {
+        const auto readings = replayTimedReadings(seq);
+        ++replays;
+        for (size_t i = 0; i < seq.size(); ++i) {
+            if (readings[i].outlier)
+                continue; // fenced reading: abstain at this position
+            ++counted[i];
+            ++votes[i][std::min(readings[i].level, depth - 1)];
+        }
+    }
+
+    ObservedLevels out;
+    out.levels.resize(seq.size());
+    out.confidence.resize(seq.size());
+    out.determined.resize(seq.size());
+    out.replays = replays;
+    for (size_t i = 0; i < seq.size(); ++i) {
+        const auto [best, second] = topTwo(i);
+        out.levels[i] = best;
+        out.confidence[i] =
+            counted[i] > 0 ? static_cast<double>(votes[i][best]) /
+                                 static_cast<double>(counted[i])
+                           : 0.0;
+        out.determined[i] =
+            counted[i] > 0 &&
+            (votes[i][best] - second >= vc.settleMargin ||
+             (out.confidence[i] >= vc.minConfidence &&
+              votes[i][best] > second));
+    }
+    return out;
 }
 
 void
@@ -197,6 +351,20 @@ SetProber::replayTimed(const std::vector<BlockId>& seq)
         levels.push_back(ctx_.timedLevel(blockAddr(b)));
     }
     return levels;
+}
+
+std::vector<MeasurementContext::TimedReading>
+SetProber::replayTimedReadings(const std::vector<BlockId>& seq)
+{
+    ctx_.beginExperiment();
+    ctx_.flush();
+    std::vector<MeasurementContext::TimedReading> readings;
+    readings.reserve(seq.size());
+    for (BlockId b : seq) {
+        evictInnerLevels();
+        readings.push_back(ctx_.timedReading(blockAddr(b)));
+    }
+    return readings;
 }
 
 void

@@ -55,8 +55,16 @@ struct SetProberConfig
     /** Conflict lines per inner level = factor * inner ways. */
     unsigned evictorFactor = 2;
 
-    /** Majority-voting repetitions for noisy machines. */
+    /** Majority-voting repetitions for noisy machines (legacy). */
     unsigned voteRepeats = 1;
+
+    /**
+     * Confidence-driven sequential voting; when enabled it replaces
+     * the fixed voteRepeats majority everywhere in this prober and
+     * every observation gains a confidence and may abstain
+     * (undetermined) instead of guessing.
+     */
+    AdaptiveVoteConfig vote;
 };
 
 /**
@@ -90,10 +98,45 @@ class SetProber
     bool survives(const std::vector<BlockId>& seq, BlockId probe);
 
     /**
+     * Like survives(), but reports the full vote outcome: verdict
+     * (which may be kUndetermined under cfg.vote), confidence, and
+     * the experiment repetitions consumed. With cfg.vote disabled the
+     * legacy fixed-N majority runs and the verdict is always
+     * determined.
+     */
+    VoteOutcome survivesVote(const std::vector<BlockId>& seq,
+                             BlockId probe);
+
+    /** Per-position robust observation of a replayed sequence. */
+    struct ObservedSequence
+    {
+        std::vector<bool> hits;         ///< majority reading
+        std::vector<double> confidence; ///< majority fraction
+        std::vector<bool> determined;   ///< false = contradictory
+        unsigned replays = 0;           ///< whole-sequence replays
+    };
+
+    /** Per-position robust level observation (timed replays). */
+    struct ObservedLevels
+    {
+        std::vector<unsigned> levels;
+        std::vector<double> confidence;
+        std::vector<bool> determined;
+        unsigned replays = 0;
+    };
+
+    /**
      * Replays flush + @p seq and reports the hit/miss outcome of
      * every access (majority-voted per position).
      */
     std::vector<bool> observe(const std::vector<BlockId>& seq);
+
+    /**
+     * observe() with per-position confidence: under cfg.vote replays
+     * the sequence only until every position settles (escalating on
+     * contradiction); otherwise runs the legacy fixed-N schedule.
+     */
+    ObservedSequence observeRobust(const std::vector<BlockId>& seq);
 
     /**
      * Replays flush + @p seq timing every access instead of reading
@@ -103,6 +146,13 @@ class SetProber
      * is a hit on the probed set; depth() means memory.
      */
     std::vector<unsigned> observeLevels(const std::vector<BlockId>& seq);
+
+    /**
+     * observeLevels() with per-position confidence. Readings above
+     * the context's calibrated latency fence abstain instead of
+     * voting, so TLB/interrupt outliers cannot flip a level verdict.
+     */
+    ObservedLevels observeLevelsRobust(const std::vector<BlockId>& seq);
 
     /**
      * Floods the probed set with @p count never-before-seen lines
@@ -119,12 +169,19 @@ class SetProber
     /** Measurement context, for cost accounting. */
     MeasurementContext& context() { return ctx_; }
 
+    /** The prober's configuration (vote mode is read by callers). */
+    const SetProberConfig& config() const { return cfg_; }
+
   private:
     /** One un-voted replay of flush + seq with per-access outcomes. */
     std::vector<bool> replayObserved(const std::vector<BlockId>& seq);
 
     /** One un-voted timed replay with per-access serving levels. */
     std::vector<unsigned> replayTimed(const std::vector<BlockId>& seq);
+
+    /** One un-voted timed replay keeping raw readings. */
+    std::vector<MeasurementContext::TimedReading>
+    replayTimedReadings(const std::vector<BlockId>& seq);
 
     /** Evicts the probed blocks' lines from every inner level. */
     void evictInnerLevels();

@@ -178,6 +178,8 @@ struct ObsNode
     bool known = false;
     bool hit = false;
     unsigned level = 0;
+    double confidence = 1.0;
+    bool determined = true;
 };
 
 } // namespace
@@ -272,6 +274,8 @@ batchEvaluateReplay(MachineOracle& oracle,
                     slot.known = true;
                     slot.hit = outcomes[i].hit;
                     slot.level = outcomes[i].level;
+                    slot.confidence = outcomes[i].confidence;
+                    slot.determined = outcomes[i].determined;
                 }
             }
         } else if (stats) {
@@ -328,9 +332,9 @@ batchEvaluateReplay(MachineOracle& oracle,
                 const ObsNode& slot = trie[path[i]];
                 ensure(slot.known,
                        "batchEvaluateReplay: unobserved position");
-                verdict.probes.push_back({step,
-                                          segBlocks[seg][i],
-                                          slot.hit, slot.level});
+                verdict.probes.push_back(
+                    {step, segBlocks[seg][i], slot.hit, slot.level,
+                     slot.confidence, slot.determined});
             }
         }
         std::sort(verdict.probes.begin(), verdict.probes.end(),

@@ -91,6 +91,7 @@ PolicyOracle::account(uint64_t experiments, uint64_t accesses)
 QueryVerdict
 PolicyOracle::evaluate(const CompiledQuery& query)
 {
+    checkpoint();
     policy::SetModel model = freshModel();
     QueryVerdict verdict;
     verdict.experiments = 1;
@@ -117,6 +118,7 @@ PolicyOracle::evaluateBatch(const std::vector<CompiledQuery>& queries,
 {
     if (!opts.prefixSharing)
         return QueryOracle::evaluateBatch(queries, opts, stats);
+    checkpoint();
     return batchEvaluateSnapshot(*this, queries, opts, stats);
 }
 
@@ -153,24 +155,49 @@ MachineOracle::describe() const
 std::vector<MachineOracle::PositionOutcome>
 MachineOracle::observeSegment(const std::vector<BlockId>& blocks)
 {
+    // Every machine experiment batch funnels through here, so this
+    // is where per-request timeouts/budgets get their granularity.
+    checkpoint();
     infer::MeasurementContext& ctx = prober_->context();
     const uint64_t loadsBefore = ctx.loadsIssued();
     const uint64_t experimentsBefore = ctx.experimentsRun();
 
     std::vector<PositionOutcome> outcomes(blocks.size());
     const unsigned target = prober_->targetLevel();
+    const bool robust = prober_->config().vote.enabled;
     if (mode_ == ObservationMode::kCounter) {
-        const std::vector<bool> hits = prober_->observe(blocks);
-        for (std::size_t i = 0; i < blocks.size(); ++i) {
-            outcomes[i].hit = hits[i];
-            outcomes[i].level = hits[i] ? target : ctx.depth();
+        if (robust) {
+            const auto obs = prober_->observeRobust(blocks);
+            for (std::size_t i = 0; i < blocks.size(); ++i) {
+                outcomes[i].hit = obs.hits[i];
+                outcomes[i].level =
+                    obs.hits[i] ? target : ctx.depth();
+                outcomes[i].confidence = obs.confidence[i];
+                outcomes[i].determined = obs.determined[i];
+            }
+        } else {
+            const std::vector<bool> hits = prober_->observe(blocks);
+            for (std::size_t i = 0; i < blocks.size(); ++i) {
+                outcomes[i].hit = hits[i];
+                outcomes[i].level = hits[i] ? target : ctx.depth();
+            }
         }
     } else {
-        const std::vector<unsigned> levels =
-            prober_->observeLevels(blocks);
-        for (std::size_t i = 0; i < blocks.size(); ++i) {
-            outcomes[i].level = levels[i];
-            outcomes[i].hit = levels[i] <= target;
+        if (robust) {
+            const auto obs = prober_->observeLevelsRobust(blocks);
+            for (std::size_t i = 0; i < blocks.size(); ++i) {
+                outcomes[i].level = obs.levels[i];
+                outcomes[i].hit = obs.levels[i] <= target;
+                outcomes[i].confidence = obs.confidence[i];
+                outcomes[i].determined = obs.determined[i];
+            }
+        } else {
+            const std::vector<unsigned> levels =
+                prober_->observeLevels(blocks);
+            for (std::size_t i = 0; i < blocks.size(); ++i) {
+                outcomes[i].level = levels[i];
+                outcomes[i].hit = levels[i] <= target;
+            }
         }
     }
     experiments_ += ctx.experimentsRun() - experimentsBefore;
@@ -193,7 +220,9 @@ MachineOracle::evaluate(const CompiledQuery& query)
                 continue;
             verdict.probes.push_back({step, segment.blocks[i],
                                       outcomes[i].hit,
-                                      outcomes[i].level});
+                                      outcomes[i].level,
+                                      outcomes[i].confidence,
+                                      outcomes[i].determined});
         }
     }
     verdict.experiments = experiments_ - experimentsBefore;

@@ -21,7 +21,9 @@
 #ifndef RECAP_QUERY_ORACLE_HH_
 #define RECAP_QUERY_ORACLE_HH_
 
+#include <functional>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -30,6 +32,26 @@
 
 namespace recap::query
 {
+
+/**
+ * Thrown by an oracle checkpoint to abort the current request (the
+ * server installs checkpoints enforcing per-request timeouts and
+ * access budgets). The session survives: the server answers with a
+ * structured error and keeps serving.
+ */
+class RequestAborted : public std::runtime_error
+{
+  public:
+    RequestAborted(const std::string& what, std::string reason)
+        : std::runtime_error(what), reason_(std::move(reason))
+    {}
+
+    /** Machine-readable cause: "timeout", "access-budget", ... */
+    const std::string& reason() const { return reason_; }
+
+  private:
+    std::string reason_;
+};
 
 /** Outcome of one probed access. */
 struct ProbeOutcome
@@ -50,6 +72,21 @@ struct ProbeOutcome
      * miss.
      */
     unsigned level = 0;
+
+    /**
+     * Majority fraction behind this reading, in [0.5, 1]. The policy
+     * backend is exact (always 1.0); the machine backend reports the
+     * vote's confidence under adaptive voting.
+     */
+    double confidence = 1.0;
+
+    /**
+     * False when an adaptive vote exhausted its budget without a
+     * quorum: `hit`/`level` then carry the (untrustworthy) majority
+     * side and consumers must treat the reading as unknown rather
+     * than guess.
+     */
+    bool determined = true;
 
     bool operator==(const ProbeOutcome&) const = default;
 };
@@ -132,6 +169,30 @@ class QueryOracle
 
     /** Loads/accesses issued through this oracle so far. */
     virtual uint64_t accessesIssued() const = 0;
+
+    /**
+     * Installs (or clears, with nullptr) a hook the oracle invokes
+     * at the start of every evaluation and before every machine
+     * experiment batch. The hook aborts long-running work by
+     * throwing (conventionally RequestAborted); backends guarantee a
+     * consistent device afterwards (the next experiment starts from
+     * a flush anyway).
+     */
+    void setCheckpoint(std::function<void()> hook)
+    {
+        checkpoint_ = std::move(hook);
+    }
+
+  protected:
+    /** Runs the installed checkpoint hook, if any. */
+    void checkpoint() const
+    {
+        if (checkpoint_)
+            checkpoint_();
+    }
+
+  private:
+    std::function<void()> checkpoint_;
 };
 
 /**
@@ -237,6 +298,8 @@ class MachineOracle : public QueryOracle
     {
         bool hit = false;
         unsigned level = 0;
+        double confidence = 1.0;
+        bool determined = true;
     };
 
     /**

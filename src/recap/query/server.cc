@@ -1,6 +1,7 @@
 #include "recap/query/server.hh"
 
 #include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <istream>
 #include <memory>
@@ -61,6 +62,76 @@ errorJson(const std::string& what, std::optional<std::size_t> position,
     return out.str();
 }
 
+std::string
+abortedJson(const std::string& what, const std::string& reason)
+{
+    return "{\"ok\":false,\"error\":\"" + jsonEscape(what) +
+           "\",\"aborted\":\"" + jsonEscape(reason) + "\"}";
+}
+
+uint64_t
+steadyNowMillis()
+{
+    using namespace std::chrono;
+    return static_cast<uint64_t>(
+        duration_cast<milliseconds>(
+            steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/** Installs a request guard on the oracle; clears it on scope exit. */
+class CheckpointGuard
+{
+  public:
+    CheckpointGuard(QueryOracle& oracle, const RequestLimits& limits,
+                    const std::function<uint64_t()>& clock)
+        : oracle_(oracle)
+    {
+        if (limits.timeoutMillis == 0 &&
+            limits.maxAccessesPerRequest == 0)
+            return; // nothing to guard
+        std::function<uint64_t()> now =
+            clock ? clock : steadyNowMillis;
+        const uint64_t start = now();
+        const uint64_t accessesBefore = oracle.accessesIssued();
+        oracle.setCheckpoint([&oracle = oracle_, limits, now, start,
+                              accessesBefore] {
+            if (limits.timeoutMillis != 0 &&
+                now() - start > limits.timeoutMillis) {
+                throw RequestAborted(
+                    "request exceeded the " +
+                        std::to_string(limits.timeoutMillis) +
+                        " ms timeout",
+                    "timeout");
+            }
+            if (limits.maxAccessesPerRequest != 0 &&
+                oracle.accessesIssued() - accessesBefore >
+                    limits.maxAccessesPerRequest) {
+                throw RequestAborted(
+                    "request exceeded the access budget of " +
+                        std::to_string(
+                            limits.maxAccessesPerRequest) +
+                        " loads",
+                    "access-budget");
+            }
+        });
+        armed_ = true;
+    }
+
+    ~CheckpointGuard()
+    {
+        if (armed_)
+            oracle_.setCheckpoint(nullptr);
+    }
+
+    CheckpointGuard(const CheckpointGuard&) = delete;
+    CheckpointGuard& operator=(const CheckpointGuard&) = delete;
+
+  private:
+    QueryOracle& oracle_;
+    bool armed_ = false;
+};
+
 void
 writeVerdict(std::ostringstream& out, const CompiledQuery& query,
              const QueryVerdict& verdict)
@@ -98,6 +169,15 @@ std::string
 respondLine(const std::string& line, QueryOracle& oracle,
             const ServerOptions& opts)
 {
+    const RequestLimits& limits = opts.limits;
+    if (limits.maxLineBytes != 0 && line.size() > limits.maxLineBytes) {
+        return abortedJson("request line of " +
+                               std::to_string(line.size()) +
+                               " bytes exceeds the limit of " +
+                               std::to_string(limits.maxLineBytes),
+                           "line-too-long");
+    }
+
     const std::string request = trim(line);
     if (request.empty() || request[0] == '#')
         return "";
@@ -138,10 +218,29 @@ respondLine(const std::string& line, QueryOracle& oracle,
         start = semi + 1;
     }
 
+    if (limits.maxQueriesPerLine != 0 &&
+        parts.size() > limits.maxQueriesPerLine) {
+        return abortedJson(
+            std::to_string(parts.size()) +
+                " queries on one line exceed the limit of " +
+                std::to_string(limits.maxQueriesPerLine),
+            "too-many-queries");
+    }
+
     std::vector<CompiledQuery> queries;
     for (std::size_t i = 0; i < parts.size(); ++i) {
         try {
             queries.push_back(compile(parseQuery(parts[i].first)));
+            if (limits.maxStepsPerQuery != 0 &&
+                queries.back().steps.size() >
+                    limits.maxStepsPerQuery) {
+                return abortedJson(
+                    "query " + std::to_string(i) + " has " +
+                        std::to_string(queries.back().steps.size()) +
+                        " steps, over the limit of " +
+                        std::to_string(limits.maxStepsPerQuery),
+                    "query-too-long");
+            }
         } catch (const ParseError& e) {
             return errorJson(e.message(),
                              parts[i].second + e.position(),
@@ -158,6 +257,7 @@ respondLine(const std::string& line, QueryOracle& oracle,
 
     std::ostringstream out;
     try {
+        const CheckpointGuard guard(oracle, limits, opts.clock);
         if (queries.size() == 1) {
             const QueryVerdict verdict = oracle.evaluate(queries[0]);
             out << "{\"ok\":true,";
@@ -182,6 +282,8 @@ respondLine(const std::string& line, QueryOracle& oracle,
                 << ",\"experimentsSaved\":" << stats.experimentsSaved
                 << "}}";
         }
+    } catch (const RequestAborted& e) {
+        return abortedJson(e.what(), e.reason());
     } catch (const std::exception& e) {
         return errorJson(e.what(), std::nullopt, std::nullopt);
     }
@@ -239,6 +341,7 @@ querydMain(int argc, const char* const* argv, std::istream& in,
     unsigned maxSets = 512;
     uint64_t seed = 1;
     double noiseP = 0.0;
+    bool adaptiveVote = false;
     ObservationMode mode = ObservationMode::kCounter;
     ServerOptions opts;
 
@@ -248,8 +351,11 @@ querydMain(int argc, const char* const* argv, std::istream& in,
                "       recap-queryd --machine <name> [--level L] "
                "[--mode counter|latency]\n"
                "                    [--noise P] [--votes N] "
-               "[--seed S] [--max-sets N]\n"
-               "       common: [--naive] [--threads N]\n";
+               "[--adaptive] [--seed S] [--max-sets N]\n"
+               "       common: [--naive] [--threads N] "
+               "[--timeout-ms N] [--max-line-bytes N]\n"
+               "               [--max-queries N] [--max-steps N] "
+               "[--max-accesses N]  (0 disables)\n";
         return 2;
     };
 
@@ -282,6 +388,19 @@ querydMain(int argc, const char* const* argv, std::istream& in,
                     static_cast<unsigned>(std::stoul(value()));
             else if (arg == "--naive")
                 opts.batch.prefixSharing = false;
+            else if (arg == "--adaptive")
+                adaptiveVote = true;
+            else if (arg == "--timeout-ms")
+                opts.limits.timeoutMillis = std::stoull(value());
+            else if (arg == "--max-line-bytes")
+                opts.limits.maxLineBytes = std::stoull(value());
+            else if (arg == "--max-queries")
+                opts.limits.maxQueriesPerLine = std::stoull(value());
+            else if (arg == "--max-steps")
+                opts.limits.maxStepsPerQuery = std::stoull(value());
+            else if (arg == "--max-accesses")
+                opts.limits.maxAccessesPerRequest =
+                    std::stoull(value());
             else if (arg == "--mode") {
                 const std::string m = value();
                 require(m == "counter" || m == "latency",
@@ -311,6 +430,7 @@ querydMain(int argc, const char* const* argv, std::istream& in,
         MachineOracleConfig cfg;
         cfg.mode = mode;
         cfg.prober.voteRepeats = votes;
+        cfg.prober.vote.enabled = adaptiveVote;
         MachineSession session(spec, seed, noise, level, cfg);
         err << "# recap-queryd serving " << session.oracle->describe()
             << " on " << spec.name << "\n";

@@ -27,6 +27,8 @@
 #ifndef RECAP_QUERY_SERVER_HH_
 #define RECAP_QUERY_SERVER_HH_
 
+#include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <string>
 
@@ -35,11 +37,48 @@
 namespace recap::query
 {
 
+/**
+ * Per-request input limits and runtime guards. A request that trips
+ * one answers {"ok":false,"error":...,"aborted":<reason>} and the
+ * session continues — a hostile or runaway client cannot wedge the
+ * server. Every limit is individually disabled by 0.
+ */
+struct RequestLimits
+{
+    /** Longest accepted request line, bytes. */
+    std::size_t maxLineBytes = 1 << 16;
+
+    /** Most `;`-separated queries per line. */
+    std::size_t maxQueriesPerLine = 256;
+
+    /** Most steps in one compiled query. */
+    std::size_t maxStepsPerQuery = 4096;
+
+    /**
+     * Most machine loads one request may consume (experiments on a
+     * noisy machine with high vote budgets multiply fast).
+     */
+    uint64_t maxAccessesPerRequest = 20'000'000;
+
+    /** Per-request wall-clock timeout. */
+    uint64_t timeoutMillis = 30'000;
+};
+
 /** Session knobs. */
 struct ServerOptions
 {
     /** Batch evaluation knobs for `;`-separated query lines. */
     BatchOptions batch;
+
+    /** Per-request guards. */
+    RequestLimits limits;
+
+    /**
+     * Millisecond clock for the timeout guard; nullptr = steady
+     * wall clock. Tests inject a scripted clock so timeout expiry is
+     * deterministic.
+     */
+    std::function<uint64_t()> clock;
 };
 
 /**
@@ -68,8 +107,10 @@ unsigned runSession(std::istream& in, std::ostream& out,
  *   recap-queryd --policy <spec> [--ways N] [--seed S]
  *   recap-queryd --machine <catalog-name> [--level L]
  *                [--mode counter|latency] [--noise P] [--votes N]
- *                [--seed S] [--max-sets N]
- *   common: [--naive] [--threads N]
+ *                [--adaptive] [--seed S] [--max-sets N]
+ *   common: [--naive] [--threads N] [--timeout-ms N]
+ *           [--max-line-bytes N] [--max-queries N] [--max-steps N]
+ *           [--max-accesses N]  (0 disables a limit)
  *
  * @return 0 on a clean session, 2 on a usage error.
  */

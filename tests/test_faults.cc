@@ -1,0 +1,420 @@
+/**
+ * @file
+ * Tests for the composable fault-injection model: per-source
+ * behaviour, seed determinism, the NoiseConfig compatibility shim,
+ * the hostile() intensity scaling, and the jitter regression (a
+ * zero-cycle jitter source must inject nothing and never underflow).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "recap/common/rng.hh"
+#include "recap/hw/catalog.hh"
+#include "recap/hw/faults.hh"
+#include "recap/hw/machine.hh"
+
+namespace
+{
+
+using namespace recap;
+using namespace recap::hw;
+
+cache::Geometry
+l1Geometry()
+{
+    return catalogMachine("core2-e6300").levels.front().geometry();
+}
+
+TEST(FaultConfig, DefaultIsNoiseless)
+{
+    const FaultConfig cfg;
+    EXPECT_FALSE(cfg.anyAccessFaults());
+    EXPECT_FALSE(cfg.anyLatencyFaults());
+    EXPECT_FALSE(cfg.anyCounterFaults());
+    EXPECT_FALSE(cfg.anyFaults());
+}
+
+TEST(FaultConfig, FromNoiseMapsTheLegacyKnobs)
+{
+    NoiseConfig noise;
+    noise.disturbProbability = 0.25;
+    noise.latencyJitterProbability = 0.5;
+    noise.latencyJitterCycles = 12;
+    const FaultConfig cfg = FaultConfig::fromNoise(noise);
+    EXPECT_TRUE(cfg.disturb.enabled);
+    EXPECT_DOUBLE_EQ(cfg.disturb.probability, 0.25);
+    EXPECT_TRUE(cfg.jitter.enabled);
+    EXPECT_DOUBLE_EQ(cfg.jitter.probability, 0.5);
+    EXPECT_EQ(cfg.jitter.cycles, 12u);
+    // Nothing else sneaks in through the shim.
+    EXPECT_FALSE(cfg.adjacentLine.enabled);
+    EXPECT_FALSE(cfg.stream.enabled);
+    EXPECT_FALSE(cfg.interrupts.enabled);
+    EXPECT_FALSE(cfg.tlb.enabled);
+    EXPECT_FALSE(cfg.counters.enabled);
+    EXPECT_FALSE(cfg.phases.enabled);
+}
+
+TEST(FaultConfig, FromZeroNoiseIsNoiseless)
+{
+    EXPECT_FALSE(FaultConfig::fromNoise(NoiseConfig{}).anyFaults());
+}
+
+TEST(FaultConfig, HostileScalesWithIntensity)
+{
+    EXPECT_FALSE(FaultConfig::hostile(0.0).anyFaults());
+
+    const FaultConfig one = FaultConfig::hostile(1.0);
+    EXPECT_TRUE(one.disturb.enabled);
+    EXPECT_TRUE(one.adjacentLine.enabled);
+    EXPECT_TRUE(one.stream.enabled);
+    EXPECT_TRUE(one.interrupts.enabled);
+    EXPECT_TRUE(one.tlb.enabled);
+    EXPECT_TRUE(one.jitter.enabled);
+    EXPECT_TRUE(one.counters.enabled);
+    EXPECT_TRUE(one.phases.enabled);
+
+    const FaultConfig twice = FaultConfig::hostile(2.0);
+    EXPECT_GT(twice.disturb.probability, one.disturb.probability);
+    EXPECT_GT(twice.jitter.probability, one.jitter.probability);
+    // Interrupt bursts come more often, never less.
+    EXPECT_LE(twice.interrupts.meanQuietLoads,
+              one.interrupts.meanQuietLoads);
+
+    // Probabilities stay probabilities even at absurd intensities.
+    const FaultConfig extreme = FaultConfig::hostile(1000.0);
+    EXPECT_LE(extreme.disturb.probability, 1.0);
+    EXPECT_LE(extreme.adjacentLine.probability, 1.0);
+    EXPECT_LE(extreme.tlb.probability, 1.0);
+    EXPECT_LE(extreme.jitter.probability, 1.0);
+    EXPECT_LE(extreme.counters.garbleProbability, 1.0);
+    EXPECT_LE(extreme.counters.dropProbability, 1.0);
+}
+
+TEST(FaultModel, NoiselessModelIsPassthrough)
+{
+    FaultModel model(FaultConfig{}, 7, l1Geometry());
+    for (int i = 0; i < 100; ++i) {
+        const auto plan = model.beforeLoad(64 * i);
+        EXPECT_TRUE(plan.disturbances.empty());
+        EXPECT_TRUE(plan.background.empty());
+        EXPECT_EQ(plan.latencyPenalty, 0u);
+        EXPECT_EQ(model.perturbLatency(10), 10u);
+    }
+}
+
+TEST(FaultModel, DisturbancesAliasTheProbedSet)
+{
+    FaultConfig cfg;
+    cfg.disturb.enabled = true;
+    cfg.disturb.probability = 1.0;
+    const auto l1 = l1Geometry();
+    FaultModel model(cfg, 3, l1);
+    const cache::Addr victim = 5 * l1.lineSize;
+    for (int i = 0; i < 200; ++i) {
+        const auto plan = model.beforeLoad(victim);
+        ASSERT_EQ(plan.disturbances.size(), 1u);
+        EXPECT_EQ(l1.setIndex(plan.disturbances[0]),
+                  l1.setIndex(victim));
+        EXPECT_NE(plan.disturbances[0], victim);
+    }
+}
+
+TEST(FaultModel, AdjacentLinePrefetcherFetchesTheBuddy)
+{
+    FaultConfig cfg;
+    cfg.adjacentLine.enabled = true;
+    cfg.adjacentLine.probability = 1.0;
+    const auto l1 = l1Geometry();
+    FaultModel model(cfg, 3, l1);
+    // The buddy of an even line is the next line; of an odd line, the
+    // previous one (128-byte-aligned pair).
+    const auto even = model.beforeLoad(0);
+    ASSERT_EQ(even.background.size(), 1u);
+    EXPECT_EQ(even.background[0], l1.lineSize);
+    const auto odd = model.beforeLoad(l1.lineSize);
+    ASSERT_EQ(odd.background.size(), 1u);
+    EXPECT_EQ(odd.background[0], 0u);
+}
+
+TEST(FaultModel, StreamPrefetcherArmsOnAscendingRuns)
+{
+    FaultConfig cfg;
+    cfg.stream.enabled = true;
+    cfg.stream.trainLength = 3;
+    cfg.stream.degree = 2;
+    const auto l1 = l1Geometry();
+    FaultModel model(cfg, 3, l1);
+
+    // A random-looking pattern never arms the prefetcher.
+    EXPECT_TRUE(model.beforeLoad(0).background.empty());
+    EXPECT_TRUE(model.beforeLoad(7 * l1.lineSize).background.empty());
+    EXPECT_TRUE(model.beforeLoad(2 * l1.lineSize).background.empty());
+
+    // An ascending +1-line stream arms it after trainLength strides
+    // and then prefetches `degree` lines ahead.
+    std::size_t prefetched = 0;
+    for (unsigned i = 10; i < 20; ++i) {
+        const auto plan = model.beforeLoad(i * l1.lineSize);
+        prefetched += plan.background.size();
+        for (cache::Addr a : plan.background)
+            EXPECT_GT(a, i * l1.lineSize);
+    }
+    EXPECT_GT(prefetched, 0u);
+}
+
+TEST(FaultModel, InterruptBurstsEvictAndPenalise)
+{
+    FaultConfig cfg;
+    cfg.interrupts.enabled = true;
+    cfg.interrupts.meanQuietLoads = 4.0; // bursts come fast
+    cfg.interrupts.burstAccesses = 8;
+    cfg.interrupts.latencyPenalty = 500;
+    FaultModel model(cfg, 11, l1Geometry());
+
+    std::size_t bursts = 0;
+    for (int i = 0; i < 400; ++i) {
+        const auto plan = model.beforeLoad(0);
+        if (plan.latencyPenalty > 0) {
+            ++bursts;
+            EXPECT_EQ(plan.latencyPenalty, 500u);
+            EXPECT_EQ(plan.background.size(), 8u);
+            // The burst's penalty flows into the latency reading.
+            EXPECT_GE(model.perturbLatency(10, plan.latencyPenalty),
+                      510u);
+        } else {
+            EXPECT_EQ(model.perturbLatency(10, 0), 10u);
+        }
+    }
+    EXPECT_GT(bursts, 10u);
+}
+
+TEST(FaultModel, TlbOutliersInflateSomeReadings)
+{
+    FaultConfig cfg;
+    cfg.tlb.enabled = true;
+    cfg.tlb.probability = 0.5;
+    cfg.tlb.penalty = 150;
+    FaultModel model(cfg, 13, l1Geometry());
+    std::size_t outliers = 0;
+    for (int i = 0; i < 300; ++i) {
+        const uint64_t t = model.perturbLatency(10);
+        ASSERT_GE(t, 10u);
+        if (t >= 160)
+            ++outliers;
+    }
+    EXPECT_GT(outliers, 50u);
+    EXPECT_LT(outliers, 250u);
+}
+
+TEST(FaultModel, JitterIsStrictlyAdditive)
+{
+    FaultConfig cfg;
+    cfg.jitter.enabled = true;
+    cfg.jitter.probability = 1.0;
+    cfg.jitter.cycles = 10;
+    FaultModel model(cfg, 17, l1Geometry());
+    for (int i = 0; i < 200; ++i) {
+        const uint64_t t = model.perturbLatency(3);
+        EXPECT_GE(t, 4u); // always inflated, never deflated
+        EXPECT_LE(t, 13u);
+    }
+}
+
+// Regression: the legacy noise path drew nextBelow(latencyJitterCycles)
+// unguarded, which is ill-formed at cycles=0 (and a symmetric +/-
+// jitter could underflow / invert level ordering).
+TEST(FaultModel, ZeroCycleJitterInjectsNothing)
+{
+    FaultConfig cfg;
+    cfg.jitter.enabled = true;
+    cfg.jitter.probability = 1.0;
+    cfg.jitter.cycles = 0;
+    FaultModel model(cfg, 17, l1Geometry());
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(model.perturbLatency(3), 3u);
+}
+
+TEST(FaultModel, CounterGarblingPerturbsReads)
+{
+    FaultConfig cfg;
+    cfg.counters.enabled = true;
+    cfg.counters.garbleProbability = 1.0;
+    cfg.counters.dropProbability = 0.0;
+    cfg.counters.garbleMagnitude = 2;
+    FaultModel model(cfg, 19, l1Geometry());
+    const CounterSnapshot exact{{100, 50, 50, 10}};
+    std::size_t perturbed = 0;
+    for (int i = 0; i < 50; ++i) {
+        const auto read = model.readCounters(exact);
+        ASSERT_EQ(read.words.size(), exact.words.size());
+        for (std::size_t w = 0; w < read.words.size(); ++w) {
+            const uint64_t delta = read.words[w] > exact.words[w]
+                ? read.words[w] - exact.words[w]
+                : exact.words[w] - read.words[w];
+            EXPECT_LE(delta, 2u);
+            perturbed += delta != 0;
+        }
+    }
+    EXPECT_GT(perturbed, 0u);
+}
+
+TEST(FaultModel, DroppedCounterReadsReturnTheStaleSnapshot)
+{
+    FaultConfig cfg;
+    cfg.counters.enabled = true;
+    cfg.counters.garbleProbability = 0.0;
+    cfg.counters.dropProbability = 1.0;
+    FaultModel model(cfg, 23, l1Geometry());
+    // The very first read has no stale snapshot to fall back to.
+    const auto first = model.readCounters({{1, 2, 3}});
+    EXPECT_EQ(first.words, (std::vector<uint64_t>{1, 2, 3}));
+    // Every later read drops and replays the previous snapshot.
+    const auto second = model.readCounters({{4, 5, 6}});
+    EXPECT_EQ(second.words, first.words);
+}
+
+TEST(FaultModel, PhasesAlternateQuietAndBursty)
+{
+    FaultConfig cfg;
+    cfg.phases.enabled = true;
+    cfg.phases.meanQuietLoads = 50.0;
+    cfg.phases.meanBurstyLoads = 50.0;
+    cfg.disturb.enabled = true;
+    cfg.disturb.probability = 0.05;
+    cfg.phases.burstyMultiplier = 8.0;
+    FaultModel model(cfg, 29, l1Geometry());
+    std::size_t burstyLoads = 0;
+    std::size_t quietDisturbs = 0;
+    std::size_t burstyDisturbs = 0;
+    for (int i = 0; i < 4000; ++i) {
+        const bool bursty = model.inBurstyPhase();
+        const auto plan = model.beforeLoad(0);
+        burstyLoads += bursty;
+        (bursty ? burstyDisturbs : quietDisturbs) +=
+            plan.disturbances.size();
+    }
+    // Both phases occur, and the bursty phase disturbs much more
+    // often per load.
+    EXPECT_GT(burstyLoads, 500u);
+    EXPECT_LT(burstyLoads, 3500u);
+    EXPECT_GT(burstyDisturbs * 1000 / burstyLoads,
+              2 * (quietDisturbs * 1000 / (4000 - burstyLoads) + 1));
+}
+
+TEST(FaultModel, EqualSeedsReplayIdentically)
+{
+    const FaultConfig cfg = FaultConfig::hostile(1.0);
+    const auto l1 = l1Geometry();
+    FaultModel a(cfg, 42, l1);
+    FaultModel b(cfg, 42, l1);
+    Rng addrs(5);
+    for (int i = 0; i < 2000; ++i) {
+        const cache::Addr addr = 64 * addrs.nextBelow(4096);
+        const auto planA = a.beforeLoad(addr);
+        const auto planB = b.beforeLoad(addr);
+        ASSERT_EQ(planA.disturbances, planB.disturbances);
+        ASSERT_EQ(planA.background, planB.background);
+        ASSERT_EQ(planA.latencyPenalty, planB.latencyPenalty);
+        ASSERT_EQ(a.perturbLatency(10, planA.latencyPenalty),
+                  b.perturbLatency(10, planB.latencyPenalty));
+    }
+    // Counter faults draw from an independent stream: reading them on
+    // one model does not perturb its interference sequence.
+    (void)a.readCounters({{1, 2, 3}});
+    for (int i = 0; i < 100; ++i) {
+        const auto planA = a.beforeLoad(0);
+        const auto planB = b.beforeLoad(0);
+        ASSERT_EQ(planA.disturbances, planB.disturbances);
+        ASSERT_EQ(planA.background, planB.background);
+    }
+}
+
+TEST(FaultModel, DifferentSeedsDiverge)
+{
+    FaultConfig cfg;
+    cfg.disturb.enabled = true;
+    cfg.disturb.probability = 0.5;
+    const auto l1 = l1Geometry();
+    FaultModel a(cfg, 1, l1);
+    FaultModel b(cfg, 2, l1);
+    std::size_t differing = 0;
+    for (int i = 0; i < 200; ++i) {
+        if (a.beforeLoad(0).disturbances !=
+            b.beforeLoad(0).disturbances)
+            ++differing;
+    }
+    EXPECT_GT(differing, 0u);
+}
+
+// The two Machine constructors must behave identically for matching
+// configurations: the NoiseConfig path is a pure shim.
+TEST(MachineFaults, NoiseShimMatchesFaultConfigPath)
+{
+    NoiseConfig noise;
+    noise.disturbProbability = 0.2;
+    noise.latencyJitterProbability = 0.3;
+    noise.latencyJitterCycles = 8;
+    const auto spec = catalogMachine("core2-e6300");
+    Machine viaNoise(spec, 77, noise);
+    Machine viaFaults(spec, 77, FaultConfig::fromNoise(noise));
+    Rng addrs(9);
+    for (int i = 0; i < 1500; ++i) {
+        const cache::Addr addr = 64 * addrs.nextBelow(2048);
+        ASSERT_EQ(viaNoise.timedAccess(addr),
+                  viaFaults.timedAccess(addr));
+    }
+    EXPECT_EQ(viaNoise.loadsIssued(), viaFaults.loadsIssued());
+}
+
+// Regression for the legacy jitter path: latencyJitterCycles = 0 with
+// jitter probability 1 must be a no-op, not an Rng precondition crash.
+TEST(MachineFaults, ZeroJitterCyclesIsCleanOnTheMachine)
+{
+    NoiseConfig noise;
+    noise.latencyJitterProbability = 1.0;
+    noise.latencyJitterCycles = 0;
+    Machine m(catalogMachine("core2-e6300"), 1, noise);
+    m.access(0);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(m.timedAccess(0), 3u);
+}
+
+TEST(MachineFaults, BackgroundTrafficIsNotChargedToTheExperimenter)
+{
+    FaultConfig cfg;
+    cfg.adjacentLine.enabled = true;
+    cfg.adjacentLine.probability = 1.0;
+    Machine m(catalogMachine("core2-e6300"), 1, cfg);
+    m.access(0);
+    // The buddy fetch lands in the caches but is not an issued load.
+    EXPECT_EQ(m.loadsIssued(), 1u);
+    const auto counts = m.counters();
+    EXPECT_EQ(counts.levels[0].accesses, 2u);
+}
+
+TEST(MachineFaults, HostileMachineStaysSeedDeterministic)
+{
+    const auto spec = catalogMachine("core2-e6300");
+    const FaultConfig cfg = FaultConfig::hostile(1.5);
+    Machine a(spec, 123, cfg);
+    Machine b(spec, 123, cfg);
+    Rng addrs(31);
+    for (int i = 0; i < 3000; ++i) {
+        const cache::Addr addr = 64 * addrs.nextBelow(4096);
+        ASSERT_EQ(a.timedAccess(addr), b.timedAccess(addr));
+    }
+    const auto ca = a.counters();
+    const auto cb = b.counters();
+    EXPECT_EQ(ca.memoryAccesses, cb.memoryAccesses);
+    ASSERT_EQ(ca.levels.size(), cb.levels.size());
+    for (std::size_t i = 0; i < ca.levels.size(); ++i) {
+        EXPECT_EQ(ca.levels[i].accesses, cb.levels[i].accesses);
+        EXPECT_EQ(ca.levels[i].hits, cb.levels[i].hits);
+    }
+    EXPECT_EQ(a.loadsIssued(), b.loadsIssued());
+}
+
+} // namespace

@@ -12,6 +12,10 @@
 #include <string>
 #include <vector>
 
+#include "recap/hw/catalog.hh"
+#include "recap/hw/machine.hh"
+#include "recap/infer/geometry_probe.hh"
+#include "recap/infer/measurement.hh"
 #include "recap/query/oracle.hh"
 #include "recap/query/parse.hh"
 #include "recap/query/server.hh"
@@ -122,6 +126,159 @@ TEST(QueryServer, ScriptedSessionRunsToQuit)
     EXPECT_TRUE(contains(lines[1], "\"ways\":4"));
     EXPECT_TRUE(contains(lines[2], "\"ok\":false"));
     EXPECT_TRUE(contains(lines[3], "\"bye\":true"));
+}
+
+TEST(QueryServerLimits, OversizedLinesGetAStructuredError)
+{
+    PolicyOracle oracle("lru", 4);
+    ServerOptions opts;
+    opts.limits.maxLineBytes = 32;
+    const std::string ok = respondLine("a b c d a?", oracle, opts);
+    EXPECT_TRUE(contains(ok, "\"ok\":true")) << ok;
+
+    const std::string big(200, 'a');
+    const std::string rejected = respondLine(big, oracle, opts);
+    EXPECT_TRUE(contains(rejected, "\"ok\":false")) << rejected;
+    EXPECT_TRUE(contains(rejected, "\"aborted\":\"line-too-long\""))
+        << rejected;
+    // The session survives: the next request answers normally.
+    EXPECT_TRUE(contains(respondLine("a a?", oracle, opts),
+                         "\"ok\":true"));
+}
+
+TEST(QueryServerLimits, TooManyQueriesPerLineIsRejected)
+{
+    PolicyOracle oracle("lru", 4);
+    ServerOptions opts;
+    opts.limits.maxQueriesPerLine = 2;
+    EXPECT_TRUE(contains(respondLine("a? ; b?", oracle, opts),
+                         "\"ok\":true"));
+    const std::string rejected =
+        respondLine("a? ; b? ; c?", oracle, opts);
+    EXPECT_TRUE(contains(rejected, "\"ok\":false")) << rejected;
+    EXPECT_TRUE(
+        contains(rejected, "\"aborted\":\"too-many-queries\""))
+        << rejected;
+}
+
+TEST(QueryServerLimits, OverlongQueriesAreRejected)
+{
+    PolicyOracle oracle("lru", 4);
+    ServerOptions opts;
+    opts.limits.maxStepsPerQuery = 4;
+    EXPECT_TRUE(contains(respondLine("a b c d?", oracle, opts),
+                         "\"ok\":true"));
+    const std::string rejected =
+        respondLine("a b c d e?", oracle, opts);
+    EXPECT_TRUE(contains(rejected, "\"ok\":false")) << rejected;
+    EXPECT_TRUE(contains(rejected, "\"aborted\":\"query-too-long\""))
+        << rejected;
+}
+
+TEST(QueryServerLimits, ZeroDisablesEveryLimit)
+{
+    PolicyOracle oracle("lru", 4);
+    ServerOptions opts;
+    opts.limits.maxLineBytes = 0;
+    opts.limits.maxQueriesPerLine = 0;
+    opts.limits.maxStepsPerQuery = 0;
+    opts.limits.maxAccessesPerRequest = 0;
+    opts.limits.timeoutMillis = 0;
+    std::string line;
+    for (int i = 0; i < 200; ++i)
+        line += "a b c d e f ";
+    line += "a?";
+    EXPECT_TRUE(contains(respondLine(line, oracle, opts),
+                         "\"ok\":true"));
+}
+
+TEST(QueryServerLimits, AccessBudgetAbortsMidRequest)
+{
+    PolicyOracle oracle("lru", 4);
+    ServerOptions opts;
+    // Naive batches re-check the budget before every query; the
+    // prefix-sharing path checks at batch entry.
+    opts.batch.prefixSharing = false;
+    opts.limits.maxAccessesPerRequest = 10;
+    // One short query fits the budget.
+    EXPECT_TRUE(contains(respondLine("a b a?", oracle, opts),
+                         "\"ok\":true"));
+    // A batch that would cost far more than 10 accesses aborts with a
+    // structured response...
+    const std::string aborted = respondLine(
+        "a b c d e f a? ; a b c d e f g b? ; a b c d e f g h c?",
+        oracle, opts);
+    EXPECT_TRUE(contains(aborted, "\"ok\":false")) << aborted;
+    EXPECT_TRUE(contains(aborted, "\"aborted\":\"access-budget\""))
+        << aborted;
+    // ...and the session keeps serving.
+    EXPECT_TRUE(contains(respondLine(":ways", oracle, opts),
+                         "\"ways\":4"));
+}
+
+TEST(QueryServerLimits, ScriptedClockTripsTheTimeout)
+{
+    PolicyOracle oracle("lru", 4);
+    ServerOptions opts;
+    opts.limits.timeoutMillis = 50;
+    // A scripted clock that jumps far past the deadline after the
+    // first reading: the first checkpoint inside evaluation trips.
+    auto now = std::make_shared<uint64_t>(0);
+    opts.clock = [now] {
+        const uint64_t t = *now;
+        *now += 1000;
+        return t;
+    };
+    const std::string aborted =
+        respondLine("a b c d a?", oracle, opts);
+    EXPECT_TRUE(contains(aborted, "\"ok\":false")) << aborted;
+    EXPECT_TRUE(contains(aborted, "\"aborted\":\"timeout\""))
+        << aborted;
+    EXPECT_TRUE(contains(aborted, "50")) << aborted;
+
+    // A well-behaved clock under the same limit answers fine.
+    opts.clock = [] { return uint64_t{7}; };
+    EXPECT_TRUE(contains(respondLine("a b c d a?", oracle, opts),
+                         "\"ok\":true"));
+}
+
+TEST(QueryServerLimits, TimeoutAbortsAMachineOracleSessionCleanly)
+{
+    // The machine oracle funnels every experiment batch (one per
+    // flush-delimited segment) through the checkpoint, so a timeout
+    // mid-measurement surfaces as the same structured error and
+    // leaves the session usable for later requests.
+    const auto spec =
+        hw::reducedSpec(hw::catalogMachine("core2-e6300"), 64);
+    hw::Machine machine(spec, 1);
+    infer::MeasurementContext ctx(machine);
+    const auto geom = infer::assumedGeometry(spec);
+    query::MachineOracle oracle(ctx, geom, 0);
+
+    ServerOptions opts;
+    opts.limits.timeoutMillis = 10;
+    // The clock advances 4 ms per reading: a one-segment request
+    // stays under the deadline, a many-segment request crosses it at
+    // its third checkpoint.
+    auto now = std::make_shared<uint64_t>(0);
+    opts.clock = [now] { return *now += 4; };
+
+    std::istringstream in("a b c a?\n"
+                          "a? @ b? @ c? @ d? @ e?\n"
+                          "f g f?\n"
+                          ":quit\n");
+    std::ostringstream out;
+    runSession(in, out, oracle, opts);
+    std::vector<std::string> lines;
+    std::istringstream parsed(out.str());
+    for (std::string line; std::getline(parsed, line);)
+        lines.push_back(line);
+    ASSERT_EQ(lines.size(), 4u);
+    EXPECT_TRUE(contains(lines[0], "\"ok\":true")) << lines[0];
+    EXPECT_TRUE(contains(lines[1], "\"aborted\":\"timeout\""))
+        << lines[1];
+    EXPECT_TRUE(contains(lines[2], "\"ok\":true")) << lines[2];
+    EXPECT_TRUE(contains(lines[3], "\"bye\":true")) << lines[3];
 }
 
 int
