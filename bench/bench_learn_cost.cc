@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Experiment L1 — Query cost of active policy learning.
+ *
+ * For catalog policies across associativities, run the L* learner
+ * against the replay-exact policy oracle and report the size of the
+ * recovered automaton and what it cost: membership words, accesses
+ * with the prefix-sharing batch evaluator, accesses when sharing is
+ * disabled, and the resulting saving. A second table shows the
+ * designed degradation: configurations whose state space exceeds the
+ * budget end in a clean abstention, never a wrong machine.
+ *
+ * Reported alongside wall-clock timings of representative learning
+ * sessions (concrete semantics at 4 ways, recency roles at 8 ways).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "recap/common/table.hh"
+#include "recap/learn/lstar.hh"
+#include "recap/learn/teacher.hh"
+#include "recap/policy/factory.hh"
+#include "recap/query/oracle.hh"
+
+namespace
+{
+
+using namespace recap;
+using learn::LearnOptions;
+using learn::LearnOutcome;
+using learn::LearnResult;
+using learn::SymbolSemantics;
+
+struct LearnCost
+{
+    LearnResult result;
+    uint64_t accesses = 0;
+};
+
+LearnCost
+learnOnce(const std::string& spec, unsigned ways,
+          const LearnOptions& options, bool prefixSharing)
+{
+    query::PolicyOracle oracle(spec, ways);
+    query::BatchOptions batch;
+    batch.prefixSharing = prefixSharing;
+    learn::OracleTeacher teacher(oracle, batch);
+    learn::LStarLearner learner(teacher, options);
+    LearnCost cost;
+    cost.result = learner.run();
+    cost.accesses = teacher.accessesUsed();
+    return cost;
+}
+
+std::string
+semanticsName(SymbolSemantics semantics)
+{
+    return semantics == SymbolSemantics::kRecencyRoles ? "roles"
+                                                       : "concrete";
+}
+
+void
+printCostTable()
+{
+    std::cout << "====================================================\n";
+    std::cout << " L1: query cost of active policy learning\n";
+    std::cout << "====================================================\n\n";
+
+    struct Config
+    {
+        const char* spec;
+        unsigned ways;
+        SymbolSemantics semantics;
+    };
+    const Config configs[] = {
+        {"lru", 2, SymbolSemantics::kConcreteBlocks},
+        {"fifo", 2, SymbolSemantics::kConcreteBlocks},
+        {"plru", 2, SymbolSemantics::kConcreteBlocks},
+        {"nru", 2, SymbolSemantics::kConcreteBlocks},
+        {"bip", 2, SymbolSemantics::kConcreteBlocks},
+        {"qlru:H1,M1,R0,U2", 2, SymbolSemantics::kConcreteBlocks},
+        {"lru", 3, SymbolSemantics::kConcreteBlocks},
+        {"fifo", 3, SymbolSemantics::kConcreteBlocks},
+        {"lru", 4, SymbolSemantics::kConcreteBlocks},
+        {"plru", 4, SymbolSemantics::kConcreteBlocks},
+        {"slru:1", 4, SymbolSemantics::kConcreteBlocks},
+        {"lru", 4, SymbolSemantics::kRecencyRoles},
+        {"lru", 6, SymbolSemantics::kRecencyRoles},
+        {"lru", 8, SymbolSemantics::kRecencyRoles},
+    };
+
+    TextTable table({"policy", "k", "semantics", "states", "words",
+                     "accesses shared", "accesses naive", "saving"});
+    for (const auto& config : configs) {
+        if (!policy::specSupportsWays(config.spec, config.ways))
+            continue;
+        LearnOptions options;
+        options.semantics = config.semantics;
+        const auto shared =
+            learnOnce(config.spec, config.ways, options, true);
+        const auto naive =
+            learnOnce(config.spec, config.ways, options, false);
+        if (shared.result.outcome != LearnOutcome::kLearned) {
+            table.addRow({config.spec, std::to_string(config.ways),
+                          semanticsName(config.semantics),
+                          "abstained", "-", "-", "-", "-"});
+            continue;
+        }
+        table.addRow(
+            {config.spec, std::to_string(config.ways),
+             semanticsName(config.semantics),
+             std::to_string(shared.result.states),
+             std::to_string(shared.result.membershipWords),
+             std::to_string(shared.accesses),
+             std::to_string(naive.accesses),
+             formatPercent(1.0 - static_cast<double>(shared.accesses) /
+                                     static_cast<double>(
+                                         naive.accesses))});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+}
+
+void
+printAbstentionTable()
+{
+    std::cout << " L1b: state-space walls end in abstention\n\n";
+
+    TextTable table({"policy", "k", "semantics", "budget", "outcome"});
+    struct Config
+    {
+        const char* spec;
+        unsigned ways;
+        SymbolSemantics semantics;
+    };
+    // LRU's concrete space at 8 ways has ~3.6e5 states; PLRU/FIFO
+    // embed way order, so even the role quotient blows up.
+    const Config configs[] = {
+        {"lru", 8, SymbolSemantics::kConcreteBlocks},
+        {"plru", 8, SymbolSemantics::kRecencyRoles},
+        {"fifo", 8, SymbolSemantics::kRecencyRoles},
+    };
+    for (const auto& config : configs) {
+        LearnOptions options;
+        options.semantics = config.semantics;
+        options.maxStates = 256;
+        options.maxWords = 200000;
+        const auto cost =
+            learnOnce(config.spec, config.ways, options, true);
+        table.addRow(
+            {config.spec, std::to_string(config.ways),
+             semanticsName(config.semantics),
+             "256 states / 200k words",
+             cost.result.outcome == LearnOutcome::kLearned
+                 ? "learned " + std::to_string(cost.result.states) +
+                       " states"
+                 : "abstained: " + cost.result.diagnostics});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+}
+
+void
+BM_LearnConcreteLru4(benchmark::State& state)
+{
+    for (auto unused : state) {
+        LearnOptions options;
+        benchmark::DoNotOptimize(
+            learnOnce("lru", 4, options, true).accesses);
+        (void)unused;
+    }
+}
+BENCHMARK(BM_LearnConcreteLru4)->Unit(benchmark::kMillisecond);
+
+void
+BM_LearnRolesLru8(benchmark::State& state)
+{
+    for (auto unused : state) {
+        LearnOptions options;
+        options.semantics = SymbolSemantics::kRecencyRoles;
+        benchmark::DoNotOptimize(
+            learnOnce("lru", 8, options, true).accesses);
+        (void)unused;
+    }
+}
+BENCHMARK(BM_LearnRolesLru8)->Unit(benchmark::kMillisecond);
+
+void
+BM_LearnSlru4NoSharing(benchmark::State& state)
+{
+    for (auto unused : state) {
+        LearnOptions options;
+        benchmark::DoNotOptimize(
+            learnOnce("slru:1", 4, options, false).accesses);
+        (void)unused;
+    }
+}
+BENCHMARK(BM_LearnSlru4NoSharing)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    printCostTable();
+    printAbstentionTable();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

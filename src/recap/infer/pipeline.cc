@@ -3,10 +3,14 @@
 #include <algorithm>
 #include <exception>
 
+#include "recap/common/parallel.hh"
 #include "recap/common/rng.hh"
 #include "recap/infer/naming.hh"
+#include "recap/learn/learned_policy.hh"
+#include "recap/learn/teacher.hh"
 #include "recap/policy/factory.hh"
 #include "recap/policy/set_model.hh"
+#include "recap/query/oracle.hh"
 
 namespace recap::infer
 {
@@ -47,6 +51,55 @@ measureAgreement(SetProber& prober,
 
 namespace
 {
+
+/**
+ * Step 3: active automata learning, the beyond-family fallback.
+ * Runs when neither permutation inference nor candidate search
+ * produced a verdict. On convergence it overwrites the level's
+ * non-answer with the learned automaton (and measures its
+ * agreement, so the robust gate still applies); on abstention it
+ * appends the learner's reason to the diagnostics and leaves the
+ * prior verdict in place.
+ */
+void
+tryLearnEscalation(SetProber& prober, LevelReport& lvl,
+                   const InferenceOptions& opts, unsigned level,
+                   uint64_t seedSalt)
+{
+    if (!opts.learning.enabled)
+        return;
+
+    query::MachineOracle oracle(prober);
+    learn::OracleTeacher teacher(oracle);
+    learn::LearnOptions lo = opts.learning.learner;
+    lo.seed = deriveTaskSeed(opts.seed + 77 * level, seedSalt);
+    learn::LStarLearner learner(teacher, lo);
+    const learn::LearnResult result = learner.run();
+
+    lvl.learnerQueries = result.membershipWords;
+    lvl.confidence = std::min(lvl.confidence,
+                              result.teacherConfidence);
+    if (result.outcome != learn::LearnOutcome::kLearned) {
+        if (!lvl.diagnostics.empty())
+            lvl.diagnostics += "; ";
+        lvl.diagnostics += "learner abstained: " +
+                           result.diagnostics;
+        return;
+    }
+
+    lvl.learned = true;
+    lvl.learnedStates = result.states;
+    lvl.learnedEqConfidence = result.equivalenceConfidence;
+    lvl.outcome = LevelOutcome::kDecided;
+    lvl.verdict = "learned automaton (" +
+                  std::to_string(result.states) + " states)";
+    const learn::LearnedPolicy model(prober.ways(), result.machine,
+                                     result.semantics,
+                                     "Learned automaton");
+    lvl.agreement =
+        measureAgreement(prober, model, opts.agreementRounds,
+                         opts.seed + level + seedSalt);
+}
 
 /** The inferLevelAt body; may throw, the wrapper catches. */
 LevelReport
@@ -120,6 +173,8 @@ inferLevelAtImpl(MeasurementContext& ctx,
             lvl.diagnostics += "; permutation inference: " +
                                perm_result.diagnostics;
         }
+        // Step 3: the policy may simply be outside the family.
+        tryLearnEscalation(prober, lvl, opts, level, seedSalt);
         return finish(lvl);
     }
     if (search_result.verdict.empty()) {
@@ -128,9 +183,13 @@ inferLevelAtImpl(MeasurementContext& ctx,
             lvl.verdict = "undetermined";
             lvl.diagnostics = "permutation inference: " +
                               perm_result.diagnostics;
+            tryLearnEscalation(prober, lvl, opts, level, seedSalt);
             return finish(lvl);
         }
         lvl.verdict = "unidentified (no candidate matched)";
+        lvl.diagnostics = "every candidate family member eliminated";
+        // Step 3: learn the out-of-family policy from scratch.
+        tryLearnEscalation(prober, lvl, opts, level, seedSalt);
         return finish(lvl);
     }
 

@@ -15,6 +15,7 @@
 #include "recap/infer/candidate_search.hh"
 #include "recap/infer/geometry_probe.hh"
 #include "recap/infer/permutation_infer.hh"
+#include "recap/learn/lstar.hh"
 
 namespace recap::infer
 {
@@ -52,6 +53,45 @@ struct RobustOptions
     bool calibrateLatency = false;
 };
 
+/**
+ * Escalation to active automata learning (recap::learn) when the
+ * target's policy is outside the candidate family: instead of a bare
+ * "unidentified", the pipeline runs the L* learner against the
+ * probed set and, when it converges, reports the learned automaton
+ * as the level's model (state count, query cost, equivalence
+ * confidence). The learner abstains — never guesses — so an
+ * undetermined verdict stays undetermined on noisy or oversized
+ * targets.
+ */
+struct PolicyLearningOptions
+{
+    /** Escalate when neither inference path reached a verdict. */
+    bool enabled = true;
+
+    /**
+     * Learner configuration. `seed` is overridden per level from the
+     * pipeline seed (deriveTaskSeed); the budget defaults here are
+     * deliberately far below learn::LearnOptions' library defaults
+     * because every membership word is a real measured experiment on
+     * the machine backend.
+     */
+    learn::LearnOptions learner{
+        .alphabet = 0,
+        .semantics = learn::SymbolSemantics::kConcreteBlocks,
+        .seed = 1,
+        .numThreads = 1,
+        .maxWords = 200'000,
+        .maxStates = 512,
+        .maxRounds = 512,
+        .randomWordsPerRound = 128,
+        .randomWordLength = 0,
+        .wMethod = true,
+        .wMethodDepth = 1,
+        .wMethodMaxWords = 100'000,
+        .minConfidence = 0.0,
+    };
+};
+
 /** Options for the full pipeline. */
 struct InferenceOptions
 {
@@ -71,6 +111,9 @@ struct InferenceOptions
 
     /** Robust measurement (adaptive voting, quorums, calibration). */
     RobustOptions robust;
+
+    /** Automata-learning escalation for out-of-family policies. */
+    PolicyLearningOptions learning;
 
     uint64_t seed = 99;
 };
@@ -126,6 +169,18 @@ struct LevelReport
 
     /** Loads issued for this level's policy inference. */
     uint64_t loadsUsed = 0;
+
+    /** True when the verdict is a learned automaton (learn::). */
+    bool learned = false;
+
+    /** States of the learned automaton (when learned). */
+    unsigned learnedStates = 0;
+
+    /** Membership words the learning escalation spent (if it ran). */
+    uint64_t learnerQueries = 0;
+
+    /** Equivalence confidence of the learned automaton. */
+    double learnedEqConfidence = 0.0;
 };
 
 /** Whole-machine inference result. */

@@ -48,7 +48,8 @@ printMachineReport(std::ostream& os, const MachineReport& report,
         std::string method = lvl.adaptive
             ? "set-dueling detect"
             : (lvl.isPermutation ? "permutation infer"
-                                 : "candidate search");
+                                 : (lvl.learned ? "automata learning"
+                                                : "candidate search"));
         std::vector<std::string> row{
             lvl.levelName,
             lvl.geometry.toGeometry().describe(),
@@ -63,6 +64,14 @@ printMachineReport(std::ostream& os, const MachineReport& report,
         table.addRow(std::move(row));
     }
     table.print(os);
+    for (const auto& lvl : report.levels) {
+        if (!lvl.learned)
+            continue;
+        os << "\n" << lvl.levelName << " learned automaton: "
+           << lvl.learnedStates << " states, "
+           << lvl.learnerQueries << " membership words, equivalence "
+           << "confidence " << formatPercent(lvl.learnedEqConfidence);
+    }
     if (anyUndetermined) {
         for (const auto& lvl : report.levels) {
             if (lvl.outcome != LevelOutcome::kUndetermined)

@@ -1,0 +1,360 @@
+#include "recap/learn/mealy.hh"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <numeric>
+#include <sstream>
+#include <unordered_map>
+
+#include "recap/common/error.hh"
+#include "recap/policy/set_model.hh"
+
+namespace recap::learn
+{
+
+MealyMachine::MealyMachine(unsigned numStates, unsigned alphabet)
+    : numStates_(numStates), alphabet_(alphabet)
+{
+    require(numStates >= 1, "MealyMachine: need at least one state");
+    require(alphabet >= 1, "MealyMachine: need at least one symbol");
+    next_.resize(static_cast<std::size_t>(numStates) * alphabet);
+    output_.resize(next_.size(), false);
+    for (unsigned s = 0; s < numStates; ++s)
+        for (unsigned a = 0; a < alphabet; ++a)
+            next_[static_cast<std::size_t>(s) * alphabet + a] = s;
+}
+
+void
+MealyMachine::setTransition(unsigned state, Symbol symbol,
+                            unsigned next, bool output)
+{
+    require(state < numStates_ && next < numStates_ &&
+                symbol < alphabet_,
+            "MealyMachine::setTransition: out of range");
+    const std::size_t i =
+        static_cast<std::size_t>(state) * alphabet_ + symbol;
+    next_[i] = next;
+    output_[i] = output;
+}
+
+unsigned
+MealyMachine::next(unsigned state, Symbol symbol) const
+{
+    require(state < numStates_ && symbol < alphabet_,
+            "MealyMachine::next: out of range");
+    return next_[static_cast<std::size_t>(state) * alphabet_ + symbol];
+}
+
+bool
+MealyMachine::output(unsigned state, Symbol symbol) const
+{
+    require(state < numStates_ && symbol < alphabet_,
+            "MealyMachine::output: out of range");
+    return output_[static_cast<std::size_t>(state) * alphabet_ +
+                   symbol];
+}
+
+std::vector<bool>
+MealyMachine::run(const Word& word) const
+{
+    std::vector<bool> outputs;
+    outputs.reserve(word.size());
+    unsigned state = 0;
+    for (Symbol symbol : word) {
+        outputs.push_back(output(state, symbol));
+        state = next(state, symbol);
+    }
+    return outputs;
+}
+
+bool
+MealyMachine::lastOutput(const Word& word) const
+{
+    require(!word.empty(), "MealyMachine::lastOutput: empty word");
+    unsigned state = 0;
+    for (std::size_t i = 0; i + 1 < word.size(); ++i)
+        state = next(state, word[i]);
+    return output(state, word.back());
+}
+
+namespace
+{
+
+/** Reachable states in BFS order (ascending-symbol exploration). */
+std::vector<unsigned>
+bfsOrder(const MealyMachine& m)
+{
+    std::vector<unsigned> order;
+    std::vector<bool> seen(m.numStates(), false);
+    std::deque<unsigned> frontier{0};
+    seen[0] = true;
+    while (!frontier.empty()) {
+        const unsigned state = frontier.front();
+        frontier.pop_front();
+        order.push_back(state);
+        for (Symbol a = 0; a < m.alphabet(); ++a) {
+            const unsigned succ = m.next(state, a);
+            if (!seen[succ]) {
+                seen[succ] = true;
+                frontier.push_back(succ);
+            }
+        }
+    }
+    return order;
+}
+
+} // namespace
+
+MealyMachine
+MealyMachine::minimized() const
+{
+    const std::vector<unsigned> reachable = bfsOrder(*this);
+
+    // Moore partition refinement on the reachable part: start from
+    // the per-state output signature, split by successor-class
+    // signatures until stable.
+    std::vector<int> classOf(numStates_, -1);
+    {
+        std::map<std::vector<bool>, int> bySignature;
+        for (unsigned state : reachable) {
+            std::vector<bool> sig(alphabet_);
+            for (Symbol a = 0; a < alphabet_; ++a)
+                sig[a] = output(state, a);
+            const auto [it, inserted] = bySignature.try_emplace(
+                sig, static_cast<int>(bySignature.size()));
+            (void)inserted;
+            classOf[state] = it->second;
+        }
+    }
+    for (;;) {
+        std::map<std::vector<int>, int> byKey;
+        std::vector<int> nextClass(numStates_, -1);
+        for (unsigned state : reachable) {
+            std::vector<int> key{classOf[state]};
+            for (Symbol a = 0; a < alphabet_; ++a)
+                key.push_back(classOf[next(state, a)]);
+            const auto [it, inserted] = byKey.try_emplace(
+                key, static_cast<int>(byKey.size()));
+            (void)inserted;
+            nextClass[state] = it->second;
+        }
+        bool changed = false;
+        for (unsigned state : reachable)
+            changed |= nextClass[state] != classOf[state];
+        classOf = std::move(nextClass);
+        if (!changed)
+            break;
+    }
+
+    // Canonical numbering: BFS over classes from the initial class.
+    const unsigned numClasses = 1 + *std::max_element(
+        classOf.begin(), classOf.end());
+    std::vector<unsigned> representative(numClasses);
+    for (auto it = reachable.rbegin(); it != reachable.rend(); ++it)
+        representative[classOf[*it]] = *it;
+    std::vector<int> renumber(numClasses, -1);
+    std::deque<int> frontier{classOf[0]};
+    renumber[classOf[0]] = 0;
+    unsigned assigned = 1;
+    std::vector<int> bfsClasses{classOf[0]};
+    while (!frontier.empty()) {
+        const int cls = frontier.front();
+        frontier.pop_front();
+        const unsigned rep = representative[cls];
+        for (Symbol a = 0; a < alphabet_; ++a) {
+            const int succ = classOf[next(rep, a)];
+            if (renumber[succ] < 0) {
+                renumber[succ] = static_cast<int>(assigned++);
+                frontier.push_back(succ);
+                bfsClasses.push_back(succ);
+            }
+        }
+    }
+
+    MealyMachine result(assigned, alphabet_);
+    for (int cls : bfsClasses) {
+        const unsigned rep = representative[cls];
+        for (Symbol a = 0; a < alphabet_; ++a) {
+            result.setTransition(
+                static_cast<unsigned>(renumber[cls]), a,
+                static_cast<unsigned>(renumber[classOf[next(rep, a)]]),
+                output(rep, a));
+        }
+    }
+    return result;
+}
+
+bool
+MealyMachine::isomorphicTo(const MealyMachine& other) const
+{
+    if (alphabet_ != other.alphabet_)
+        return false;
+    // Parallel BFS building the bijection; any conflict refutes.
+    std::vector<int> toOther(numStates_, -1);
+    std::vector<int> toThis(other.numStates_, -1);
+    toOther[0] = 0;
+    toThis[0] = 0;
+    std::deque<unsigned> frontier{0};
+    while (!frontier.empty()) {
+        const unsigned a = frontier.front();
+        frontier.pop_front();
+        const unsigned b = static_cast<unsigned>(toOther[a]);
+        for (Symbol sym = 0; sym < alphabet_; ++sym) {
+            if (output(a, sym) != other.output(b, sym))
+                return false;
+            const unsigned na = next(a, sym);
+            const unsigned nb = other.next(b, sym);
+            if (toOther[na] < 0 && toThis[nb] < 0) {
+                toOther[na] = static_cast<int>(nb);
+                toThis[nb] = static_cast<int>(na);
+                frontier.push_back(na);
+            } else if (toOther[na] != static_cast<int>(nb) ||
+                       toThis[nb] != static_cast<int>(na)) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+Word
+MealyMachine::distinguishingWord(const MealyMachine& other) const
+{
+    require(alphabet_ == other.alphabet_,
+            "distinguishingWord: alphabet mismatch");
+    // BFS over the product; parent pointers reconstruct the word.
+    struct Visit
+    {
+        uint64_t parent;
+        Symbol symbol;
+    };
+    const uint64_t width = other.numStates_;
+    std::unordered_map<uint64_t, Visit> visited;
+    std::deque<uint64_t> frontier;
+    const auto pack = [width](unsigned a, unsigned b) {
+        return static_cast<uint64_t>(a) * width + b;
+    };
+    visited.emplace(pack(0, 0), Visit{UINT64_MAX, 0});
+    frontier.push_back(pack(0, 0));
+    while (!frontier.empty()) {
+        const uint64_t key = frontier.front();
+        frontier.pop_front();
+        const unsigned a = static_cast<unsigned>(key / width);
+        const unsigned b = static_cast<unsigned>(key % width);
+        for (Symbol sym = 0; sym < alphabet_; ++sym) {
+            if (output(a, sym) != other.output(b, sym)) {
+                Word word{sym};
+                uint64_t at = key;
+                while (visited.at(at).parent != UINT64_MAX) {
+                    word.push_back(visited.at(at).symbol);
+                    at = visited.at(at).parent;
+                }
+                std::reverse(word.begin(), word.end());
+                return word;
+            }
+            const uint64_t succ =
+                pack(next(a, sym), other.next(b, sym));
+            if (visited.emplace(succ, Visit{key, sym}).second)
+                frontier.push_back(succ);
+        }
+    }
+    return {};
+}
+
+std::string
+MealyMachine::toDot(const std::string& title) const
+{
+    std::ostringstream os;
+    os << "digraph mealy {\n"
+       << "    rankdir=LR;\n"
+       << "    node [shape=circle, fontname=\"Helvetica\"];\n"
+       << "    edge [fontname=\"Helvetica\", fontsize=10];\n";
+    if (!title.empty())
+        os << "    label=\"" << title << "\"; labelloc=t;\n";
+    os << "    init [shape=point];\n    init -> s0;\n";
+    for (unsigned state : bfsOrder(*this)) {
+        // Merge parallel edges onto one arrow per (state, successor).
+        std::map<unsigned, std::vector<std::string>> edges;
+        for (Symbol a = 0; a < alphabet_; ++a) {
+            edges[next(state, a)].push_back(
+                "b" + std::to_string(a + 1) + "/" +
+                (output(state, a) ? "hit" : "miss"));
+        }
+        for (const auto& [succ, labels] : edges) {
+            os << "    s" << state << " -> s" << succ << " [label=\"";
+            for (std::size_t i = 0; i < labels.size(); ++i)
+                os << (i ? "\\n" : "") << labels[i];
+            os << "\"];\n";
+        }
+    }
+    os << "}\n";
+    return os.str();
+}
+
+MealyMachine
+automatonOfPolicy(const policy::ReplacementPolicy& policy,
+                  unsigned alphabet, uint64_t maxStates)
+{
+    require(alphabet >= 1, "automatonOfPolicy: empty alphabet");
+
+    // A state is the concrete (contents, policy-state) pair. The
+    // SetModel's stateKey canonicalizes block *renaming*, which is
+    // exactly what must NOT be merged here: two states with the same
+    // shape but different concrete blocks transition differently on
+    // a concrete symbol. The key therefore appends the concrete
+    // per-way contents.
+    const auto keyOf = [](const policy::SetModel& model) {
+        std::string key = model.stateKey();
+        key += '|';
+        for (policy::Way w = 0; w < model.ways(); ++w) {
+            if (model.isValid(w))
+                key += std::to_string(model.blockAt(w));
+            key += ',';
+        }
+        return key;
+    };
+
+    policy::SetModel initial(policy.clone());
+    initial.flush();
+
+    std::unordered_map<std::string, unsigned> stateIds;
+    std::vector<policy::SetModel> states;
+    stateIds.emplace(keyOf(initial), 0);
+    states.push_back(initial);
+
+    struct Edge
+    {
+        unsigned from;
+        Symbol symbol;
+        unsigned to;
+        bool hit;
+    };
+    std::vector<Edge> edges;
+
+    for (unsigned at = 0; at < states.size(); ++at) {
+        for (Symbol a = 0; a < alphabet; ++a) {
+            policy::SetModel succ = states[at];
+            const bool hit =
+                succ.access(static_cast<policy::BlockId>(a) + 1);
+            const std::string key = keyOf(succ);
+            auto [it, inserted] = stateIds.try_emplace(
+                key, static_cast<unsigned>(states.size()));
+            if (inserted) {
+                require(states.size() < maxStates,
+                        "automatonOfPolicy: state budget exceeded "
+                        "(stochastic or non-finite policy?)");
+                states.push_back(std::move(succ));
+            }
+            edges.push_back({at, a, it->second, hit});
+        }
+    }
+
+    MealyMachine machine(static_cast<unsigned>(states.size()),
+                         alphabet);
+    for (const Edge& e : edges)
+        machine.setTransition(e.from, e.symbol, e.to, e.hit);
+    return machine;
+}
+
+} // namespace recap::learn

@@ -1,0 +1,209 @@
+#include "recap/learn/observation_table.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "recap/common/error.hh"
+
+namespace recap::learn
+{
+
+ObservationTable::ObservationTable(unsigned alphabet)
+    : alphabet_(alphabet)
+{
+    require(alphabet >= 1, "ObservationTable: empty alphabet");
+    prefixes_.push_back({});
+    for (Symbol a = 0; a < alphabet; ++a)
+        suffixes_.push_back({a});
+}
+
+bool
+ObservationTable::refreshRow(const Word& row, RowCache& cache,
+                             std::vector<Word>* missing) const
+{
+    // Cells are answered by whole-word recordings (every prefix of an
+    // answered word is recorded), so cell (row, e) is known iff every
+    // prefix row·e[:j] is. The key only grows in suffix order, so it
+    // advances up to the first gap; later suffixes are still scanned
+    // to batch all of the row's missing words at once.
+    bool advancing = true;
+    for (std::size_t idx = cache.suffixesDone;
+         idx < suffixes_.size(); ++idx) {
+        const Word& e = suffixes_[idx];
+        Word word = row;
+        word.reserve(row.size() + e.size());
+        std::string cell;
+        bool known = true;
+        for (Symbol symbol : e) {
+            word.push_back(symbol);
+            const int outcome = store_.lookup(word);
+            if (outcome < 0) {
+                known = false;
+                break;
+            }
+            cell += outcome ? '1' : '0';
+        }
+        if (known) {
+            if (advancing) {
+                cache.key += cell;
+                cache.key += ';';
+                ++cache.suffixesDone;
+            }
+            continue;
+        }
+        advancing = false;
+        if (missing == nullptr)
+            return false;
+        // The full row·e word; answering it records every
+        // intermediate prefix at once.
+        Word full = row;
+        full.insert(full.end(), e.begin(), e.end());
+        missing->push_back(std::move(full));
+    }
+    return advancing && cache.suffixesDone == suffixes_.size();
+}
+
+const std::string&
+ObservationTable::cachedRowKey(const Word& row) const
+{
+    RowCache& cache = rowCache_[row];
+    require(refreshRow(row, cache, nullptr),
+            "ObservationTable: row not filled");
+    return cache.key;
+}
+
+std::vector<Word>
+ObservationTable::missingWords() const
+{
+    std::vector<Word> missing;
+    for (const Word& u : prefixes_) {
+        for (Symbol a = 0; a <= alphabet_; ++a) {
+            Word row = u;
+            if (a < alphabet_)
+                row.push_back(a); // the S·A row
+            refreshRow(row, rowCache_[row], &missing);
+        }
+    }
+    std::sort(missing.begin(), missing.end());
+    missing.erase(std::unique(missing.begin(), missing.end()),
+                  missing.end());
+    return missing;
+}
+
+std::string
+ObservationTable::rowKey(const Word& u) const
+{
+    return cachedRowKey(u);
+}
+
+bool
+ObservationTable::isClosed(Word* witness) const
+{
+    std::set<std::string> shortRows;
+    for (const Word& u : prefixes_)
+        shortRows.insert(cachedRowKey(u));
+    for (const Word& u : prefixes_) {
+        for (Symbol a = 0; a < alphabet_; ++a) {
+            Word ext = u;
+            ext.push_back(a);
+            if (!shortRows.count(cachedRowKey(ext))) {
+                if (witness != nullptr)
+                    *witness = ext;
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+bool
+ObservationTable::isConsistent() const
+{
+    std::map<std::string, Word> byRow;
+    for (const Word& u : prefixes_) {
+        const auto [it, inserted] =
+            byRow.try_emplace(cachedRowKey(u), u);
+        if (inserted)
+            continue;
+        for (Symbol a = 0; a < alphabet_; ++a) {
+            Word ext1 = it->second;
+            Word ext2 = u;
+            ext1.push_back(a);
+            ext2.push_back(a);
+            if (cachedRowKey(ext1) != cachedRowKey(ext2))
+                return false;
+        }
+    }
+    return true;
+}
+
+bool
+ObservationTable::promote(const Word& u)
+{
+    if (std::find(prefixes_.begin(), prefixes_.end(), u) !=
+        prefixes_.end()) {
+        return false;
+    }
+    require(!u.empty(), "ObservationTable::promote: empty word");
+    Word parent(u.begin(), u.end() - 1);
+    require(std::find(prefixes_.begin(), prefixes_.end(), parent) !=
+                prefixes_.end(),
+            "ObservationTable::promote: would break prefix closure");
+    prefixes_.push_back(u);
+    return true;
+}
+
+bool
+ObservationTable::addSuffix(const Word& e)
+{
+    require(!e.empty(), "ObservationTable::addSuffix: empty suffix");
+    if (std::find(suffixes_.begin(), suffixes_.end(), e) !=
+        suffixes_.end()) {
+        return false;
+    }
+    suffixes_.push_back(e);
+    return true;
+}
+
+MealyMachine
+ObservationTable::buildHypothesis(std::vector<Word>* accessWords) const
+{
+    // States = distinct S rows, numbered by first appearance in S
+    // (so state 0 = row(ε), as S starts with ε).
+    std::map<std::string, unsigned> stateOf;
+    std::vector<const Word*> representative;
+    for (const Word& u : prefixes_) {
+        const auto [it, inserted] = stateOf.try_emplace(
+            cachedRowKey(u),
+            static_cast<unsigned>(representative.size()));
+        if (inserted)
+            representative.push_back(&u);
+    }
+
+    MealyMachine machine(
+        static_cast<unsigned>(representative.size()), alphabet_);
+    for (unsigned s = 0; s < representative.size(); ++s) {
+        for (Symbol a = 0; a < alphabet_; ++a) {
+            Word ext = *representative[s];
+            ext.push_back(a);
+            const auto it = stateOf.find(cachedRowKey(ext));
+            require(it != stateOf.end(),
+                    "ObservationTable::buildHypothesis: table is "
+                    "not closed");
+            const int outcome = store_.lookup(ext);
+            require(outcome >= 0,
+                    "ObservationTable::buildHypothesis: cell not "
+                    "filled");
+            machine.setTransition(s, a, it->second, outcome != 0);
+        }
+    }
+    if (accessWords != nullptr) {
+        accessWords->clear();
+        for (const Word* u : representative)
+            accessWords->push_back(*u);
+    }
+    return machine;
+}
+
+} // namespace recap::learn

@@ -1,0 +1,130 @@
+#include "recap/learn/teacher.hh"
+
+#include "recap/common/error.hh"
+
+namespace recap::learn
+{
+
+namespace
+{
+
+/** Compiles a word into an observe-every-position query. */
+query::CompiledQuery
+wordQuery(const Word& word)
+{
+    std::vector<query::BlockId> blocks;
+    blocks.reserve(word.size());
+    for (Symbol symbol : word)
+        blocks.push_back(static_cast<query::BlockId>(symbol) + 1);
+    return query::makeObserveAllQuery(blocks);
+}
+
+} // namespace
+
+OracleTeacher::OracleTeacher(query::QueryOracle& oracle,
+                             const query::BatchOptions& batch)
+    : oracle_(oracle), batch_(batch)
+{}
+
+unsigned
+OracleTeacher::ways() const
+{
+    return oracle_.ways();
+}
+
+std::string
+OracleTeacher::describe() const
+{
+    return "teacher over " + oracle_.describe();
+}
+
+std::vector<TeacherAnswer>
+OracleTeacher::answer(const std::vector<Word>& words)
+{
+    std::vector<query::CompiledQuery> queries;
+    queries.reserve(words.size());
+    for (const Word& word : words) {
+        require(!word.empty(), "OracleTeacher: empty word");
+        queries.push_back(wordQuery(word));
+    }
+
+    const uint64_t expBefore = oracle_.experimentsRun();
+    const uint64_t accBefore = oracle_.accessesIssued();
+    const auto verdicts =
+        oracle_.evaluateBatch(queries, batch_, &stats_);
+    experiments_ += oracle_.experimentsRun() - expBefore;
+    accesses_ += oracle_.accessesIssued() - accBefore;
+    wordsAsked_ += words.size();
+
+    std::vector<TeacherAnswer> answers(words.size());
+    for (std::size_t i = 0; i < words.size(); ++i) {
+        const query::QueryVerdict& verdict = verdicts[i];
+        ensure(verdict.probes.size() == words[i].size(),
+               "OracleTeacher: probe count mismatch");
+        TeacherAnswer& answer = answers[i];
+        answer.outputs.reserve(words[i].size());
+        for (const query::ProbeOutcome& probe : verdict.probes) {
+            answer.outputs.push_back(probe.hit);
+            answer.determined =
+                answer.determined && probe.determined;
+            answer.confidence =
+                std::min(answer.confidence, probe.confidence);
+        }
+    }
+    return answers;
+}
+
+PrefixStore::Recording
+PrefixStore::record(const Word& word, const std::vector<bool>& outputs)
+{
+    require(word.size() == outputs.size(),
+            "PrefixStore::record: length mismatch");
+    Recording recording;
+    Word prefix;
+    prefix.reserve(word.size());
+    for (std::size_t i = 0; i < word.size(); ++i) {
+        prefix.push_back(word[i]);
+        const auto [it, inserted] =
+            outcomes_.try_emplace(prefix, outputs[i]);
+        if (!inserted && it->second != outputs[i]) {
+            recording.consistent = false;
+            recording.conflictAt = i + 1;
+            return recording;
+        }
+    }
+    return recording;
+}
+
+int
+PrefixStore::lookup(const Word& word) const
+{
+    const auto it = outcomes_.find(word);
+    if (it == outcomes_.end())
+        return -1;
+    return it->second ? 1 : 0;
+}
+
+uint64_t
+PrefixStore::countMismatches(const MealyMachine& machine) const
+{
+    uint64_t mismatches = 0;
+    for (const auto& [word, outcome] : outcomes_)
+        if (machine.lastOutput(word) != outcome)
+            ++mismatches;
+    return mismatches;
+}
+
+std::optional<Word>
+PrefixStore::firstMismatch(const MealyMachine& machine) const
+{
+    std::optional<Word> best;
+    for (const auto& [word, outcome] : outcomes_) {
+        if (best && word.size() >= best->size())
+            continue;
+        if (machine.lastOutput(word) != outcome)
+            best = word;
+    }
+    return best;
+}
+
+} // namespace recap::learn

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Tests for the LearnedPolicy adapter: ground-truth automata wrapped
+ * as replacement policies must track the original policy in lockstep
+ * (hit/miss differential over >= 10k accesses, for every catalog
+ * policy), and the adapter must honour the full ReplacementPolicy
+ * contract (clone, reset, stateKey).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "recap/common/error.hh"
+#include "recap/common/rng.hh"
+#include "recap/learn/learned_policy.hh"
+#include "recap/learn/mealy.hh"
+#include "recap/policy/factory.hh"
+#include "recap/policy/set_model.hh"
+
+namespace
+{
+
+using namespace recap;
+using learn::LearnedPolicy;
+using learn::SymbolSemantics;
+
+LearnedPolicy
+adapterOf(const std::string& spec, unsigned ways)
+{
+    const auto policy = policy::makePolicy(spec, ways);
+    return LearnedPolicy(ways,
+                         learn::automatonOfPolicy(*policy, ways + 1),
+                         SymbolSemantics::kConcreteBlocks,
+                         "Learned " + policy->name());
+}
+
+/**
+ * Drives a SetModel over the learned policy and one over the truth
+ * with the same random block stream (universe ways + 3, periodic
+ * flushes) and counts hit/miss disagreements.
+ */
+unsigned
+lockstepMismatches(const policy::ReplacementPolicy& model,
+                   const std::string& truthSpec, unsigned ways,
+                   unsigned accesses, uint64_t seed = 123)
+{
+    policy::SetModel learned(model.clone());
+    policy::SetModel truth(policy::makePolicy(truthSpec, ways));
+    Rng rng(seed);
+    unsigned mismatches = 0;
+    for (unsigned i = 0; i < accesses; ++i) {
+        if (i % 256 == 255) {
+            learned.flush();
+            truth.flush();
+        }
+        const auto block =
+            static_cast<policy::BlockId>(rng.nextBelow(ways + 3) + 1);
+        if (learned.access(block) != truth.access(block))
+            ++mismatches;
+    }
+    return mismatches;
+}
+
+TEST(LearnedPolicy, LockstepAgainstEveryCatalogPolicyAtTwoWays)
+{
+    for (const char* spec :
+         {"lru", "fifo", "plru", "bitplru", "nru", "lip", "bip",
+          "srrip", "brrip", "slru:1", "qlru:H1,M1,R0,U2",
+          "qlru:H1,M3,R0,U2"}) {
+        const auto model = adapterOf(spec, 2);
+        EXPECT_EQ(lockstepMismatches(model, spec, 2, 10000), 0u)
+            << spec;
+    }
+}
+
+TEST(LearnedPolicy, LockstepAtFourWays)
+{
+    for (const char* spec : {"lru", "fifo", "plru", "lip", "slru:1",
+                             "nru", "bitplru"}) {
+        const auto model = adapterOf(spec, 4);
+        EXPECT_EQ(lockstepMismatches(model, spec, 4, 10000), 0u)
+            << spec;
+    }
+}
+
+TEST(LearnedPolicy, RoleSemanticsTracksLruAtEightWays)
+{
+    // The role automaton of LRU: ways + 1 recency-depth states.
+    const unsigned ways = 8;
+    learn::MealyMachine m(ways + 1, ways + 1);
+    for (unsigned depth = 0; depth <= ways; ++depth) {
+        for (unsigned s = 0; s <= ways; ++s) {
+            if (s < depth) {
+                // Rank s re-accesses a seen block: hit, same depth.
+                m.setTransition(depth, s, depth, true);
+            } else {
+                // Fresh (or a rank deeper than anything seen, which
+                // concretizes to a fresh block): miss, deeper.
+                m.setTransition(depth, s,
+                                std::min(depth + 1, ways), false);
+            }
+        }
+    }
+    const LearnedPolicy model(ways, m, SymbolSemantics::kRecencyRoles,
+                              "Learned LRU roles");
+    EXPECT_EQ(lockstepMismatches(model, "lru", ways, 10000), 0u);
+}
+
+TEST(LearnedPolicy, CloneCarriesStateForward)
+{
+    const auto base = adapterOf("lru", 2);
+    policy::SetModel a(base.clone());
+    policy::SetModel b(policy::makePolicy("lru", 2));
+    for (const policy::BlockId block : {1, 2, 3, 1})
+        EXPECT_EQ(a.access(block), b.access(block));
+    // Mid-stream clones must continue identically.
+    policy::SetModel a2(a);
+    policy::SetModel b2(b);
+    for (const policy::BlockId block : {2, 4, 1, 2, 3, 4, 1}) {
+        EXPECT_EQ(a.access(block), b.access(block));
+        EXPECT_EQ(a2.access(block), b2.access(block));
+    }
+}
+
+TEST(LearnedPolicy, ResetRestoresTheInitialState)
+{
+    auto model = adapterOf("plru", 2);
+    const std::string fresh = model.stateKey();
+    model.fill(0);
+    model.touch(0);
+    model.fill(1);
+    EXPECT_NE(model.stateKey(), fresh);
+    model.reset();
+    EXPECT_EQ(model.stateKey(), fresh);
+}
+
+TEST(LearnedPolicy, ReportsNameAndMachine)
+{
+    const auto model = adapterOf("lru", 2);
+    EXPECT_EQ(model.name(), "Learned LRU");
+    EXPECT_EQ(model.semantics(), SymbolSemantics::kConcreteBlocks);
+    EXPECT_GT(model.machine().numStates(), 0u);
+    EXPECT_EQ(model.machine().alphabet(), 3u);
+}
+
+TEST(LearnedPolicy, RequiresLargeEnoughAlphabet)
+{
+    const auto lru = policy::makePolicy("lru", 4);
+    auto machine = learn::automatonOfPolicy(*lru, 4); // ways, not +1
+    EXPECT_THROW(LearnedPolicy(4, std::move(machine),
+                               SymbolSemantics::kConcreteBlocks),
+                 UsageError);
+}
+
+} // namespace

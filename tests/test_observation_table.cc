@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Observation-table invariant tests: fill/closedness/consistency
+ * bookkeeping against a known machine, the prefix-closure discipline,
+ * and the L* invariants (closed + consistent after every refinement,
+ * bounded suffix growth) checked on a real learning run.
+ */
+
+#include <gtest/gtest.h>
+
+#include "recap/common/error.hh"
+#include "recap/learn/lstar.hh"
+#include "recap/learn/observation_table.hh"
+#include "recap/learn/teacher.hh"
+#include "recap/query/oracle.hh"
+
+namespace
+{
+
+using namespace recap;
+using learn::MealyMachine;
+using learn::ObservationTable;
+using learn::Word;
+
+/** s0 --0/miss--> s1, s0 --1/miss--> s0, s1 --0/hit--> s1,
+ *  s1 --1/miss--> s0 (distinguishable by single-symbol suffixes). */
+MealyMachine
+sul()
+{
+    MealyMachine m(2, 2);
+    m.setTransition(0, 0, 1, false);
+    m.setTransition(0, 1, 0, false);
+    m.setTransition(1, 0, 1, true);
+    m.setTransition(1, 1, 0, false);
+    return m;
+}
+
+/** Answers every missing word from @p machine until filled. */
+void
+fillFrom(ObservationTable& table, const MealyMachine& machine)
+{
+    while (true) {
+        const auto missing = table.missingWords();
+        if (missing.empty())
+            break;
+        for (const Word& w : missing) {
+            const auto rec = table.store().record(w, machine.run(w));
+            ASSERT_TRUE(rec.consistent);
+        }
+    }
+}
+
+TEST(ObservationTable, StartsWithEpsilonAndSingleSymbolSuffixes)
+{
+    const ObservationTable table(3);
+    ASSERT_EQ(table.prefixes().size(), 1u);
+    EXPECT_TRUE(table.prefixes()[0].empty());
+    ASSERT_EQ(table.suffixes().size(), 3u);
+    for (unsigned a = 0; a < 3; ++a)
+        EXPECT_EQ(table.suffixes()[a], Word{a});
+    EXPECT_FALSE(table.filled());
+    EXPECT_FALSE(table.missingWords().empty());
+}
+
+TEST(ObservationTable, RejectsEmptyAlphabet)
+{
+    EXPECT_THROW(ObservationTable(0), UsageError);
+}
+
+TEST(ObservationTable, FillCloseAndRebuildTheMachine)
+{
+    ObservationTable table(2);
+    fillFrom(table, sul());
+    EXPECT_TRUE(table.filled());
+
+    // {ε} alone is not closed: row(0) reaches the second state.
+    Word witness;
+    ASSERT_FALSE(table.isClosed(&witness));
+    EXPECT_EQ(witness, Word{0});
+    EXPECT_TRUE(table.promote(witness));
+    fillFrom(table, sul());
+    EXPECT_TRUE(table.isClosed());
+    EXPECT_TRUE(table.isConsistent());
+
+    std::vector<Word> accessWords;
+    const auto hypothesis = table.buildHypothesis(&accessWords);
+    EXPECT_EQ(hypothesis.numStates(), 2u);
+    ASSERT_EQ(accessWords.size(), 2u);
+    EXPECT_TRUE(accessWords[0].empty()); // state 0 = row(ε)
+    EXPECT_TRUE(hypothesis.isomorphicTo(sul()));
+}
+
+TEST(ObservationTable, RowKeysSeparateDistinctStates)
+{
+    ObservationTable table(2);
+    fillFrom(table, sul());
+    table.promote({0});
+    fillFrom(table, sul());
+    EXPECT_NE(table.rowKey({}), table.rowKey({0}));
+    EXPECT_EQ(table.rowKey({}), table.rowKey({1}));
+    EXPECT_EQ(table.rowKey({0}), table.rowKey({0, 0}));
+}
+
+TEST(ObservationTable, PromoteEnforcesPrefixClosure)
+{
+    ObservationTable table(2);
+    // {0, 1} does not extend a current S prefix by one symbol.
+    EXPECT_THROW(table.promote({0, 1}), UsageError);
+    EXPECT_TRUE(table.promote({0}));
+    EXPECT_FALSE(table.promote({0})); // idempotent no-op
+    EXPECT_TRUE(table.promote({0, 1}));
+}
+
+TEST(ObservationTable, AddSuffixDeduplicates)
+{
+    ObservationTable table(2);
+    EXPECT_FALSE(table.addSuffix({0})); // single symbols preseeded
+    EXPECT_TRUE(table.addSuffix({0, 1}));
+    EXPECT_FALSE(table.addSuffix({0, 1}));
+    EXPECT_EQ(table.suffixes().size(), 3u);
+    EXPECT_THROW(table.addSuffix({}), UsageError);
+}
+
+TEST(ObservationTable, AddingSuffixesReopensFilling)
+{
+    ObservationTable table(2);
+    fillFrom(table, sul());
+    ASSERT_TRUE(table.filled());
+    table.addSuffix({1, 0});
+    EXPECT_FALSE(table.filled());
+    fillFrom(table, sul());
+    EXPECT_TRUE(table.filled());
+}
+
+TEST(ObservationTable, BuildHypothesisRequiresFilledTable)
+{
+    const ObservationTable table(2);
+    EXPECT_THROW(table.buildHypothesis(), UsageError);
+}
+
+TEST(ObservationTable, LearnerMaintainsInvariantsAndSuffixBound)
+{
+    // After a real learning session the final table must be filled,
+    // closed, and consistent, with |E| bounded by the preseeded
+    // single-symbol suffixes plus one suffix per refinement (the
+    // Rivest–Schapire discipline adds at most one suffix each).
+    query::PolicyOracle oracle("plru", 4);
+    learn::OracleTeacher teacher(oracle);
+    learn::LStarLearner learner(teacher);
+    const auto result = learner.run();
+    ASSERT_EQ(result.outcome, learn::LearnOutcome::kLearned);
+
+    const ObservationTable& table = learner.table();
+    EXPECT_TRUE(table.filled());
+    EXPECT_TRUE(table.isClosed());
+    EXPECT_TRUE(table.isConsistent());
+    EXPECT_EQ(table.suffixes().size(), result.suffixCount);
+    EXPECT_LE(result.suffixCount,
+              table.alphabet() + result.refinements);
+    EXPECT_GE(table.prefixes().size(),
+              static_cast<std::size_t>(result.states));
+}
+
+} // namespace

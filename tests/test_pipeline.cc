@@ -114,6 +114,58 @@ TEST(Pipeline, DisablingAdaptiveScanStillNamesLeaderPolicy)
         << l3.verdict;
 }
 
+hw::MachineSpec
+singleLevelSpec(const std::string& policy, unsigned ways)
+{
+    hw::MachineSpec spec;
+    spec.name = "rig";
+    spec.description = "single-level rig";
+    hw::CacheLevelSpec lvl;
+    lvl.name = "L1";
+    lvl.capacityBytes = uint64_t{64} * 64 * ways;
+    lvl.ways = ways;
+    lvl.hitLatency = 4;
+    lvl.policySpec = policy;
+    spec.levels = {lvl};
+    spec.memoryLatency = 100;
+    return spec;
+}
+
+TEST(Pipeline, OutOfFamilyPolicyEscalatesToLearner)
+{
+    // bip with throttle 4 is outside the candidate family (the
+    // family's bip uses throttle 32): instead of a bare
+    // "unidentified", the pipeline must learn the automaton.
+    hw::Machine machine(singleLevelSpec("bip:4", 2));
+    InferenceOptions opts;
+    opts.adaptive.windowSets = 16;
+    const auto report = inferMachine(machine, opts);
+    ASSERT_EQ(report.levels.size(), 1u);
+    const auto& lvl = report.levels[0];
+    EXPECT_TRUE(lvl.learned);
+    EXPECT_EQ(lvl.outcome, infer::LevelOutcome::kDecided);
+    EXPECT_NE(lvl.verdict.find("learned automaton"),
+              std::string::npos)
+        << lvl.verdict;
+    EXPECT_EQ(lvl.learnedStates, 28u);
+    EXPECT_GT(lvl.learnerQueries, 0u);
+    EXPECT_GT(lvl.learnedEqConfidence, 0.99);
+    EXPECT_DOUBLE_EQ(lvl.agreement, 1.0);
+}
+
+TEST(Pipeline, LearningEscalationCanBeDisabled)
+{
+    hw::Machine machine(singleLevelSpec("bip:4", 2));
+    InferenceOptions opts;
+    opts.adaptive.windowSets = 16;
+    opts.learning.enabled = false;
+    const auto report = inferMachine(machine, opts);
+    ASSERT_EQ(report.levels.size(), 1u);
+    const auto& lvl = report.levels[0];
+    EXPECT_FALSE(lvl.learned);
+    EXPECT_EQ(lvl.verdict, "unidentified (no candidate matched)");
+}
+
 TEST(Pipeline, AgreementMeasuredAgainstWrongModelIsLow)
 {
     // Sanity-check measureAgreement itself: a FIFO model predicting

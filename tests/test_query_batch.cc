@@ -221,6 +221,45 @@ TEST(QueryBatch, SingletonBatchEqualsEvaluate)
     EXPECT_EQ(batch[0].probes, direct.evaluate(q).probes);
 }
 
+TEST(QueryBatch, ShuffledBatchPreservesInputOrder)
+{
+    // Order-preservation regression: the evaluator sorts internally
+    // for prefix grouping, but verdict i must always belong to
+    // query i. Shuffle the workload and check every index against an
+    // individually evaluated reference, on both backends.
+    auto queries = sharedWorkload();
+    Rng rng(2024);
+    rng.shuffle(queries);
+
+    PolicyOracle policyBatch("slru", 4, /*seed=*/7);
+    PolicyOracle policyRef("slru", 4, /*seed=*/7);
+    const auto verdicts = policyBatch.evaluateBatch(queries);
+    ASSERT_EQ(verdicts.size(), queries.size());
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+        EXPECT_EQ(verdicts[i].probes,
+                  policyRef.evaluate(queries[i]).probes)
+            << "policy backend, index " << i;
+    }
+
+    const auto spec =
+        hw::reducedSpec(hw::catalogMachine("core2-e6300"), 64);
+    hw::Machine shared(spec);
+    hw::Machine naive(spec);
+    MeasurementContext sharedCtx(shared);
+    MeasurementContext naiveCtx(naive);
+    MachineOracle machineBatch(sharedCtx, infer::assumedGeometry(spec),
+                               0);
+    MachineOracle machineRef(naiveCtx, infer::assumedGeometry(spec),
+                             0);
+    const auto measured = machineBatch.evaluateBatch(queries);
+    ASSERT_EQ(measured.size(), queries.size());
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+        EXPECT_EQ(measured[i].probes,
+                  machineRef.evaluate(queries[i]).probes)
+            << "machine backend, index " << i;
+    }
+}
+
 TEST(QueryBatch, LargeGeneratedWorkloadMatchesNaive)
 {
     // Randomized closure: many queries built from a small alphabet so
