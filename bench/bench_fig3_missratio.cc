@@ -14,9 +14,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cmath>
 #include <iostream>
 
+#include "bench_json.hh"
 #include "recap/common/table.hh"
 #include "recap/eval/opt.hh"
 #include "recap/eval/simulate.hh"
@@ -49,11 +51,18 @@ printFigure3()
     headers.push_back("geomean");
     TextTable table(headers);
 
+    benchjson::Writer json("fig3_missratio");
+    json.field("geometry", kGeom.describe());
+    uint64_t simulatedAccesses = 0;
+    const auto sweepStart = std::chrono::steady_clock::now();
+
     // LRU reference row first.
     std::vector<double> lru_ratio;
-    for (const auto& w : suite)
+    for (const auto& w : suite) {
         lru_ratio.push_back(
             eval::simulateTrace(kGeom, "lru", w.trace).missRatio());
+        simulatedAccesses += w.trace.size();
+    }
 
     auto add_row = [&](const std::string& label,
                        const std::vector<double>& ratios) {
@@ -69,9 +78,12 @@ printFigure3()
                 ++counted;
             }
         }
-        row.push_back(formatDouble(
-            counted ? std::exp(log_sum / counted) : 1.0, 3));
+        const double geomean =
+            counted ? std::exp(log_sum / counted) : 1.0;
+        row.push_back(formatDouble(geomean, 3));
         table.addRow(std::move(row));
+        json.row({{"policy", label},
+                  {"geomean_rel_missratio", geomean}});
     };
 
     add_row("LRU (reference)", lru_ratio);
@@ -80,19 +92,32 @@ printFigure3()
                                                        kGeom.ways))
             continue;
         std::vector<double> ratios;
-        for (const auto& w : suite)
+        for (const auto& w : suite) {
             ratios.push_back(
                 eval::simulateTrace(kGeom, spec, w.trace).missRatio());
+            simulatedAccesses += w.trace.size();
+        }
         add_row(policy::makePolicy(spec, kGeom.ways)->name(), ratios);
     }
     {
         std::vector<double> ratios;
-        for (const auto& w : suite)
+        for (const auto& w : suite) {
             ratios.push_back(
                 eval::simulateOpt(kGeom, w.trace).missRatio());
+            simulatedAccesses += w.trace.size();
+        }
         add_row("OPT (offline)", ratios);
     }
     table.print(std::cout);
+
+    const std::chrono::duration<double> sweepElapsed =
+        std::chrono::steady_clock::now() - sweepStart;
+    json.field("simulated_accesses", simulatedAccesses);
+    json.field("seconds", sweepElapsed.count());
+    json.field("accesses_per_sec",
+               simulatedAccesses / sweepElapsed.count());
+    if (const std::string path = json.write(); !path.empty())
+        std::cout << "\nWrote " << path << "\n";
 
     std::cout << "\nAbsolute LRU miss ratios per workload:\n";
     TextTable abs({"workload", "LRU miss ratio"});

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Minimal JSON artifact writer for the benchmark drivers.
+ *
+ * Every bench that reports machine-readable results writes one
+ * `BENCH_<name>.json` file — a flat object of scalar fields plus a
+ * "rows" array of per-series objects — so CI jobs and the
+ * experiment log can consume throughput numbers without scraping
+ * the human-readable tables. Files land in the current working
+ * directory unless RECAP_BENCH_JSON_DIR points elsewhere.
+ */
+
+#ifndef RECAP_BENCH_BENCH_JSON_HH_
+#define RECAP_BENCH_BENCH_JSON_HH_
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace recap::benchjson
+{
+
+/** One JSON scalar: number (double or integer) or string. */
+using Value = std::variant<double, uint64_t, std::string>;
+
+inline std::string
+escaped(const std::string& raw)
+{
+    std::string out;
+    out.reserve(raw.size() + 2);
+    for (const char c : raw) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
+inline std::string
+rendered(const Value& value)
+{
+    if (const auto* d = std::get_if<double>(&value)) {
+        if (!std::isfinite(*d))
+            return "null";
+        std::ostringstream os;
+        os.precision(12);
+        os << *d;
+        return os.str();
+    }
+    if (const auto* u = std::get_if<uint64_t>(&value))
+        return std::to_string(*u);
+    // Built by append: rvalue operator+ chains trip GCC 12's
+    // -Wrestrict false positive (PR105329) under heavy inlining.
+    std::string out = "\"";
+    out += escaped(std::get<std::string>(value));
+    out += '"';
+    return out;
+}
+
+/** One JSON object, insertion-ordered. */
+using Object = std::vector<std::pair<std::string, Value>>;
+
+inline std::string
+renderedObject(const Object& object, const std::string& indent)
+{
+    std::string out = "{";
+    bool first = true;
+    for (const auto& [key, value] : object) {
+        out += first ? "\n" : ",\n";
+        out += indent;
+        out += "  \"";
+        out += escaped(key);
+        out += "\": ";
+        out += rendered(value);
+        first = false;
+    }
+    out += '\n';
+    out += indent;
+    out += '}';
+    return out;
+}
+
+/**
+ * Accumulates scalar fields and per-series rows, then writes
+ * BENCH_<name>.json.
+ */
+class Writer
+{
+  public:
+    explicit Writer(std::string benchName)
+        : name_(std::move(benchName))
+    {}
+
+    void field(std::string key, Value value)
+    {
+        fields_.emplace_back(std::move(key), std::move(value));
+    }
+
+    void row(Object cells) { rows_.push_back(std::move(cells)); }
+
+    std::string path() const
+    {
+        std::string out;
+        if (const char* env = std::getenv("RECAP_BENCH_JSON_DIR")) {
+            out += env;
+            out += '/';
+        }
+        out += "BENCH_";
+        out += name_;
+        out += ".json";
+        return out;
+    }
+
+    /** Writes the file; returns its path ("" on I/O failure). */
+    std::string write() const
+    {
+        std::ofstream out(path());
+        if (!out)
+            return "";
+        out << "{\n  \"bench\": \"" << escaped(name_) << "\"";
+        for (const auto& [key, value] : fields_)
+            out << ",\n  \"" << escaped(key)
+                << "\": " << rendered(value);
+        out << ",\n  \"rows\": [";
+        for (std::size_t i = 0; i < rows_.size(); ++i) {
+            out << (i ? ", " : "") << "\n    "
+                << renderedObject(rows_[i], "    ");
+        }
+        out << "\n  ]\n}\n";
+        return out ? path() : "";
+    }
+
+  private:
+    std::string name_;
+    Object fields_;
+    std::vector<Object> rows_;
+};
+
+} // namespace recap::benchjson
+
+#endif // RECAP_BENCH_BENCH_JSON_HH_

@@ -158,6 +158,24 @@ Cache::setRole(unsigned set) const
     return SetRole::kFollower;
 }
 
+Cache::SetImage
+Cache::setImage(unsigned set) const
+{
+    require(set < geom_.numSets, "Cache::setImage: set out of range");
+    const Set& s = sets_[set];
+    SetImage image;
+    image.tags.assign(geom_.ways, 0);
+    image.valid.assign(geom_.ways, false);
+    for (unsigned w = 0; w < geom_.ways; ++w) {
+        if (s.valid[w]) {
+            image.tags[w] = s.tags[w];
+            image.valid[w] = true;
+        }
+    }
+    image.policyKey = s.policyA->stateKey();
+    return image;
+}
+
 const policy::ReplacementPolicy&
 Cache::decider(unsigned set) const
 {

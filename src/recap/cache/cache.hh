@@ -137,6 +137,19 @@ class Cache
     const std::string& policySpec() const { return specA_; }
     const std::string& policySpecB() const { return specB_; }
 
+    /** Debug snapshot of one set, for differential tests. */
+    struct SetImage
+    {
+        std::vector<uint64_t> tags;  ///< zeroed where invalid
+        std::vector<bool> valid;
+        std::string policyKey;       ///< policy-A stateKey()
+
+        bool operator==(const SetImage&) const = default;
+    };
+
+    /** Snapshot of set @p set. */
+    SetImage setImage(unsigned set) const;
+
   private:
     struct Set
     {

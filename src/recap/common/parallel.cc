@@ -7,6 +7,14 @@
 namespace recap
 {
 
+namespace
+{
+
+/** Set while the current thread executes inside a TaskPool worker. */
+thread_local bool insidePoolWorker = false;
+
+} // namespace
+
 uint64_t
 deriveTaskSeed(uint64_t rootSeed, uint64_t taskIndex)
 {
@@ -103,11 +111,13 @@ TaskPool::workerLoop()
         queueNotFull_.notify_one();
 
         std::exception_ptr error;
+        insidePoolWorker = true;
         try {
             task();
         } catch (...) {
             error = std::current_exception();
         }
+        insidePoolWorker = false;
 
         {
             std::lock_guard<std::mutex> lock(mutex_);
@@ -124,6 +134,23 @@ unsigned
 resolveThreads(unsigned numThreads)
 {
     return numThreads == 0 ? TaskPool::hardwareThreads() : numThreads;
+}
+
+bool
+onPoolWorkerThread()
+{
+    return insidePoolWorker;
+}
+
+TaskPool&
+sharedPool()
+{
+    // Lazily constructed on first hardware-width batch; joined by the
+    // static destructor at process exit. Never touched by explicit
+    // thread-count requests, so tests that exercise pool lifetime
+    // still build their own pools.
+    static TaskPool pool(TaskPool::hardwareThreads());
+    return pool;
 }
 
 void
@@ -157,9 +184,18 @@ parallelFor(std::size_t count, unsigned numThreads,
             const std::function<void(std::size_t)>& body)
 {
     const unsigned n = resolveThreads(numThreads);
-    if (n <= 1 || count <= 1) {
+    if (n <= 1 || count <= 1 || onPoolWorkerThread()) {
+        // Inline serial path. Running inline while already on a pool
+        // worker keeps nested batch calls (a sweep cell that itself
+        // fans out) from deadlocking on their own worker slot.
         for (std::size_t i = 0; i < count; ++i)
             body(i);
+        return;
+    }
+    if (numThreads == 0) {
+        // Hardware-width batches reuse the process-wide pool instead
+        // of spinning workers up and down once per sweep call.
+        parallelFor(sharedPool(), count, body);
         return;
     }
     TaskPool pool(n);

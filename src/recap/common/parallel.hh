@@ -129,15 +129,31 @@ void parallelFor(TaskPool& pool, std::size_t count,
 
 /**
  * Convenience form: resolves @p numThreads (0 = hardwareThreads()),
- * then either runs the loop inline (numThreads <= 1 or count <= 1 —
- * the exact serial path, exceptions propagate unchanged) or spins up
- * a temporary TaskPool.
+ * then either runs the loop inline (numThreads <= 1, count <= 1, or
+ * when called from a pool worker thread — the exact serial path,
+ * exceptions propagate unchanged), on the process-wide sharedPool()
+ * (numThreads == 0, so repeated batch calls stop paying per-call
+ * thread spin-up), or on a temporary TaskPool of the explicit size.
  */
 void parallelFor(std::size_t count, unsigned numThreads,
                  const std::function<void(std::size_t)>& body);
 
 /** Resolves a num_threads knob: 0 means hardwareThreads(). */
 unsigned resolveThreads(unsigned numThreads);
+
+/**
+ * The process-wide hardware-width pool reused by every
+ * `numThreads == 0` parallelFor batch (sweeps, the simulation
+ * kernel, batch query evaluation). Lazily constructed, joined at
+ * process exit. Concurrent batches from different external threads
+ * share it safely (results are slot-indexed), but a batch's wait
+ * also waits out the other batch's tasks — callers needing isolation
+ * pass an explicit thread count.
+ */
+TaskPool& sharedPool();
+
+/** True while the calling thread is executing a TaskPool task. */
+bool onPoolWorkerThread();
 
 } // namespace recap
 

@@ -8,6 +8,7 @@
 
 #include "recap/common/error.hh"
 #include "recap/common/parallel.hh"
+#include "recap/policy/compiled.hh"
 #include "recap/policy/factory.hh"
 #include "recap/policy/set_model.hh"
 
@@ -47,6 +48,101 @@ gameKey(const SetModel& m, BlockId target)
     return key;
 }
 
+/** Compile @p proto under the exploration budget of @p cfg. */
+policy::CompiledTablePtr
+compileForMetric(const policy::ReplacementPolicy& proto,
+                 const PredictabilityConfig& cfg)
+{
+    policy::CompileBudget budget;
+    budget.maxStates = cfg.maxStates;
+    return policy::compilePolicy(proto, budget);
+}
+
+/**
+ * missTurnover over the compiled automaton: the same BFS and the
+ * same turnover simulation, but states are table indices and the
+ * cycle-detection signature packs (state, originals) into one
+ * integer instead of concatenating strings. Requires k <= 32 so the
+ * originals mask fits next to the 32-bit state index.
+ */
+MetricResult
+missTurnoverCompiled(const policy::CompiledTable& table,
+                     const PredictabilityConfig& cfg)
+{
+    const unsigned k = table.ways();
+    MetricResult result;
+
+    const uint32_t* touchNext = table.touchData();
+    const uint32_t* fillNext = table.fillData();
+    const uint16_t* victim = table.victimData();
+
+    // Canonical fill to a full set from the reset state (index 0).
+    uint32_t initial = 0;
+    for (unsigned w = 0; w < k; ++w)
+        initial =
+            fillNext[static_cast<std::size_t>(initial) * k + w];
+
+    std::vector<bool> visited(table.numStates(), false);
+    std::deque<uint32_t> frontier;
+    visited[initial] = true;
+    frontier.push_back(initial);
+
+    uint64_t worst = 0;
+    std::unordered_set<uint64_t> seen;
+
+    while (!frontier.empty()) {
+        const uint32_t state = frontier.front();
+        frontier.pop_front();
+        ++result.statesExplored;
+        if (result.statesExplored > cfg.maxStates) {
+            result.exhaustedBudget = true;
+            return result;
+        }
+
+        // Turnover from this state: consecutive misses until every
+        // currently resident way has been refilled at least once.
+        {
+            uint32_t sim = state;
+            uint64_t originals = (uint64_t{1} << k) - 1;
+            uint64_t count = 0;
+            seen.clear();
+            while (originals != 0) {
+                const uint64_t sig =
+                    (uint64_t{sim} << 32) | originals;
+                if (!seen.insert(sig).second) {
+                    result.unbounded = true;
+                    return result;
+                }
+                const unsigned v = victim[sim];
+                sim = fillNext[static_cast<std::size_t>(sim) * k + v];
+                originals &= ~(uint64_t{1} << v);
+                ++count;
+            }
+            worst = std::max(worst, count);
+        }
+
+        // Successors: touch(w) for each way, plus one filled miss.
+        const std::size_t row = static_cast<std::size_t>(state) * k;
+        for (unsigned w = 0; w < k; ++w) {
+            const uint32_t next = touchNext[row + w];
+            if (!visited[next]) {
+                visited[next] = true;
+                frontier.push_back(next);
+            }
+        }
+        {
+            const uint32_t next = fillNext[row + victim[state]];
+            if (!visited[next]) {
+                visited[next] = true;
+                frontier.push_back(next);
+            }
+        }
+    }
+
+    result.value = worst;
+    return result;
+}
+
 } // namespace
 
 std::string
@@ -65,6 +161,16 @@ missTurnover(const policy::ReplacementPolicy& proto,
              const PredictabilityConfig& cfg)
 {
     const unsigned k = proto.ways();
+
+    // Fast path: walk the compiled automaton with integer states.
+    // Interning by stateKey makes the traversal isomorphic to the
+    // string-keyed one below, so both paths return identical results;
+    // when compilation exceeds the budget, fall through.
+    if (k <= 32) {
+        if (const auto table = compileForMetric(proto, cfg))
+            return missTurnoverCompiled(*table, cfg);
+    }
+
     MetricResult result;
 
     // Enumerate reachable policy states (on a full set, the contents
@@ -133,9 +239,12 @@ missTurnover(const policy::ReplacementPolicy& proto,
     return result;
 }
 
+namespace
+{
+
 MetricResult
-evictBound(const policy::ReplacementPolicy& proto,
-           const PredictabilityConfig& cfg)
+evictBoundImpl(const policy::ReplacementPolicy& proto,
+               const PredictabilityConfig& cfg)
 {
     const unsigned k = proto.ways();
     MetricResult result;
@@ -314,6 +423,24 @@ evictBound(const policy::ReplacementPolicy& proto,
         answer = std::max(answer, comp_value[comp[r]]);
     result.value = answer;
     return result;
+}
+
+} // namespace
+
+MetricResult
+evictBound(const policy::ReplacementPolicy& proto,
+           const PredictabilityConfig& cfg)
+{
+    // The game graph is keyed by set contents plus the policy's
+    // stateKey, which CompiledPolicy forwards verbatim from its
+    // table, so wrapping the prototype changes nothing about the
+    // exploration — it only makes the inner clone/victim/stateKey
+    // calls table lookups instead of per-policy virtual work.
+    if (const auto table = compileForMetric(proto, cfg)) {
+        const policy::CompiledPolicy fast(table);
+        return evictBoundImpl(fast, cfg);
+    }
+    return evictBoundImpl(proto, cfg);
 }
 
 std::vector<PredictabilityRow>

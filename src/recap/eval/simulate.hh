@@ -18,6 +18,11 @@ namespace recap::eval
 /**
  * Simulates @p t against a single-level cache.
  *
+ * Runs on the compiled-automaton batch kernel (eval/kernel.hh)
+ * whenever the policy compiles within the default budget, and on the
+ * interpreted cache::Cache otherwise; both paths produce identical
+ * statistics.
+ *
  * @param geom       Cache geometry.
  * @param policySpec Replacement policy spec (policy::makePolicy).
  * @param t          Load-address trace.

@@ -53,6 +53,19 @@ namespace
 {
 
 /**
+ * "L<n>" built by append instead of operator+: the rvalue
+ * concatenation trips GCC 12's -Wrestrict false positive (PR105329)
+ * once inlining gets deep enough.
+ */
+std::string
+levelTag(unsigned level)
+{
+    std::string name = "L";
+    name += std::to_string(level + 1);
+    return name;
+}
+
+/**
  * Step 3: active automata learning, the beyond-family fallback.
  * Runs when neither permutation inference nor candidate search
  * produced a verdict. On convergence it overwrites the level's
@@ -109,7 +122,7 @@ inferLevelAtImpl(MeasurementContext& ctx,
                  uint64_t seedSalt)
 {
     LevelReport lvl;
-    lvl.levelName = "L" + std::to_string(level + 1);
+    lvl.levelName = levelTag(level);
     lvl.geometry = geometry.levels[level];
     const uint64_t loads_before = ctx.loadsIssued();
     const bool robust = opts.robust.vote.enabled;
@@ -229,7 +242,7 @@ inferLevelAt(MeasurementContext& ctx,
         // garbled counter tripping an internal check, ...) is an
         // undetermined level, not an aborted pipeline.
         LevelReport lvl;
-        lvl.levelName = "L" + std::to_string(level + 1);
+        lvl.levelName = levelTag(level);
         if (level < geometry.levels.size())
             lvl.geometry = geometry.levels[level];
         lvl.outcome = LevelOutcome::kUndetermined;
@@ -276,7 +289,7 @@ inferMachine(hw::Machine& machine, const InferenceOptions& opts)
         std::string adaptiveNote;
         if (adaptive.adaptive && !adaptive.constituentsIdentical) {
             LevelReport lvl;
-            lvl.levelName = "L" + std::to_string(level + 1);
+            lvl.levelName = levelTag(level);
             lvl.geometry = report.geometry.levels[level];
             lvl.adaptive = true;
             lvl.adaptiveSelected = adaptive.policySelected.verdict;
@@ -372,7 +385,7 @@ inferMachine(hw::Machine& machine, const InferenceOptions& opts)
                                   std::to_string(bestVotes) + "/" +
                                   std::to_string(quorum);
             } else {
-                lvl.levelName = "L" + std::to_string(level + 1);
+                lvl.levelName = levelTag(level);
                 lvl.geometry = report.geometry.levels[level];
                 lvl.outcome = LevelOutcome::kUndetermined;
                 lvl.verdict = "undetermined";

@@ -242,14 +242,19 @@ LStarLearner::findCounterexample(const MealyMachine& hypothesis,
     if (const auto recorded = table_.store().firstMismatch(hypothesis))
         return recorded;
 
+    // All hypothesis-side simulation below runs through the
+    // unchecked raw-table walker; symbols come from this learner's
+    // own alphabet, so the elided range checks cannot fire.
+    const MealyMachine::Walker walker(hypothesis);
+
     // Given a batch of asked words, return the shortest prefix of
     // any of them where store and hypothesis disagree.
+    std::vector<bool> predicted;
     const auto scan =
         [&](const std::vector<Word>& words) -> std::optional<Word> {
         std::optional<Word> best;
         for (const Word& word : words) {
-            const std::vector<bool> predicted =
-                hypothesis.run(word);
+            walker.run(word, predicted);
             Word prefix;
             for (std::size_t i = 0; i < word.size(); ++i) {
                 prefix.push_back(word[i]);
@@ -359,11 +364,11 @@ LStarLearner::findCounterexample(const MealyMachine& hypothesis,
 
     // Hypothesis-side predictions run under the deterministic
     // parallel engine; the SUL side is one prefix-shared batch.
-    std::vector<uint8_t> predicted(suite.size());
+    std::vector<uint8_t> suitePredicted(suite.size());
     parallelFor(suite.size(), options_.numThreads,
                 [&](std::size_t i) {
-                    predicted[i] =
-                        hypothesis.lastOutput(suite[i]) ? 1 : 0;
+                    suitePredicted[i] =
+                        walker.lastOutput(suite[i]) ? 1 : 0;
                 });
     if (!ask(suite))
         return std::nullopt;
@@ -371,7 +376,7 @@ LStarLearner::findCounterexample(const MealyMachine& hypothesis,
     for (std::size_t i = 0; i < suite.size(); ++i) {
         const int actual = table_.store().lookup(suite[i]);
         ensure(actual >= 0, "W-method word not recorded");
-        if (actual != predicted[i] &&
+        if (actual != suitePredicted[i] &&
             (!best || suite[i].size() < best->size())) {
             best = suite[i];
         }

@@ -82,6 +82,52 @@ class MealyMachine
     bool lastOutput(const Word& word) const;
 
     /**
+     * Borrowed raw-table view for hot loops (the W-method suite runs
+     * millions of words through one fixed hypothesis). Elides the
+     * per-symbol range checks of next()/output(): the caller
+     * guarantees every symbol is < alphabet(). Must not outlive, or
+     * observe mutation of, the machine it was taken from.
+     */
+    class Walker
+    {
+      public:
+        explicit Walker(const MealyMachine& machine)
+            : next_(machine.next_.data()), output_(&machine.output_),
+              alphabet_(machine.alphabet_)
+        {}
+
+        /** Output of the last symbol of @p word (non-empty). */
+        bool lastOutput(const Word& word) const
+        {
+            uint32_t state = 0;
+            for (std::size_t i = 0; i + 1 < word.size(); ++i)
+                state = next_[std::size_t{state} * alphabet_ +
+                              word[i]];
+            return (*output_)[std::size_t{state} * alphabet_ +
+                              word.back()];
+        }
+
+        /** Per-symbol outputs of @p word, into a reused buffer. */
+        void run(const Word& word, std::vector<bool>& outputs) const
+        {
+            outputs.clear();
+            outputs.reserve(word.size());
+            uint32_t state = 0;
+            for (Symbol symbol : word) {
+                const std::size_t i =
+                    std::size_t{state} * alphabet_ + symbol;
+                outputs.push_back((*output_)[i]);
+                state = next_[i];
+            }
+        }
+
+      private:
+        const uint32_t* next_;
+        const std::vector<bool>* output_;
+        unsigned alphabet_;
+    };
+
+    /**
      * The canonical minimal machine of the reachable part: states
      * merged by behavioural equivalence (Moore partition refinement)
      * and renumbered in BFS order from the initial state with

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Compiled replacement-policy automata: the interpreter-free fast
+ * path of the simulation stack.
+ *
+ * Every policy in the catalog is a deterministic finite automaton
+ * (that is the paper's whole premise), yet the interpreted
+ * ReplacementPolicy interface pays a virtual touch/fill/victim
+ * dispatch plus unique_ptr clone churn on every simulated access.
+ * compilePolicy() enumerates the reachable control states of a policy
+ * (breadth-first over ReplacementPolicy::stateKey, the same
+ * canonicalization the learn:: extraction machinery builds on) into
+ * dense state x input -> state transition tables:
+ *
+ *     touchNext[state * ways + w]  state after a hit on way w
+ *     fillNext [state * ways + w]  state after filling way w
+ *     victim   [state]             way the next miss would evict
+ *
+ * so the hot loop becomes three array lookups, state forking becomes
+ * an integer copy, and the batch kernels in eval/ and query/ can keep
+ * per-set state in structure-of-arrays form.
+ *
+ * Policies whose reachable state space exceeds the budget (the
+ * stochastic "random" policy, whose stateKey encodes an unbounded
+ * stream position; big way-order policies such as LRU at k = 16)
+ * simply fail to compile: compilePolicy() returns nullptr and every
+ * consumer falls back to the interpreted automaton, with behaviour
+ * pinned bit-identical by tests/test_compiled_policy.cc.
+ */
+
+#ifndef RECAP_POLICY_COMPILED_HH_
+#define RECAP_POLICY_COMPILED_HH_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "recap/policy/policy.hh"
+
+namespace recap::policy
+{
+
+/** Limits on the state enumeration of compilePolicy(). */
+struct CompileBudget
+{
+    /**
+     * Abort compilation beyond this many control states. The default
+     * admits every catalog policy at k <= 8 except the throttled
+     * insertion policies (BIP/BRRIP multiply the base state count by
+     * their throttle) and covers PLRU/NRU-style policies up to
+     * k = 16; LRU-order policies at k = 16 (16! states) and the
+     * stochastic "random" policy (unbounded stream counter) exceed it
+     * and fall back to interpretation.
+     */
+    uint64_t maxStates = 1u << 17;
+
+    /** Abort when the transition tables would exceed this size. */
+    uint64_t maxTableBytes = uint64_t{96} << 20;
+};
+
+/**
+ * Immutable transition tables of one compiled policy. State 0 is the
+ * post-reset state; states are numbered in BFS order (ascending
+ * touch-then-fill edge exploration), so compiling the same policy
+ * twice yields identical tables.
+ */
+class CompiledTable
+{
+  public:
+    unsigned ways() const { return ways_; }
+    uint32_t numStates() const { return numStates_; }
+
+    /** name() of the policy this table was compiled from. */
+    const std::string& policyName() const { return policyName_; }
+
+    uint32_t touchNext(uint32_t state, Way way) const
+    {
+        return touchNext_[static_cast<std::size_t>(state) * ways_ +
+                          way];
+    }
+
+    uint32_t fillNext(uint32_t state, Way way) const
+    {
+        return fillNext_[static_cast<std::size_t>(state) * ways_ +
+                         way];
+    }
+
+    Way victim(uint32_t state) const { return victim_[state]; }
+
+    /** Interpreted stateKey() of @p state (bit-exact passthrough). */
+    const std::string& stateKey(uint32_t state) const
+    {
+        return keys_[state];
+    }
+
+    /** Raw table base pointers for the batch kernels' inner loops. */
+    const uint32_t* touchData() const { return touchNext_.data(); }
+    const uint32_t* fillData() const { return fillNext_.data(); }
+    const uint16_t* victimData() const { return victim_.data(); }
+
+    /**
+     * True when the automaton has at most 2^16 states; the narrow
+     * uint16 mirrors below are then populated. Halving the table
+     * footprint matters: at 64k states the uint32 tables are 2 MiB
+     * each and state-indexed lookups thrash L2, while the narrow
+     * mirrors keep both tables resident.
+     */
+    bool narrow() const { return !touchNext16_.empty(); }
+    const uint16_t* touchData16() const { return touchNext16_.data(); }
+    const uint16_t* fillData16() const { return fillNext16_.data(); }
+
+  private:
+    friend std::shared_ptr<const CompiledTable>
+    compilePolicy(const ReplacementPolicy&, const CompileBudget&);
+
+    unsigned ways_ = 0;
+    uint32_t numStates_ = 0;
+    std::string policyName_;
+    std::vector<uint32_t> touchNext_;
+    std::vector<uint32_t> fillNext_;
+    std::vector<uint16_t> victim_;
+    std::vector<std::string> keys_;
+    std::vector<uint16_t> touchNext16_;
+    std::vector<uint16_t> fillNext16_;
+};
+
+/** Shared, immutable handle: one table serves any number of sets. */
+using CompiledTablePtr = std::shared_ptr<const CompiledTable>;
+
+/**
+ * Enumerates the reachable control states of @p proto (closed under
+ * every touch(w)/fill(w) input, so the table is total even for fill
+ * patterns only adaptive caches produce) and builds its transition
+ * tables.
+ *
+ * @return nullptr when the state space exceeds @p budget — the
+ *         caller must keep using the interpreted policy.
+ */
+CompiledTablePtr compilePolicy(const ReplacementPolicy& proto,
+                               const CompileBudget& budget = {});
+
+/**
+ * Process-wide memoized compilation of factory specs: at most one
+ * enumeration (including at most one failed over-budget enumeration)
+ * per (spec, ways, budget) for the process lifetime. Thread-safe.
+ * Only deterministic policies compile, so the factory seed is
+ * irrelevant to the result; "random" misses the budget by design.
+ */
+CompiledTablePtr compiledTableFor(const std::string& spec,
+                                  unsigned ways,
+                                  const CompileBudget& budget = {});
+
+/**
+ * Drop-in ReplacementPolicy running on a compiled table: state is one
+ * integer, clone() copies no vectors, and name()/stateKey() are
+ * bit-exact passthroughs of the source policy so every stateKey-based
+ * consumer (equivalence checker, predictability exploration, learn::
+ * extraction) behaves identically on the compiled form.
+ */
+class CompiledPolicy : public ReplacementPolicy
+{
+  public:
+    explicit CompiledPolicy(CompiledTablePtr table);
+
+    void reset() override { state_ = 0; }
+
+    void touch(Way way) override
+    {
+        checkWay(way);
+        state_ = table_->touchNext(state_, way);
+    }
+
+    Way victim() const override { return table_->victim(state_); }
+
+    void fill(Way way) override
+    {
+        checkWay(way);
+        state_ = table_->fillNext(state_, way);
+    }
+
+    std::string name() const override { return table_->policyName(); }
+
+    PolicyPtr clone() const override
+    {
+        return std::make_unique<CompiledPolicy>(*this);
+    }
+
+    std::string stateKey() const override
+    {
+        return table_->stateKey(state_);
+    }
+
+    /** The shared table this instance runs on. */
+    const CompiledTablePtr& table() const { return table_; }
+
+    /** Current control state as a table index. */
+    uint32_t stateIndex() const { return state_; }
+
+  private:
+    CompiledTablePtr table_;
+    uint32_t state_ = 0;
+};
+
+/**
+ * makePolicy(), upgraded to the compiled form when the spec fits the
+ * budget; the interpreted policy otherwise. Either result behaves
+ * identically — the upgrade is purely a performance choice.
+ */
+PolicyPtr makeCompiledOrFallback(const std::string& spec,
+                                 unsigned ways, uint64_t seed = 1,
+                                 const CompileBudget& budget = {});
+
+} // namespace recap::policy
+
+#endif // RECAP_POLICY_COMPILED_HH_

@@ -1,6 +1,7 @@
 #include "recap/query/batch.hh"
 
 #include <algorithm>
+#include <array>
 #include <map>
 #include <unordered_map>
 
@@ -26,6 +27,114 @@ bool
 sameKey(const Step& a, const Step& b)
 {
     return a.flush == b.flush && (a.flush || a.block == b.block);
+}
+
+/** Associativity cap for the compiled snapshot walk. */
+constexpr unsigned kFastWays = 16;
+
+/**
+ * Plain-data stand-in for policy::SetModel over a compiled table:
+ * inline block array, integer policy state, fill cursor. Copying one
+ * (the snapshot at a trie branch) is a memcpy instead of a policy
+ * clone, and access() is two array lookups. Mirrors SetModel::access
+ * exactly: fills take the lowest invalid way — always the fill
+ * cursor, since only flush() ever invalidates — then the victim.
+ */
+class FastSetModel
+{
+  public:
+    explicit FastSetModel(const policy::CompiledTable& table)
+        : table_(&table)
+    {}
+
+    void flush()
+    {
+        state_ = 0;
+        filled_ = 0;
+    }
+
+    bool access(BlockId block)
+    {
+        const unsigned k = table_->ways();
+        const std::size_t row = std::size_t{state_} * k;
+        for (unsigned w = 0; w < filled_; ++w) {
+            if (blocks_[w] == block) {
+                state_ = table_->touchData()[row + w];
+                return true;
+            }
+        }
+        unsigned way;
+        if (filled_ < k)
+            way = filled_++;
+        else
+            way = table_->victimData()[state_];
+        blocks_[way] = block;
+        state_ = table_->fillData()[row + way];
+        return false;
+    }
+
+  private:
+    const policy::CompiledTable* table_;
+    std::array<BlockId, kFastWays> blocks_{};
+    uint32_t state_ = 0;
+    uint32_t filled_ = 0;
+};
+
+/**
+ * Walks one root subtree with a live model, snapshotting at branch
+ * points. Works for both SetModel (interpreted) and FastSetModel
+ * (compiled); the path through the trie — and so every outcome —
+ * is identical for both.
+ */
+template <typename Model>
+void
+walkSubtree(std::vector<SnapNode>& trie, uint32_t root, Model model)
+{
+    struct Branch
+    {
+        uint32_t node;
+        Model model;
+        std::size_t nextChild;
+    };
+    std::vector<Branch> pending;
+    uint32_t current = root;
+    for (;;) {
+        SnapNode& node = trie[current];
+        if (node.step.flush)
+            model.flush();
+        else
+            node.hit = model.access(node.step.block);
+
+        if (node.children.size() == 1) {
+            current = node.children.front();
+            continue;
+        }
+        if (node.children.size() > 1) {
+            pending.push_back({current, std::move(model), 0});
+        }
+        // Leaf (or just pushed a branch): resume the deepest branch
+        // that still has unexplored children.
+        bool resumed = false;
+        while (!pending.empty()) {
+            Branch& branch = pending.back();
+            const auto& kids = trie[branch.node].children;
+            if (branch.nextChild < kids.size()) {
+                current = kids[branch.nextChild++];
+                if (branch.nextChild == kids.size()) {
+                    // Last child: hand over the snapshot.
+                    model = std::move(branch.model);
+                    pending.pop_back();
+                } else {
+                    model = branch.model;
+                }
+                resumed = true;
+                break;
+            }
+            pending.pop_back();
+        }
+        if (!resumed)
+            return;
+    }
 }
 
 } // namespace
@@ -60,6 +169,14 @@ batchEvaluateSnapshot(PolicyOracle& oracle,
         return id;
     };
 
+    // The trie can never hold more nodes than the batch has steps,
+    // so one up-front reservation pins every node (and every child
+    // list) in place for the whole build.
+    std::size_t totalSteps = 0;
+    for (const CompiledQuery& q : queries)
+        totalSteps += q.steps.size();
+    trie.reserve(totalSteps);
+
     uint64_t naiveCost = 0;
     for (uint32_t q = 0; q < queries.size(); ++q) {
         uint32_t parent = kRoot;
@@ -75,59 +192,20 @@ batchEvaluateSnapshot(PolicyOracle& oracle,
     // Walk each root subtree with a live model, snapshotting at
     // branch points. Subtrees are disjoint (node outcomes are written
     // exactly once, by their own subtree), so they run in parallel;
-    // outcomes depend only on the path, never on scheduling.
-    auto walkSubtree = [&](uint32_t root) {
-        struct Branch
-        {
-            uint32_t node;
-            policy::SetModel model;
-            std::size_t nextChild;
-        };
-        std::vector<Branch> pending;
-        policy::SetModel model = oracle.freshModel();
-        uint32_t current = root;
-        for (;;) {
-            SnapNode& node = trie[current];
-            if (node.step.flush)
-                model.flush();
-            else
-                node.hit = model.access(node.step.block);
-
-            if (node.children.size() == 1) {
-                current = node.children.front();
-                continue;
-            }
-            if (node.children.size() > 1) {
-                pending.push_back(
-                    {current, std::move(model), 0});
-            }
-            // Leaf (or just pushed a branch): resume the deepest
-            // branch that still has unexplored children.
-            bool resumed = false;
-            while (!pending.empty()) {
-                Branch& branch = pending.back();
-                const auto& kids = trie[branch.node].children;
-                if (branch.nextChild < kids.size()) {
-                    current = kids[branch.nextChild++];
-                    if (branch.nextChild == kids.size()) {
-                        // Last child: hand over the snapshot.
-                        model = std::move(branch.model);
-                        pending.pop_back();
-                    } else {
-                        model = branch.model;
-                    }
-                    resumed = true;
-                    break;
-                }
-                pending.pop_back();
-            }
-            if (!resumed)
-                return;
-        }
-    };
-
-    parallelFor(roots.size(), opts.numThreads,
-                [&](std::size_t r) { walkSubtree(roots[r]); });
+    // outcomes depend only on the path, never on scheduling. When the
+    // policy compiles, the model is a plain-data FastSetModel and the
+    // branch-point snapshots are memcpys instead of policy clones.
+    const policy::CompiledTablePtr table =
+        opts.compiledKernel ? oracle.compiledTable() : nullptr;
+    if (table && table->ways() <= kFastWays) {
+        parallelFor(roots.size(), opts.numThreads, [&](std::size_t r) {
+            walkSubtree(trie, roots[r], FastSetModel(*table));
+        });
+    } else {
+        parallelFor(roots.size(), opts.numThreads, [&](std::size_t r) {
+            walkSubtree(trie, roots[r], oracle.freshModel());
+        });
+    }
 
     uint64_t sharedCost = 0;
     for (const SnapNode& node : trie)
@@ -143,6 +221,10 @@ batchEvaluateSnapshot(PolicyOracle& oracle,
         QueryVerdict& verdict = verdicts[q];
         verdict.accesses = ownedNodes[q];
         verdict.experiments = ownedNodes[q] > 0 ? 1 : 0;
+        std::size_t probed = 0;
+        for (const Step& step : queries[q].steps)
+            probed += (!step.flush && step.probe) ? 1 : 0;
+        verdict.probes.reserve(probed);
         for (uint32_t i = 0; i < queries[q].steps.size(); ++i) {
             const Step& step = queries[q].steps[i];
             if (step.flush || !step.probe)
@@ -203,8 +285,25 @@ batchEvaluateReplay(MachineOracle& oracle,
     };
     std::vector<std::vector<Instance>> instances(queries.size());
 
+    // Upper bounds known before the split: a query yields at most
+    // (flush count + 1) segments, and the outcome trie at most one
+    // node per non-flush step (plus the root).
+    std::size_t segmentBound = 0;
+    std::size_t accessBound = 0;
+    for (const CompiledQuery& q : queries) {
+        std::size_t flushes = 0;
+        for (const Step& step : q.steps)
+            flushes += step.flush ? 1 : 0;
+        segmentBound += flushes + 1;
+        accessBound += q.steps.size() - flushes;
+    }
+    segBlocks.reserve(segmentBound);
+    segFirstQuery.reserve(segmentBound);
+
     for (uint32_t q = 0; q < queries.size(); ++q) {
-        for (Segment& segment : splitSegments(queries[q])) {
+        auto segments = splitSegments(queries[q]);
+        instances[q].reserve(segments.size());
+        for (Segment& segment : segments) {
             auto [it, inserted] = segId.try_emplace(
                 segment.blocks,
                 static_cast<uint32_t>(segBlocks.size()));
@@ -230,7 +329,9 @@ batchEvaluateReplay(MachineOracle& oracle,
                   return segBlocks[a] < segBlocks[b];
               });
 
-    std::vector<ObsNode> trie(1); // node 0 = root (flushed state)
+    std::vector<ObsNode> trie; // node 0 = root (flushed state)
+    trie.reserve(accessBound + 1);
+    trie.emplace_back();
     // Per unique segment: its outcome nodes and its marginal cost.
     std::vector<std::vector<uint32_t>> segPath(segBlocks.size());
     std::vector<uint64_t> segExperiments(segBlocks.size(), 0);

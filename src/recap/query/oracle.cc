@@ -58,7 +58,8 @@ PolicyOracle::PolicyOracle(policy::PolicyPtr prototype)
 
 PolicyOracle::PolicyOracle(const std::string& spec, unsigned ways,
                            uint64_t seed)
-    : prototype_(policy::makePolicy(spec, ways, seed)), spec_(spec)
+    : prototype_(policy::makePolicy(spec, ways, seed)), spec_(spec),
+      specTrusted_(true)
 {}
 
 unsigned
@@ -79,6 +80,28 @@ PolicyOracle::freshModel() const
     policy::SetModel model(prototype_->clone());
     model.flush();
     return model;
+}
+
+policy::CompiledTablePtr
+PolicyOracle::compiledTable()
+{
+    if (!compileAttempted_) {
+        compileAttempted_ = true;
+        if (specTrusted_) {
+            // Spec-constructed oracles share the process-wide table
+            // cache: short-lived oracles (one per batch in sweeps)
+            // must not re-enumerate a 40k-state automaton each.
+            compiled_ = policy::compiledTableFor(spec_,
+                                                 prototype_->ways());
+        } else {
+            // Custom policies handed in by pointer have no parsable
+            // spec (name() is just a label), so compile the prototype
+            // itself — the table must reflect exactly the automaton
+            // queries replay on.
+            compiled_ = policy::compilePolicy(*prototype_, {});
+        }
+    }
+    return compiled_;
 }
 
 void

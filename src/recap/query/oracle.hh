@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "recap/infer/set_prober.hh"
+#include "recap/policy/compiled.hh"
 #include "recap/query/ast.hh"
 
 namespace recap::query
@@ -120,6 +121,15 @@ struct BatchOptions
      * stateful device and always evaluates serially.
      */
     unsigned numThreads = 1;
+
+    /**
+     * Let the policy backend walk the snapshot trie with a compiled
+     * transition table (plain-data set state, O(1) clones) when the
+     * policy's automaton fits the compile budget. Outcomes are
+     * bit-identical either way; false forces the interpreted
+     * SetModel walk (the baseline the differential tests pin).
+     */
+    bool compiledKernel = true;
 };
 
 /** Cost accounting of one batch evaluation. */
@@ -236,14 +246,25 @@ class PolicyOracle : public QueryOracle
     /** A fresh (flushed) set model of the prototype policy. */
     policy::SetModel freshModel() const;
 
+    /**
+     * The prototype compiled to a transition table, or nullptr when
+     * its state space exceeds the default budget (then callers use
+     * freshModel()). Compiled lazily on first call and cached for
+     * the oracle's lifetime.
+     */
+    policy::CompiledTablePtr compiledTable();
+
     /** Adds batch-evaluator costs to the cumulative counters. */
     void account(uint64_t experiments, uint64_t accesses);
 
   private:
     policy::PolicyPtr prototype_;
     std::string spec_;
+    bool specTrusted_ = false;
     uint64_t experiments_ = 0;
     uint64_t accesses_ = 0;
+    bool compileAttempted_ = false;
+    policy::CompiledTablePtr compiled_;
 };
 
 /** How MachineOracle reads hit/miss evidence off the machine. */

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Differential tests of the compiled policy automata: a
+ * CompiledPolicy must be bit-exact against the interpreted policy it
+ * was compiled from — same victims, same state keys — under long
+ * random input words, under clone/reset interleavings, and must fall
+ * back cleanly when the state space exceeds the compile budget.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "recap/common/rng.hh"
+#include "recap/policy/compiled.hh"
+#include "recap/policy/factory.hh"
+
+namespace recap::policy
+{
+namespace
+{
+
+/** Budget the differential suite compiles under: generous enough
+ * for every tractable catalog automaton, small enough that
+ * intractable ones (16-way true LRU, BIP's epoch counter) abort
+ * quickly. 16-way gets a tighter cap — its tractable automata
+ * (PLRU, FIFO) are small, and enumerating 2^16-state ones on every
+ * test run is time better spent elsewhere. */
+CompileBudget
+testBudget(unsigned ways = 8)
+{
+    CompileBudget budget;
+    budget.maxStates = ways >= 16 ? (1u << 15) : (1u << 16);
+    return budget;
+}
+
+class CompiledDifferential
+    : public ::testing::TestWithParam<std::string>
+{};
+
+/**
+ * 10k random touch/fill inputs in lockstep, comparing victim() at
+ * every step and stateKey() throughout. Covers ways 2/4/8/16 (where
+ * the spec supports them); specs whose automaton exceeds the budget
+ * at a given associativity are exercised via the fallback test
+ * below instead.
+ */
+TEST_P(CompiledDifferential, LockstepAgainstInterpreted)
+{
+    const std::string spec = GetParam();
+    for (const unsigned ways : {2u, 4u, 8u, 16u}) {
+        if (!specSupportsWays(spec, ways))
+            continue;
+        const CompiledTablePtr table =
+            compiledTableFor(spec, ways, testBudget(ways));
+        if (!table)
+            continue; // over budget here; see OverBudgetFallsBack
+        ASSERT_EQ(table->ways(), ways);
+
+        PolicyPtr interpreted = makePolicy(spec, ways);
+        CompiledPolicy compiled(table);
+        interpreted->reset();
+        compiled.reset();
+        ASSERT_EQ(compiled.name(), interpreted->name());
+
+        Rng rng(0xC0FFEE ^ ways);
+        uint64_t hits = 0;
+        for (unsigned step = 0; step < 10000; ++step) {
+            ASSERT_EQ(compiled.victim(), interpreted->victim())
+                << spec << " k=" << ways << " step " << step;
+            if (rng.nextBelow(2) == 0) {
+                const Way w =
+                    static_cast<Way>(rng.nextBelow(ways));
+                compiled.touch(w);
+                interpreted->touch(w);
+                ++hits;
+            } else {
+                const Way w =
+                    static_cast<Way>(rng.nextBelow(ways));
+                compiled.fill(w);
+                interpreted->fill(w);
+            }
+            if (step % 64 == 0) {
+                ASSERT_EQ(compiled.stateKey(),
+                          interpreted->stateKey())
+                    << spec << " k=" << ways << " step " << step;
+            }
+        }
+        EXPECT_GT(hits, 0u);
+        EXPECT_EQ(compiled.stateKey(), interpreted->stateKey())
+            << spec << " k=" << ways << " final state";
+    }
+}
+
+/**
+ * Fuzz: interleave clone(), reset(), touch() and fill() and keep
+ * comparing — clones must be independent of their source, and reset
+ * must land both sides back on the same state.
+ */
+TEST_P(CompiledDifferential, CloneResetFillFuzz)
+{
+    const std::string spec = GetParam();
+    const unsigned ways = 4;
+    if (!specSupportsWays(spec, ways))
+        GTEST_SKIP() << spec << " does not support 4 ways";
+    const CompiledTablePtr table =
+        compiledTableFor(spec, ways, testBudget());
+    if (!table)
+        GTEST_SKIP() << spec << " exceeds the compile budget";
+
+    PolicyPtr interpreted = makePolicy(spec, ways);
+    PolicyPtr compiled = std::make_unique<CompiledPolicy>(table);
+    interpreted->reset();
+    compiled->reset();
+
+    Rng rng(2026);
+    for (unsigned step = 0; step < 2000; ++step) {
+        switch (rng.nextBelow(8)) {
+          case 0: {
+            // Continue on clones; mutate the originals afterwards to
+            // prove the clones do not alias them.
+            PolicyPtr interpretedClone = interpreted->clone();
+            PolicyPtr compiledClone = compiled->clone();
+            interpreted->fill(0);
+            compiled->fill(0);
+            interpreted = std::move(interpretedClone);
+            compiled = std::move(compiledClone);
+            break;
+          }
+          case 1:
+            interpreted->reset();
+            compiled->reset();
+            break;
+          case 2:
+          case 3:
+          case 4: {
+            const Way w = static_cast<Way>(rng.nextBelow(ways));
+            interpreted->touch(w);
+            compiled->touch(w);
+            break;
+          }
+          default: {
+            const Way w = static_cast<Way>(rng.nextBelow(ways));
+            interpreted->fill(w);
+            compiled->fill(w);
+            break;
+          }
+        }
+        ASSERT_EQ(compiled->victim(), interpreted->victim())
+            << spec << " step " << step;
+        ASSERT_EQ(compiled->stateKey(), interpreted->stateKey())
+            << spec << " step " << step;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Catalog, CompiledDifferential,
+    ::testing::ValuesIn(baselineSpecs()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+        std::string name = info.param;
+        for (char& c : name)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return name;
+    });
+
+/**
+ * Regression: over-budget (or inherently unbounded) state spaces
+ * must yield a clean fallback — compiledTableFor says no, and
+ * makeCompiledOrFallback hands back the interpreted policy with
+ * unchanged behaviour.
+ */
+TEST(CompiledFallback, OverBudgetFallsBack)
+{
+    // Stochastic policy: its state key encodes an unbounded RNG
+    // draw counter, so enumeration can never terminate in budget.
+    EXPECT_EQ(compiledTableFor("random", 8, testBudget()), nullptr);
+
+    // Deliberately tiny budget: true LRU at 4 ways has 4! = 24
+    // states, more than the 8 allowed here.
+    CompileBudget tiny;
+    tiny.maxStates = 8;
+    EXPECT_EQ(compiledTableFor("lru", 4, tiny), nullptr);
+
+    // The fallback is the interpreted policy, not a wrapper...
+    PolicyPtr fallback = makeCompiledOrFallback("lru", 4, 1, tiny);
+    ASSERT_NE(fallback, nullptr);
+    EXPECT_EQ(dynamic_cast<CompiledPolicy*>(fallback.get()), nullptr);
+
+    // ...and behaves exactly like one built directly.
+    PolicyPtr reference = makePolicy("lru", 4);
+    reference->reset();
+    fallback->reset();
+    Rng rng(99);
+    for (unsigned step = 0; step < 500; ++step) {
+        const Way w = static_cast<Way>(rng.nextBelow(4));
+        if (rng.nextBelow(2) == 0) {
+            reference->touch(w);
+            fallback->touch(w);
+        } else {
+            reference->fill(w);
+            fallback->fill(w);
+        }
+        ASSERT_EQ(fallback->victim(), reference->victim());
+        ASSERT_EQ(fallback->stateKey(), reference->stateKey());
+    }
+
+    // With an adequate budget the same call compiles.
+    PolicyPtr compiled = makeCompiledOrFallback("lru", 4, 1);
+    ASSERT_NE(compiled, nullptr);
+    EXPECT_NE(dynamic_cast<CompiledPolicy*>(compiled.get()), nullptr);
+    EXPECT_EQ(compiled->name(), reference->name());
+}
+
+/** The memoized lookup returns one shared table per (spec, ways). */
+TEST(CompiledFallback, TableIsMemoized)
+{
+    const CompiledTablePtr a = compiledTableFor("plru", 8, {});
+    const CompiledTablePtr b = compiledTableFor("plru", 8, {});
+    ASSERT_NE(a, nullptr);
+    EXPECT_EQ(a.get(), b.get());
+    EXPECT_EQ(a->numStates(), 128u); // 2^(8-1) PLRU tree states
+}
+
+/** Unknown specs and unsupported associativities never compile. */
+TEST(CompiledFallback, RejectsInvalidSpecs)
+{
+    EXPECT_EQ(compiledTableFor("no-such-policy", 8, {}), nullptr);
+    EXPECT_EQ(compiledTableFor("plru", 3, {}), nullptr);
+}
+
+} // namespace
+} // namespace recap::policy

@@ -181,7 +181,7 @@ runSearch(const std::string& truth, unsigned ways, unsigned threads)
 
 TEST(ParallelDeterminism, CandidateSearchBitIdentical)
 {
-    for (const std::string truth :
+    for (const std::string& truth :
          {std::string("nru"), std::string("qlru:H1,M1,R0,U2")}) {
         const auto serial = runSearch(truth, 8, 1);
         for (unsigned threads : threadCountsUnderTest()) {

@@ -105,9 +105,10 @@ TEST(QueryInfer, PermutationDifferentialHoldsForAblationSettings)
         const auto before = inferOnce(policy, 8, direct);
         const auto after = inferOnce(policy, 8, query);
         ASSERT_EQ(before.isPermutation, after.isPermutation) << policy;
-        if (!before.isPermutation)
+        if (!before.isPermutation) {
             EXPECT_EQ(before.failureReason, after.failureReason)
                 << policy;
+        }
     }
 }
 
