@@ -85,7 +85,13 @@ runComparison()
     unsigned counted = 0;
     bool mismatch = false;
 
-    for (const auto& spec : policy::baselineSpecs()) {
+    // The full catalog, modern policies included: at this 8-way
+    // geometry the default-parameter dueling/predictor automata
+    // exceed the compile budget (or consume metadata outright) and
+    // appear as fallback rows; the small-parameter DRRIP variant
+    // still compiles, putting one modern policy on the kernel path
+    // the CI speedup floor guards.
+    for (const auto& spec : policy::catalogSpecs()) {
         if (!policy::specSupportsWays(spec, kGeom.ways))
             continue;
         const auto compiled =

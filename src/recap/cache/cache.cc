@@ -24,6 +24,7 @@ Cache::Cache(const Geometry& geom, const std::string& policySpec,
                                          seed + s);
         sets_.push_back(std::move(set));
     }
+    metaA_ = sets_[0].policyA->usesMeta();
 }
 
 Cache::Cache(const Geometry& geom, const std::string& specA,
@@ -52,6 +53,8 @@ Cache::Cache(const Geometry& geom, const std::string& specA,
                                          seed + geom_.numSets + s);
         sets_.push_back(std::move(set));
     }
+    metaA_ = sets_[0].policyA->usesMeta();
+    metaB_ = sets_[0].policyB->usesMeta();
 }
 
 bool
@@ -63,9 +66,29 @@ Cache::access(Addr addr, bool write)
 AccessResult
 Cache::accessDetailed(Addr addr, bool write)
 {
-    const unsigned set = geom_.setIndex(addr);
-    const uint64_t tag = geom_.tag(addr);
-    return accessSet(set, tag, write);
+    policy::AccessMeta meta;
+    meta.block = addr / geom_.lineSize;
+    meta.hasBlock = true;
+    return accessSet(geom_.setIndex(addr), geom_.tag(addr), write,
+                     meta);
+}
+
+bool
+Cache::accessWithPc(Addr addr, uint64_t pc, bool write)
+{
+    return accessDetailedWithPc(addr, pc, write).hit;
+}
+
+AccessResult
+Cache::accessDetailedWithPc(Addr addr, uint64_t pc, bool write)
+{
+    policy::AccessMeta meta;
+    meta.block = addr / geom_.lineSize;
+    meta.hasBlock = true;
+    meta.pc = pc;
+    meta.hasPc = true;
+    return accessSet(geom_.setIndex(addr), geom_.tag(addr), write,
+                     meta);
 }
 
 bool
@@ -194,12 +217,18 @@ Cache::decider(unsigned set) const
 }
 
 AccessResult
-Cache::accessSet(unsigned set, uint64_t tag, bool write)
+Cache::accessSet(unsigned set, uint64_t tag, bool write,
+                 const policy::AccessMeta& meta)
 {
     Set& s = sets_[set];
     ++stats_.accesses;
     if (write)
         ++stats_.writes;
+
+    if (metaA_)
+        s.policyA->beginAccess(meta);
+    if (metaB_ && s.policyB)
+        s.policyB->beginAccess(meta);
 
     AccessResult result;
     result.setIndex = set;

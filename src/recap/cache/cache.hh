@@ -101,6 +101,18 @@ class Cache
     /** Like access(), but reports details. */
     AccessResult accessDetailed(Addr addr, bool write = false);
 
+    /**
+     * Like access(), annotated with the program counter of the
+     * accessing instruction for PC-indexed predictor policies
+     * (SHiP). Policies that ignore metadata behave exactly as under
+     * access().
+     */
+    bool accessWithPc(Addr addr, uint64_t pc, bool write = false);
+
+    /** Like accessWithPc(), but reports details. */
+    AccessResult accessDetailedWithPc(Addr addr, uint64_t pc,
+                                      bool write = false);
+
     /** True iff the line containing @p addr is resident and dirty. */
     bool isDirty(Addr addr) const;
 
@@ -164,7 +176,8 @@ class Cache
     const policy::ReplacementPolicy& decider(unsigned set) const;
 
     /** Applies one access to set @p set; shared implementation. */
-    AccessResult accessSet(unsigned set, uint64_t tag, bool write);
+    AccessResult accessSet(unsigned set, uint64_t tag, bool write,
+                           const policy::AccessMeta& meta);
 
     /** Nudges PSEL after a miss in a leader set. */
     void trainPsel(SetRole role);
@@ -174,6 +187,8 @@ class Cache
     std::string specA_;
     std::string specB_;
     bool adaptive_ = false;
+    bool metaA_ = false; ///< policy A consumes AccessMeta
+    bool metaB_ = false; ///< policy B consumes AccessMeta
     DuelingConfig duel_;
     unsigned psel_ = 0;
     unsigned pselMax_ = 0;

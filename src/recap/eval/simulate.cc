@@ -31,11 +31,28 @@ simulateTraceAdaptive(const cache::Geometry& geom,
     return c.stats();
 }
 
+cache::LevelStats
+simulatePcTrace(const cache::Geometry& geom,
+                const std::string& policySpec,
+                const trace::PcTrace& t, uint64_t seed)
+{
+    cache::Cache c(geom, policySpec, "eval-pc", seed);
+    simulateOn(c, t);
+    return c.stats();
+}
+
 void
 simulateOn(cache::Cache& cache, const trace::Trace& t)
 {
     for (cache::Addr a : t)
         cache.access(a);
+}
+
+void
+simulateOn(cache::Cache& cache, const trace::PcTrace& t)
+{
+    for (const trace::PcAccess& a : t)
+        cache.accessWithPc(a.addr, a.pc);
 }
 
 std::vector<double>

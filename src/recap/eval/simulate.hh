@@ -43,10 +43,26 @@ simulateTraceAdaptive(const cache::Geometry& geom,
                       const trace::Trace& t, uint64_t seed = 1);
 
 /**
+ * Simulates a PC-annotated trace against a single-level cache,
+ * feeding each access's program counter to the replacement policy
+ * via the AccessMeta side channel. Always runs the interpreted
+ * cache::Cache: meta-consuming policies never table-compile, and for
+ * meta-ignoring policies the result is identical to simulateTrace()
+ * on the address projection.
+ */
+cache::LevelStats
+simulatePcTrace(const cache::Geometry& geom,
+                const std::string& policySpec, const trace::PcTrace& t,
+                uint64_t seed = 1);
+
+/**
  * Simulates @p t against an already-built cache (does not reset its
  * statistics first).
  */
 void simulateOn(cache::Cache& cache, const trace::Trace& t);
+
+/** PC-annotated variant of simulateOn(). */
+void simulateOn(cache::Cache& cache, const trace::PcTrace& t);
 
 /**
  * Miss ratios per consecutive window of @p windowSize accesses, for

@@ -137,10 +137,71 @@ intelCatalog()
     return machines;
 }
 
+std::vector<MachineSpec>
+modernCatalog()
+{
+    std::vector<MachineSpec> machines;
+
+    {
+        MachineSpec m;
+        m.name = "haswell-dip";
+        m.description = "hypothetical Haswell-class part, DIP LLC";
+        m.levels = {
+            level("L1D", 32 * kKiB, 8, 4, "plru"),
+            level("L2", 256 * kKiB, 8, 12, "plru"),
+            level("L3", 6 * kMiB, 12, 34, "dip"),
+        };
+        m.memoryLatency = 230;
+        machines.push_back(std::move(m));
+    }
+    {
+        MachineSpec m;
+        m.name = "skylake-drrip";
+        m.description = "hypothetical Skylake-class part, DRRIP LLC";
+        m.levels = {
+            level("L1D", 32 * kKiB, 8, 4, "plru"),
+            level("L2", 256 * kKiB, 4, 12, "plru"),
+            level("L3", 8 * kMiB, 16, 40, "drrip"),
+        };
+        m.memoryLatency = 240;
+        machines.push_back(std::move(m));
+    }
+    {
+        MachineSpec m;
+        m.name = "icelake-ship";
+        m.description = "hypothetical Ice-Lake-class part, SHiP LLC";
+        m.levels = {
+            level("L1D", 48 * kKiB, 12, 5, "lru"),
+            level("L2", 512 * kKiB, 8, 13, "plru"),
+            level("L3", 8 * kMiB, 16, 40, "ship"),
+        };
+        m.memoryLatency = 240;
+        machines.push_back(std::move(m));
+    }
+    {
+        MachineSpec m;
+        m.name = "gracemont-eaf";
+        m.description = "hypothetical efficiency core, EAF L2";
+        m.levels = {
+            level("L1D", 32 * kKiB, 8, 3, "plru"),
+            level("L2", 4 * kMiB, 16, 17, "eaf"),
+        };
+        m.memoryLatency = 210;
+        machines.push_back(std::move(m));
+    }
+
+    for (const auto& m : machines)
+        m.validate();
+    return machines;
+}
+
 MachineSpec
 catalogMachine(const std::string& name)
 {
     for (auto& m : intelCatalog())
+        if (m.name == name)
+            return m;
+    for (auto& m : modernCatalog())
         if (m.name == name)
             return m;
     throw UsageError("catalogMachine: unknown machine '" + name + "'");
@@ -151,6 +212,15 @@ catalogNames()
 {
     std::vector<std::string> names;
     for (const auto& m : intelCatalog())
+        names.push_back(m.name);
+    return names;
+}
+
+std::vector<std::string>
+modernCatalogNames()
+{
+    std::vector<std::string> names;
+    for (const auto& m : modernCatalog())
         names.push_back(m.name);
     return names;
 }

@@ -22,11 +22,26 @@ namespace recap::hw
 /** All catalog machines, in presentation order. */
 std::vector<MachineSpec> intelCatalog();
 
-/** Looks a machine up by its short name; throws UsageError. */
+/**
+ * Hidden machines with post-2014 last-level-cache policies
+ * (DIP/DRRIP/SHiP/EAF), used to stress the inference pipeline beyond
+ * the permutation class the paper's catalog covers. Kept separate
+ * from intelCatalog() so the paper-reproduction sweeps stay exactly
+ * the eight parts of Table 2.
+ */
+std::vector<MachineSpec> modernCatalog();
+
+/**
+ * Looks a machine up by its short name, across both intelCatalog()
+ * and modernCatalog(); throws UsageError.
+ */
 MachineSpec catalogMachine(const std::string& name);
 
-/** Short names of all catalog machines. */
+/** Short names of all intelCatalog() machines. */
 std::vector<std::string> catalogNames();
+
+/** Short names of all modernCatalog() machines. */
+std::vector<std::string> modernCatalogNames();
 
 /**
  * A reduced copy of @p spec with every level's set count divided

@@ -25,6 +25,12 @@ compilePolicy(const ReplacementPolicy& proto,
     const unsigned k = proto.ways();
     if (k == 0 || k > kMaxCompiledWays || budget.maxStates == 0)
         return nullptr;
+    // Meta-consuming policies (SHiP, EAF) are not functions of the
+    // way-index input alphabet alone — a table compiled from
+    // touch/fill transitions would silently diverge from the
+    // interpreted automaton the moment a driver publishes metadata.
+    if (proto.usesMeta())
+        return nullptr;
 
     // Bytes one state costs across the three tables plus its key
     // (keys are bounded below by the key length of the initial

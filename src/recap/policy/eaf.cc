@@ -1,0 +1,116 @@
+#include "recap/policy/eaf.hh"
+
+#include <algorithm>
+
+#include "recap/common/error.hh"
+
+namespace recap::policy
+{
+
+EafPolicy::EafPolicy(unsigned ways, unsigned filterCap,
+                     unsigned throttle)
+    : RecencyStackPolicy(ways),
+      filterCap_(filterCap == 0 ? ways : filterCap),
+      throttle_(throttle)
+{
+    require(ways >= 2, "EafPolicy: needs at least 2 ways");
+    require(throttle >= 1, "EafPolicy: throttle must be >= 1");
+    EafPolicy::reset();
+}
+
+void
+EafPolicy::reset()
+{
+    RecencyStackPolicy::reset();
+    fillCount_ = 0;
+    filter_.clear();
+    blockOf_.assign(ways_, 0);
+    haveBlock_.assign(ways_, false);
+    pendingBlock_ = 0;
+    pendingHasBlock_ = false;
+}
+
+void
+EafPolicy::beginAccess(const AccessMeta& meta)
+{
+    pendingBlock_ = meta.hasBlock ? meta.block : 0;
+    pendingHasBlock_ = meta.hasBlock;
+}
+
+void
+EafPolicy::touch(Way way)
+{
+    RecencyStackPolicy::touch(way);
+    // A hit consumes the published access metadata.
+    pendingBlock_ = 0;
+    pendingHasBlock_ = false;
+}
+
+void
+EafPolicy::fill(Way way)
+{
+    checkWay(way);
+
+    // Was the incoming block evicted recently? Membership grants MRU
+    // insertion and retires the filter entry.
+    bool reusePredicted = false;
+    if (pendingHasBlock_) {
+        const auto it = std::find(filter_.begin(), filter_.end(),
+                                  pendingBlock_);
+        if (it != filter_.end()) {
+            filter_.erase(it);
+            reusePredicted = true;
+        }
+    }
+
+    // The displaced block enters the filter (oldest entry falls out).
+    if (haveBlock_[way]) {
+        filter_.push_back(blockOf_[way]);
+        if (filter_.size() > filterCap_)
+            filter_.pop_front();
+    }
+
+    if (reusePredicted || fillCount_ == 0)
+        moveToMru(way);
+    else
+        moveToLru(way);
+    fillCount_ = (fillCount_ + 1) % throttle_;
+
+    blockOf_[way] = pendingBlock_;
+    haveBlock_[way] = pendingHasBlock_;
+    pendingBlock_ = 0;
+    pendingHasBlock_ = false;
+}
+
+PolicyPtr
+EafPolicy::clone() const
+{
+    return std::make_unique<EafPolicy>(*this);
+}
+
+std::string
+EafPolicy::stateKey() const
+{
+    std::string key = RecencyStackPolicy::stateKey();
+    key += ":" + std::to_string(fillCount_) + ":";
+    for (unsigned w = 0; w < ways_; ++w) {
+        key += haveBlock_[w] ? std::to_string(blockOf_[w])
+                             : std::string("-");
+        key += ",";
+    }
+    key += "f";
+    for (uint64_t b : filter_)
+        key += std::to_string(b) + ",";
+    key += pendingHasBlock_ ? std::to_string(pendingBlock_)
+                            : std::string("-");
+    return key;
+}
+
+bool
+EafPolicy::filterContains(uint64_t block) const
+{
+    return std::find(filter_.begin(), filter_.end(), block) !=
+           filter_.end();
+}
+
+} // namespace recap::policy

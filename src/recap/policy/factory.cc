@@ -4,6 +4,9 @@
 
 #include "recap/common/bitops.hh"
 #include "recap/common/error.hh"
+#include "recap/policy/dip.hh"
+#include "recap/policy/drrip.hh"
+#include "recap/policy/eaf.hh"
 #include "recap/policy/fifo.hh"
 #include "recap/policy/lru.hh"
 #include "recap/policy/nru.hh"
@@ -12,6 +15,7 @@
 #include "recap/policy/qlru.hh"
 #include "recap/policy/random.hh"
 #include "recap/policy/rrip.hh"
+#include "recap/policy/ship.hh"
 #include "recap/policy/slru.hh"
 
 namespace recap::policy
@@ -53,6 +57,33 @@ splitComma(const std::string& text)
     if (comma == std::string::npos)
         return {text, ""};
     return {text.substr(0, comma), text.substr(comma + 1)};
+}
+
+/**
+ * Parses a comma-separated parameter list of at most
+ * defaults.size() unsigned values; omitted trailing parameters take
+ * their defaults.
+ */
+std::vector<unsigned>
+parseParams(const std::string& args, std::vector<unsigned> defaults,
+            const std::string& what)
+{
+    if (args.empty())
+        return defaults;
+    std::string rest = args;
+    for (size_t i = 0; i < defaults.size(); ++i) {
+        const auto [head, tail] = splitComma(rest);
+        defaults[i] = parseUnsigned(head, what + " parameter " +
+                                              std::to_string(i + 1));
+        if (tail.empty()) {
+            require(rest.find(',') == std::string::npos,
+                    "makePolicy: empty " + what + " parameter");
+            return defaults;
+        }
+        rest = tail;
+    }
+    throw UsageError("makePolicy: too many " + what + " parameters '" +
+                     args + "'");
 }
 
 } // namespace
@@ -99,6 +130,19 @@ makePolicy(const std::string& spec, unsigned ways, uint64_t seed)
     } else if (name == "qlru") {
         require(!args.empty(), "makePolicy: qlru needs parameters");
         return std::make_unique<QlruPolicy>(ways, QlruParams::parse(args));
+    } else if (name == "dip") {
+        const auto p = parseParams(args, {16, 4, 4}, "DIP");
+        return std::make_unique<DipPolicy>(ways, p[0], p[1], p[2]);
+    } else if (name == "drrip") {
+        const auto p = parseParams(args, {2, 16, 4, 4}, "DRRIP");
+        return std::make_unique<DrripPolicy>(ways, p[0], p[1], p[2],
+                                             p[3]);
+    } else if (name == "ship") {
+        const auto p = parseParams(args, {2, 4, 2}, "SHiP");
+        return std::make_unique<ShipPolicy>(ways, p[0], p[1], p[2]);
+    } else if (name == "eaf") {
+        const auto p = parseParams(args, {0, 16}, "EAF");
+        return std::make_unique<EafPolicy>(ways, p[0], p[1]);
     } else if (name == "perm-lru") {
         return std::make_unique<PermutationPolicy>(
             PermutationPolicy::lru(ways));
@@ -110,7 +154,11 @@ makePolicy(const std::string& spec, unsigned ways, uint64_t seed)
             PermutationPolicy::plru(ways));
     }
 
-    throw UsageError("makePolicy: unknown policy spec '" + spec + "'");
+    std::string known;
+    for (const auto& k : knownPolicyNames())
+        known += known.empty() ? k : ", " + k;
+    throw UsageError("makePolicy: unknown policy spec '" + spec +
+                     "' (known policies: " + known + ")");
 }
 
 bool
@@ -126,6 +174,17 @@ isKnownPolicySpec(const std::string& spec)
 }
 
 std::vector<std::string>
+knownPolicyNames()
+{
+    return {
+        "lru", "fifo", "plru", "bitplru", "nru", "random",
+        "lip", "bip", "srrip", "brrip", "slru", "qlru",
+        "dip", "drrip", "ship", "eaf",
+        "perm-lru", "perm-fifo", "perm-plru",
+    };
+}
+
+std::vector<std::string>
 baselineSpecs()
 {
     return {
@@ -133,6 +192,28 @@ baselineSpecs()
         "lip", "bip", "srrip", "brrip", "slru",
         "qlru:H1,M1,R0,U2", "qlru:H1,M3,R0,U2",
     };
+}
+
+std::vector<std::string>
+modernSpecs()
+{
+    return {
+        // Default parameterizations.
+        "dip", "drrip", "ship", "eaf",
+        // Compile-tractable small parameterizations, so the dueling
+        // automata also get compiled-path differential coverage
+        // (the defaults exceed the CompileBudget beyond 2 ways).
+        "dip:4,3,4", "drrip:1,4,3,4",
+    };
+}
+
+std::vector<std::string>
+catalogSpecs()
+{
+    auto specs = baselineSpecs();
+    const auto modern = modernSpecs();
+    specs.insert(specs.end(), modern.begin(), modern.end());
+    return specs;
 }
 
 bool

@@ -10,7 +10,13 @@
  *   "srrip" | "srrip:<bits>" | "brrip" | "brrip:<bits>,<throttle>"
  *   "slru" | "slru:<protectedWays>"
  *   "qlru:<H>,<M>,<R>,<U>"   e.g. "qlru:H1,M1,R0,U2"
+ *   "dip" | "dip:<throttle>,<pselBits>,<epochLen>"
+ *   "drrip" | "drrip:<bits>,<throttle>,<pselBits>,<epochLen>"
+ *   "ship" | "ship:<bits>,<sigBits>,<ctrBits>"
+ *   "eaf" | "eaf:<filterCap>,<throttle>"
  *   "perm-lru" | "perm-fifo" | "perm-plru"  (permutation-engine forms)
+ *
+ * Trailing parameters may be omitted to take their defaults.
  */
 
 #ifndef RECAP_POLICY_FACTORY_HH_
@@ -38,6 +44,9 @@ PolicyPtr makePolicy(const std::string& spec, unsigned ways,
 /** True iff makePolicy would accept @p spec. */
 bool isKnownPolicySpec(const std::string& spec);
 
+/** Policy family names makePolicy accepts, in presentation order. */
+std::vector<std::string> knownPolicyNames();
+
 /**
  * Deterministic baseline specs used by the evaluation benches, in
  * presentation order. All work at any associativity >= 2 except
@@ -45,6 +54,21 @@ bool isKnownPolicySpec(const std::string& spec);
  * specSupportsWays().
  */
 std::vector<std::string> baselineSpecs();
+
+/**
+ * The modern-LLC policy specs (DIP/DRRIP/SHiP/EAF) in their default
+ * parameterizations, plus compile-tractable small parameterizations
+ * of the dueling policies. All require associativity >= 2.
+ */
+std::vector<std::string> modernSpecs();
+
+/**
+ * Every deterministic spec the factory can build: baselineSpecs()
+ * followed by modernSpecs(). The catalog-wide differential sweep
+ * enumerates this list so new policies get compiled-path coverage
+ * automatically.
+ */
+std::vector<std::string> catalogSpecs();
 
 /** True iff @p spec can be instantiated at associativity @p ways. */
 bool specSupportsWays(const std::string& spec, unsigned ways);

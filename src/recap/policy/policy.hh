@@ -27,6 +27,25 @@ namespace recap::policy
 using Way = unsigned;
 
 /**
+ * Optional side information about the access currently being applied
+ * to the automaton.
+ *
+ * Classic permutation-class policies decide purely on way indices,
+ * but modern predictor policies consume more: SHiP needs the program
+ * counter of the accessing instruction, EAF needs the identity of the
+ * block being installed. Drivers (SetModel, cache::Cache) publish
+ * this record via beginAccess() before the touch()/fill() of each
+ * access; policies that do not override usesMeta() never see it.
+ */
+struct AccessMeta
+{
+    uint64_t block = 0; ///< identifier of the block being accessed
+    bool hasBlock = false;
+    uint64_t pc = 0;    ///< program counter of the access
+    bool hasPc = false;
+};
+
+/**
  * A replacement policy automaton for a single cache set.
  *
  * Implementations must be deterministic given their constructor
@@ -79,6 +98,21 @@ class ReplacementPolicy
      * analysis. Two states with equal keys must behave identically.
      */
     virtual std::string stateKey() const = 0;
+
+    /**
+     * True iff the policy consumes AccessMeta. Meta-consuming
+     * automata are excluded from table compilation (their behaviour
+     * is not a function of way-index inputs alone) and drivers must
+     * call beginAccess() before each access's touch()/fill().
+     */
+    virtual bool usesMeta() const { return false; }
+
+    /**
+     * Publishes side information for the access whose touch()/fill()
+     * follows. Only called by drivers when usesMeta() is true; the
+     * default implementation ignores it.
+     */
+    virtual void beginAccess(const AccessMeta& meta) { (void)meta; }
 
   protected:
     /** Throws UsageError unless 0 <= way < ways(). */

@@ -42,6 +42,28 @@ SetModel::ways() const
 bool
 SetModel::access(BlockId block)
 {
+    AccessMeta meta;
+    meta.block = block;
+    meta.hasBlock = true;
+    return accessImpl(block, meta);
+}
+
+bool
+SetModel::accessWithPc(BlockId block, uint64_t pc)
+{
+    AccessMeta meta;
+    meta.block = block;
+    meta.hasBlock = true;
+    meta.pc = pc;
+    meta.hasPc = true;
+    return accessImpl(block, meta);
+}
+
+bool
+SetModel::accessImpl(BlockId block, const AccessMeta& meta)
+{
+    if (policy_->usesMeta())
+        policy_->beginAccess(meta);
     for (unsigned w = 0; w < ways(); ++w) {
         if (valid_[w] && blocks_[w] == block) {
             policy_->touch(w);

@@ -49,6 +49,13 @@ class SetModel
      */
     bool access(BlockId block);
 
+    /**
+     * Performs one access to @p block annotated with the program
+     * counter @p pc, for PC-indexed predictor policies (SHiP).
+     * @return true on hit, false on miss.
+     */
+    bool accessWithPc(BlockId block, uint64_t pc);
+
     /** Empties the set and resets the policy (models a flush). */
     void flush();
 
@@ -86,6 +93,9 @@ class SetModel
     const ReplacementPolicy& policy() const { return *policy_; }
 
   private:
+    /** Shared access path; publishes @p meta when the policy asks. */
+    bool accessImpl(BlockId block, const AccessMeta& meta);
+
     PolicyPtr policy_;
     /** blocks_[w] holds the block in way w; valid_[w] gates it. */
     std::vector<BlockId> blocks_;

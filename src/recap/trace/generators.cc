@@ -200,6 +200,35 @@ phaseMix(uint64_t cacheBytes, unsigned phasePairs,
     return concatTraces(phases);
 }
 
+PcTrace
+pcReuseStreamMix(uint64_t hotBytes, size_t count, uint64_t seed,
+                 cache::Addr base)
+{
+    require(hotBytes >= 64, "pcReuseStreamMix: hotBytes too small");
+    constexpr uint64_t kLoopPc = 0x401000;
+    constexpr uint64_t kScanPc = 0x402000;
+    const uint64_t hotLines = hotBytes / 64;
+    Rng rng(seed);
+    PcTrace t;
+    t.reserve(count);
+    uint64_t loopPos = 0;
+    uint64_t scanPos = 0;
+    for (size_t i = 0; i < count; ++i) {
+        if (i % 2 == 0) {
+            // Loop PC: walks the hot set in order, wrapping.
+            t.push_back({base + 64 * (loopPos % hotLines), kLoopPc});
+            ++loopPos;
+        } else {
+            // Scan PC: strictly fresh lines, far from the hot set,
+            // with a pseudo-random skip so sets are covered evenly.
+            scanPos += 1 + rng.nextBelow(3);
+            t.push_back({base + (uint64_t{1} << 28) + 64 * scanPos,
+                         kScanPc});
+        }
+    }
+    return t;
+}
+
 std::vector<Workload>
 specLikeSuite(const SuiteConfig& cfg)
 {

@@ -72,6 +72,17 @@ Trace phaseMix(uint64_t cacheBytes, unsigned phasePairs,
                unsigned passesPerPhase, uint64_t seed,
                cache::Addr base = 1 << 20);
 
+/**
+ * PC-annotated mix of a reuse instruction and a streaming
+ * instruction: accesses alternate between a loop PC re-walking a hot
+ * working set of @p hotBytes and a scan PC streaming through an
+ * effectively unbounded footprint. The workload shape PC-indexed
+ * predictors (SHiP) are built for — the streaming PC's lines are
+ * never reused, the loop PC's always are.
+ */
+PcTrace pcReuseStreamMix(uint64_t hotBytes, size_t count,
+                         uint64_t seed, cache::Addr base = 1 << 20);
+
 /** Parameters for the SPEC-like suite sizing. */
 struct SuiteConfig
 {

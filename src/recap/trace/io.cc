@@ -15,21 +15,53 @@ namespace
 {
 
 constexpr char kHeader[] = "# recap-trace v1";
+constexpr char kHeaderV2[] = "# recap-trace v2";
+
+/** Parses one hex token, consuming it from @p text. */
+uint64_t
+parseHexToken(std::string_view& text, size_t line_number)
+{
+    if (text.starts_with("0x") || text.starts_with("0X"))
+        text.remove_prefix(2);
+    uint64_t value = 0;
+    const auto [ptr, ec] = std::from_chars(
+        text.data(), text.data() + text.size(), value, 16);
+    require(ec == std::errc() && ptr != text.data(),
+            "readTrace: malformed address at line " +
+                std::to_string(line_number));
+    text.remove_prefix(static_cast<size_t>(ptr - text.data()));
+    return value;
+}
 
 cache::Addr
 parseAddressLine(const std::string& line, size_t line_number)
 {
     std::string_view text(line);
-    if (text.starts_with("0x") || text.starts_with("0X"))
-        text.remove_prefix(2);
-    cache::Addr addr = 0;
-    const auto [ptr, ec] = std::from_chars(
-        text.data(), text.data() + text.size(), addr, 16);
-    require(ec == std::errc() && ptr == text.data() + text.size() &&
-                !text.empty(),
+    const uint64_t addr = parseHexToken(text, line_number);
+    require(text.empty(),
             "readTrace: malformed address at line " +
                 std::to_string(line_number));
     return addr;
+}
+
+PcAccess
+parsePcLine(const std::string& line, size_t line_number, bool hasPc)
+{
+    std::string_view text(line);
+    PcAccess access;
+    access.addr = parseHexToken(text, line_number);
+    if (hasPc && !text.empty()) {
+        require(text.front() == ' ' || text.front() == '\t',
+                "readPcTrace: malformed line " +
+                    std::to_string(line_number));
+        while (!text.empty() &&
+               (text.front() == ' ' || text.front() == '\t'))
+            text.remove_prefix(1);
+        access.pc = parseHexToken(text, line_number);
+    }
+    require(text.empty(), "readPcTrace: trailing junk at line " +
+                              std::to_string(line_number));
+    return access;
 }
 
 } // namespace
@@ -81,6 +113,61 @@ loadTraceFile(const std::string& path)
     std::ifstream is(path);
     require(is.good(), "loadTraceFile: cannot open '" + path + "'");
     return readTrace(is);
+}
+
+void
+writePcTrace(std::ostream& os, const PcTrace& t,
+             const std::string& comment)
+{
+    os << kHeaderV2 << '\n';
+    if (!comment.empty())
+        os << "# " << comment << '\n';
+    os << std::hex;
+    for (const PcAccess& a : t)
+        os << "0x" << a.addr << " 0x" << a.pc << '\n';
+    os << std::dec;
+}
+
+PcTrace
+readPcTrace(std::istream& is)
+{
+    std::string line;
+    require(static_cast<bool>(std::getline(is, line)),
+            "readPcTrace: missing header");
+    bool hasPc = false;
+    if (line == kHeaderV2)
+        hasPc = true;
+    else
+        require(line == kHeader,
+                "readPcTrace: missing 'recap-trace v1/v2' header");
+    PcTrace t;
+    size_t line_number = 1;
+    while (std::getline(is, line)) {
+        ++line_number;
+        if (line.empty() || line[0] == '#')
+            continue;
+        t.push_back(parsePcLine(line, line_number, hasPc));
+    }
+    return t;
+}
+
+void
+savePcTraceFile(const std::string& path, const PcTrace& t,
+                const std::string& comment)
+{
+    std::ofstream os(path);
+    require(os.good(), "savePcTraceFile: cannot open '" + path + "'");
+    writePcTrace(os, t, comment);
+    require(os.good(),
+            "savePcTraceFile: write failed for '" + path + "'");
+}
+
+PcTrace
+loadPcTraceFile(const std::string& path)
+{
+    std::ifstream is(path);
+    require(is.good(), "loadPcTraceFile: cannot open '" + path + "'");
+    return readPcTrace(is);
 }
 
 } // namespace recap::trace

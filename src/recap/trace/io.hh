@@ -5,10 +5,19 @@
  * (e.g. to feed externally captured address traces into the
  * evaluation harness).
  *
- * Format:
+ * Format v1 (address-only):
  *   # recap-trace v1        (header, required)
  *   # <free-form comment>   (optional, any number)
  *   <hex address>           (one per access, 0x prefix optional)
+ *
+ * Format v2 (PC-annotated):
+ *   # recap-trace v2
+ *   # <free-form comment>
+ *   <hex address> <hex pc>  (one pair per access)
+ *
+ * readPcTrace() also accepts v1 input, assigning every access PC 0,
+ * so legacy traces feed PC-aware consumers unchanged; readTrace()
+ * remains v1-only.
  */
 
 #ifndef RECAP_TRACE_IO_HH_
@@ -38,6 +47,24 @@ void saveTraceFile(const std::string& path, const Trace& t,
 
 /** Reads a trace from @p path; throws UsageError on failure. */
 Trace loadTraceFile(const std::string& path);
+
+/** Writes @p t in the v2 PC-annotated format. */
+void writePcTrace(std::ostream& os, const PcTrace& t,
+                  const std::string& comment = "");
+
+/**
+ * Parses a PC-annotated trace from @p is. Accepts both v2 input and
+ * legacy v1 input (PCs default to 0).
+ * @throws UsageError on a missing header or malformed line.
+ */
+PcTrace readPcTrace(std::istream& is);
+
+/** Writes @p t to @p path in v2; throws UsageError if unwritable. */
+void savePcTraceFile(const std::string& path, const PcTrace& t,
+                     const std::string& comment = "");
+
+/** Reads a PC-annotated trace from @p path (v2 or v1). */
+PcTrace loadPcTraceFile(const std::string& path);
 
 } // namespace recap::trace
 

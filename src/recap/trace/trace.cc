@@ -17,6 +17,30 @@ distinctBlocks(const Trace& t, unsigned lineSize)
     return blocks.size();
 }
 
+Trace
+addressesOf(const PcTrace& t)
+{
+    Trace out;
+    out.reserve(t.size());
+    for (const PcAccess& a : t)
+        out.push_back(a.addr);
+    return out;
+}
+
+PcTrace
+withRoundRobinPcs(const Trace& t, unsigned numPcs, uint64_t pcBase)
+{
+    PcTrace out;
+    out.reserve(t.size());
+    uint64_t i = 0;
+    for (cache::Addr a : t) {
+        // Synthetic 4-byte instructions, one per PC slot.
+        out.push_back({a, pcBase + 4 * (i % (numPcs ? numPcs : 1))});
+        ++i;
+    }
+    return out;
+}
+
 RefTrace
 withWrites(const Trace& t, double writeFraction, uint64_t seed)
 {

@@ -30,6 +30,34 @@ struct MemRef
 using RefTrace = std::vector<MemRef>;
 
 /**
+ * A memory access annotated with the program counter of the
+ * instruction that issued it, for PC-indexed predictor policies
+ * (SHiP).
+ */
+struct PcAccess
+{
+    cache::Addr addr = 0;
+    uint64_t pc = 0;
+
+    bool operator==(const PcAccess& other) const = default;
+};
+
+/** A PC-annotated load trace. */
+using PcTrace = std::vector<PcAccess>;
+
+/** Projects a PC-annotated trace onto its address sequence. */
+Trace addressesOf(const PcTrace& t);
+
+/**
+ * Annotates @p t with program counters cycling round-robin through
+ * @p numPcs synthetic instruction addresses starting at @p pcBase —
+ * the simplest PC model, useful for exercising PC plumbing with a
+ * fixed signature mix.
+ */
+PcTrace withRoundRobinPcs(const Trace& t, unsigned numPcs,
+                          uint64_t pcBase = 0x400000);
+
+/**
  * Marks a deterministic pseudo-random fraction of @p t as stores.
  *
  * @param writeFraction Probability that a reference is a store,

@@ -59,6 +59,26 @@ TEST(Errors, PolicyFactoryRejectsMalformedParameterLists)
     EXPECT_THROW(policy::makePolicy("lru", 0), UsageError);
 }
 
+TEST(Errors, UnknownPolicySpecListsTheKnownNames)
+{
+    // A typo'd spec must name the offender and enumerate what the
+    // factory does accept, so the CLI surfaces an actionable error.
+    try {
+        policy::makePolicy("zlru", 4);
+        FAIL() << "unknown spec accepted";
+    } catch (const UsageError& e) {
+        const std::string message = e.what();
+        EXPECT_NE(message.find("unknown policy spec 'zlru'"),
+                  std::string::npos)
+            << message;
+        EXPECT_NE(message.find("known policies:"), std::string::npos)
+            << message;
+        for (const auto& name : policy::knownPolicyNames())
+            EXPECT_NE(message.find(name), std::string::npos)
+                << name << " missing from: " << message;
+    }
+}
+
 TEST(Errors, PermutationEngineValidatesShapes)
 {
     using policy::Permutation;

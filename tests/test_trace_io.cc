@@ -108,4 +108,103 @@ TEST(TraceIo, LargeAddressesSurvive)
     EXPECT_EQ(readTrace(ss), original);
 }
 
+// ------------------------------------------- v2 (PC-annotated)
+
+TEST(PcTraceIo, RoundTripThroughStream)
+{
+    const PcTrace original =
+        withRoundRobinPcs(randomUniform(64 * 1024, 500, 3), 3);
+    std::stringstream ss;
+    writePcTrace(ss, original, "pc round trip");
+    const PcTrace loaded = readPcTrace(ss);
+    EXPECT_EQ(loaded, original);
+}
+
+TEST(PcTraceIo, EmitsV2HeaderAndPairs)
+{
+    std::stringstream ss;
+    writePcTrace(ss, {{0x40, 0x400000}, {0x80, 0x400004}}, "hello");
+    const std::string text = ss.str();
+    EXPECT_EQ(text.rfind("# recap-trace v2\n", 0), 0u);
+    EXPECT_NE(text.find("# hello"), std::string::npos);
+    EXPECT_NE(text.find("0x40 0x400000"), std::string::npos);
+    EXPECT_NE(text.find("0x80 0x400004"), std::string::npos);
+}
+
+TEST(PcTraceIo, ReaderAcceptsLegacyV1WithZeroPcs)
+{
+    // Legacy PC-free traces feed PC-aware consumers unchanged.
+    const Trace legacy = sequentialScan(4096, 2);
+    std::stringstream ss;
+    writeTrace(ss, legacy, "captured before v2 existed");
+    const PcTrace loaded = readPcTrace(ss);
+    ASSERT_EQ(loaded.size(), legacy.size());
+    for (size_t i = 0; i < loaded.size(); ++i) {
+        EXPECT_EQ(loaded[i].addr, legacy[i]);
+        EXPECT_EQ(loaded[i].pc, 0u);
+    }
+    EXPECT_EQ(addressesOf(loaded), legacy);
+}
+
+TEST(PcTraceIo, AddressReaderStaysV1Only)
+{
+    // readTrace() must not silently drop the PC column.
+    std::stringstream ss;
+    writePcTrace(ss, {{0x40, 0x400000}});
+    EXPECT_THROW(readTrace(ss), UsageError);
+}
+
+TEST(PcTraceIo, RejectsMalformedLines)
+{
+    std::stringstream junkPc;
+    junkPc << "# recap-trace v2\n"
+              "0x10 junk\n";
+    EXPECT_THROW(readPcTrace(junkPc), UsageError);
+
+    std::stringstream trailing;
+    trailing << "# recap-trace v2\n"
+                "0x10 0x20 junk\n";
+    EXPECT_THROW(readPcTrace(trailing), UsageError);
+
+    std::stringstream noHeader;
+    noHeader << "0x10 0x20\n";
+    EXPECT_THROW(readPcTrace(noHeader), UsageError);
+}
+
+TEST(PcTraceIo, FileRoundTrip)
+{
+    const std::string path = "/tmp/recap_pc_trace_io_test.txt";
+    const PcTrace original =
+        withRoundRobinPcs(sequentialScan(4096, 2), 2, 0x7f0000);
+    savePcTraceFile(path, original, "pc file round trip");
+    const PcTrace loaded = loadPcTraceFile(path);
+    EXPECT_EQ(loaded, original);
+    std::remove(path.c_str());
+}
+
+TEST(PcTraceIo, RoundRobinAnnotationCycles)
+{
+    const PcTrace t = withRoundRobinPcs({0x0, 0x40, 0x80, 0xc0}, 3);
+    ASSERT_EQ(t.size(), 4u);
+    EXPECT_EQ(t[0].pc, 0x400000u);
+    EXPECT_EQ(t[1].pc, 0x400004u);
+    EXPECT_EQ(t[2].pc, 0x400008u);
+    EXPECT_EQ(t[3].pc, 0x400000u); // wraps around
+}
+
+TEST(PcTraceIo, ReuseStreamMixAlternatesTwoPcs)
+{
+    const PcTrace t = pcReuseStreamMix(4 * 64, 64, 7);
+    ASSERT_EQ(t.size(), 64u);
+    for (size_t i = 0; i < t.size(); ++i) {
+        EXPECT_EQ(t[i].pc, i % 2 == 0 ? 0x401000u : 0x402000u) << i;
+        if (i % 2 == 0) { // loop accesses stay inside the hot set
+            EXPECT_LT(t[i].addr, (1u << 20) + 4 * 64);
+        }
+    }
+    // Deterministic in the seed.
+    EXPECT_EQ(pcReuseStreamMix(4 * 64, 64, 7), t);
+    EXPECT_NE(pcReuseStreamMix(4 * 64, 64, 8), t);
+}
+
 } // namespace
