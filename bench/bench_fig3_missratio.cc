@@ -51,7 +51,9 @@ printFigure3()
     headers.push_back("geomean");
     TextTable table(headers);
 
-    benchjson::Writer json("fig3_missratio");
+    benchjson::Writer json(
+        "fig3_missratio",
+        "per-policy miss ratios over the SPEC-like workload suite");
     json.field("geometry", kGeom.describe());
     uint64_t simulatedAccesses = 0;
     const auto sweepStart = std::chrono::steady_clock::now();
@@ -159,7 +161,9 @@ printFigure3b()
     const auto addrOnly = trace::addressesOf(pcTrace);
 
     TextTable table({"policy", "miss ratio"});
-    benchjson::Writer json("fig3b_ship_pc");
+    benchjson::Writer json(
+        "fig3b_ship_pc",
+        "PC-aware policies on the reuse/stream PC mix");
     json.field("geometry", kGeom.describe());
     json.field("accesses", uint64_t{pcTrace.size()});
     auto add = [&](const std::string& label, double ratio) {

@@ -107,14 +107,24 @@ renderedObject(const Object& object, const std::string& indent)
 }
 
 /**
+ * Artifact schema version, stamped into every file as
+ * "schema_version". Bump when the envelope shape changes:
+ *   1 — { bench, <fields...>, rows }
+ *   2 — adds schema_version and a per-bench description
+ */
+inline constexpr uint64_t kSchemaVersion = 2;
+
+/**
  * Accumulates scalar fields and per-series rows, then writes
  * BENCH_<name>.json.
  */
 class Writer
 {
   public:
-    explicit Writer(std::string benchName)
-        : name_(std::move(benchName))
+    explicit Writer(std::string benchName,
+                    std::string description = "")
+        : name_(std::move(benchName)),
+          description_(std::move(description))
     {}
 
     void field(std::string key, Value value)
@@ -144,6 +154,10 @@ class Writer
         if (!out)
             return "";
         out << "{\n  \"bench\": \"" << escaped(name_) << "\"";
+        out << ",\n  \"schema_version\": " << kSchemaVersion;
+        if (!description_.empty())
+            out << ",\n  \"description\": \""
+                << escaped(description_) << "\"";
         for (const auto& [key, value] : fields_)
             out << ",\n  \"" << escaped(key)
                 << "\": " << rendered(value);
@@ -158,6 +172,7 @@ class Writer
 
   private:
     std::string name_;
+    std::string description_;
     Object fields_;
     std::vector<Object> rows_;
 };

@@ -77,7 +77,9 @@ runComparison()
 
     TextTable table({"policy", "states", "interpreted", "compiled",
                      "speedup"});
-    benchjson::Writer json("kernel");
+    benchjson::Writer json(
+        "kernel",
+        "interpreted vs compiled-automaton simulation throughput");
     json.field("geometry", kGeom.describe());
     json.field("accesses", kAccesses);
 

@@ -136,7 +136,9 @@ printComparison()
     std::cout << "====================================================\n\n";
     TextTable table({"backend / workload", "queries", "naive", "shared",
                      "saving", "experiments"});
-    benchjson::Writer json("query_batch");
+    benchjson::Writer json(
+        "query_batch",
+        "naive vs shared-prefix batched query execution");
 
     const auto timedSecs = [](auto&& fn) {
         const auto start = std::chrono::steady_clock::now();

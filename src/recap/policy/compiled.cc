@@ -1,5 +1,6 @@
 #include "recap/policy/compiled.hh"
 
+#include <deque>
 #include <mutex>
 #include <unordered_map>
 #include <utility>
@@ -118,6 +119,49 @@ compilePolicy(const ReplacementPolicy& proto,
                                   table->fillNext_.end());
     }
     return table;
+}
+
+CompiledTableView::CompiledTableView(CompiledTablePtr table)
+    : table_(std::move(table))
+{
+    require(table_ != nullptr,
+            "CompiledTableView: table must not be null");
+}
+
+uint32_t
+CompiledTableView::filledState() const
+{
+    uint32_t state = 0;
+    for (unsigned w = 0; w < ways(); ++w)
+        state = table_->fillNext(state, w);
+    return state;
+}
+
+std::vector<uint32_t>
+CompiledTableView::fullSetReachable() const
+{
+    const unsigned k = ways();
+    std::vector<bool> visited(numStates(), false);
+    std::vector<uint32_t> order;
+    std::deque<uint32_t> frontier;
+    const uint32_t start = filledState();
+    visited[start] = true;
+    frontier.push_back(start);
+    while (!frontier.empty()) {
+        const uint32_t state = frontier.front();
+        frontier.pop_front();
+        order.push_back(state);
+        const auto push = [&](uint32_t next) {
+            if (!visited[next]) {
+                visited[next] = true;
+                frontier.push_back(next);
+            }
+        };
+        for (unsigned w = 0; w < k; ++w)
+            push(table_->touchNext(state, w));
+        push(table_->fillNext(state, table_->victim(state)));
+    }
+    return order;
 }
 
 CompiledTablePtr

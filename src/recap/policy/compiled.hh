@@ -129,6 +129,64 @@ class CompiledTable
 using CompiledTablePtr = std::shared_ptr<const CompiledTable>;
 
 /**
+ * Safe read-only view of a compiled table for analysis consumers
+ * (the sec:: searches, future model checkers): a copyable value that
+ * keeps the shared table alive and exposes exactly the transition
+ * and victim lookups plus the canonical derived states every
+ * analysis needs, so consumers neither re-compile nor reach into
+ * CompiledTable internals.
+ */
+class CompiledTableView
+{
+  public:
+    /** @throws UsageError when @p table is null. */
+    explicit CompiledTableView(CompiledTablePtr table);
+
+    unsigned ways() const { return table_->ways(); }
+    uint32_t numStates() const { return table_->numStates(); }
+    const std::string& policyName() const
+    {
+        return table_->policyName();
+    }
+
+    uint32_t touchNext(uint32_t state, Way way) const
+    {
+        return table_->touchNext(state, way);
+    }
+
+    uint32_t fillNext(uint32_t state, Way way) const
+    {
+        return table_->fillNext(state, way);
+    }
+
+    Way victim(uint32_t state) const { return table_->victim(state); }
+
+    /** The post-reset state (always index 0 by construction). */
+    uint32_t resetState() const { return 0; }
+
+    /**
+     * The canonical full-set state: reset followed by a sequential
+     * fill of ways 0..k-1 — the same preparation the predictability
+     * metrics and the eviction-game roots use.
+     */
+    uint32_t filledState() const;
+
+    /**
+     * Every state reachable from filledState() under full-set inputs
+     * (touch on any way, one filled miss per state), in BFS order —
+     * the state universe of a warm set, which the security searches
+     * take as the set of possible initial policy configurations.
+     */
+    std::vector<uint32_t> fullSetReachable() const;
+
+    /** The shared table the view reads from. */
+    const CompiledTablePtr& table() const { return table_; }
+
+  private:
+    CompiledTablePtr table_;
+};
+
+/**
  * Enumerates the reachable control states of @p proto (closed under
  * every touch(w)/fill(w) input, so the table is total even for fill
  * patterns only adaptive caches produce) and builds its transition

@@ -1,0 +1,369 @@
+#include "recap/sec/evict_strategy.hh"
+
+#include <algorithm>
+#include <bit>
+#include <deque>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "recap/common/error.hh"
+#include "recap/policy/factory.hh"
+
+namespace recap::sec
+{
+
+namespace
+{
+
+constexpr uint32_t kUnset = std::numeric_limits<uint32_t>::max();
+
+/**
+ * Blind-tier analysis: for every full-set-reachable state s and
+ * victim way w, the number of fresh-line misses until the conflict
+ * stream evicts way w (kUnset when the miss chain cycles past w
+ * forever). Misses are deterministic — each evicts victim(s) and
+ * fills the same way — so for a fixed target way the chain is a
+ * functional graph and all distances fall out of one reverse BFS.
+ */
+struct PureMissAnalysis
+{
+    std::vector<uint32_t> states;           ///< full-set reachable
+    std::unordered_map<uint32_t, uint32_t> indexOf;
+    std::vector<std::vector<uint32_t>> distByWay; ///< [way][stateIdx]
+    bool unbounded = false;
+    uint64_t maxLen = 0;
+    uint64_t configsExplored = 0;
+};
+
+PureMissAnalysis
+analyzePureMiss(const policy::CompiledTableView& view)
+{
+    const unsigned k = view.ways();
+    PureMissAnalysis a;
+    a.states = view.fullSetReachable();
+    const auto n = static_cast<uint32_t>(a.states.size());
+    a.indexOf.reserve(n);
+    for (uint32_t i = 0; i < n; ++i)
+        a.indexOf.emplace(a.states[i], i);
+
+    // The miss-chain successor s -> fill(s, victim(s)), as indices.
+    std::vector<uint32_t> succ(n);
+    std::vector<std::vector<uint32_t>> preds(n);
+    for (uint32_t i = 0; i < n; ++i) {
+        const uint32_t s = a.states[i];
+        const uint32_t next = view.fillNext(s, view.victim(s));
+        succ[i] = a.indexOf.at(next);
+        preds[succ[i]].push_back(i);
+    }
+
+    a.distByWay.assign(k, std::vector<uint32_t>(n, kUnset));
+    for (unsigned w = 0; w < k; ++w) {
+        auto& dist = a.distByWay[w];
+        std::deque<uint32_t> frontier;
+        // A state whose next miss targets way w evicts the victim
+        // there in exactly one access.
+        for (uint32_t i = 0; i < n; ++i) {
+            if (view.victim(a.states[i]) == w) {
+                dist[i] = 1;
+                frontier.push_back(i);
+            }
+        }
+        while (!frontier.empty()) {
+            const uint32_t i = frontier.front();
+            frontier.pop_front();
+            ++a.configsExplored;
+            for (const uint32_t p : preds[i]) {
+                // A goal state's distance is 1 no matter where its
+                // chain continues; only non-goal states inherit.
+                if (dist[p] != kUnset)
+                    continue;
+                dist[p] = dist[i] + 1;
+                frontier.push_back(p);
+            }
+        }
+        for (uint32_t i = 0; i < n; ++i) {
+            if (dist[i] == kUnset)
+                a.unbounded = true;
+            else
+                a.maxLen = std::max<uint64_t>(a.maxLen, dist[i]);
+        }
+    }
+    return a;
+}
+
+/**
+ * Informed-tier product graph: configurations are (control state,
+ * victim way, attacker-residency mask over the non-victim ways).
+ * Edges are touches of resident attacker lines and one collapsed
+ * "miss with any non-resident attacker line" edge; a miss whose
+ * victim way is the target's way evicts the target (an edge to the
+ * goal). Built forward from every (reachable state, victim way,
+ * empty mask) seed, then distances to the goal are computed by
+ * reverse BFS — once per line-pool cap m, since the cap only gates
+ * miss edges out of configurations with popcount(mask) >= m.
+ */
+struct InformedGraph
+{
+    std::vector<uint64_t> keys;      ///< (state*k + vw) << k | mask
+    std::vector<std::vector<uint32_t>> preds; ///< fromIdx<<1|isMiss
+    std::vector<uint32_t> goalPreds; ///< fromIdx (always a miss)
+    uint32_t numInitial = 0;         ///< seeds occupy indices [0, n)
+    bool overBudget = false;
+    uint64_t configsExplored = 0;
+};
+
+InformedGraph
+buildInformedGraph(const policy::CompiledTableView& view,
+                   const std::vector<uint32_t>& fullStates,
+                   uint64_t maxConfigs)
+{
+    const unsigned k = view.ways();
+    InformedGraph g;
+
+    std::unordered_map<uint64_t, uint32_t> index;
+    const auto keyOf = [k](uint32_t state, unsigned vw,
+                           uint32_t mask) {
+        return ((uint64_t{state} * k + vw) << k) | mask;
+    };
+    const auto intern = [&](uint64_t key) -> uint32_t {
+        const auto it = index.find(key);
+        if (it != index.end())
+            return it->second;
+        const auto id = static_cast<uint32_t>(g.keys.size());
+        index.emplace(key, id);
+        g.keys.push_back(key);
+        g.preds.emplace_back();
+        return id;
+    };
+
+    // Seeds: every reachable full-set state with the victim in every
+    // way and no attacker line resident yet — the conservative "the
+    // attacker starts cold against an arbitrary warm set" opening.
+    for (const uint32_t s : fullStates)
+        for (unsigned vw = 0; vw < k; ++vw)
+            intern(keyOf(s, vw, 0));
+    g.numInitial = static_cast<uint32_t>(g.keys.size());
+    if (g.numInitial > maxConfigs) {
+        g.overBudget = true;
+        return g;
+    }
+
+    for (uint32_t at = 0; at < g.keys.size(); ++at) {
+        if (g.keys.size() > maxConfigs) {
+            g.overBudget = true;
+            return g;
+        }
+        ++g.configsExplored;
+        const uint64_t key = g.keys[at];
+        const auto mask = static_cast<uint32_t>(key & ((1u << k) - 1));
+        const auto packed = static_cast<uint32_t>(key >> k);
+        const uint32_t state = packed / k;
+        const unsigned vw = packed % k;
+
+        // Touch any resident attacker line.
+        for (unsigned w = 0; w < k; ++w) {
+            if (!(mask & (1u << w)))
+                continue;
+            const uint32_t to =
+                intern(keyOf(view.touchNext(state, w), vw, mask));
+            g.preds[to].push_back(at << 1);
+        }
+        // Miss with a non-resident line (pool permitting — the cap
+        // is applied during the distance pass, not here).
+        const unsigned v = view.victim(state);
+        if (v == vw) {
+            g.goalPreds.push_back(at);
+        } else {
+            const uint32_t to = intern(keyOf(
+                view.fillNext(state, v), vw, mask | (1u << v)));
+            g.preds[to].push_back((at << 1) | 1u);
+        }
+    }
+    return g;
+}
+
+/**
+ * Distances to the goal when the attacker owns @p poolSize lines.
+ * Returns the max distance over the seed configurations, or kUnset
+ * if some seed cannot reach the goal under this pool.
+ */
+uint64_t
+informedWorstCase(const InformedGraph& g, unsigned k,
+                  unsigned poolSize, uint64_t* explored)
+{
+    const auto maskOf = [k](uint64_t key) {
+        return static_cast<uint32_t>(key & ((1u << k) - 1));
+    };
+    const auto missAllowed = [&](uint32_t from) {
+        return std::popcount(maskOf(g.keys[from])) <
+               static_cast<int>(poolSize);
+    };
+
+    std::vector<uint32_t> dist(g.keys.size(), kUnset);
+    std::deque<uint32_t> frontier;
+    for (const uint32_t from : g.goalPreds) {
+        if (dist[from] == kUnset && missAllowed(from)) {
+            dist[from] = 1;
+            frontier.push_back(from);
+        }
+    }
+    while (!frontier.empty()) {
+        const uint32_t i = frontier.front();
+        frontier.pop_front();
+        ++*explored;
+        for (const uint32_t edge : g.preds[i]) {
+            const uint32_t p = edge >> 1;
+            if (dist[p] != kUnset)
+                continue;
+            if ((edge & 1u) && !missAllowed(p))
+                continue;
+            dist[p] = dist[i] + 1;
+            frontier.push_back(p);
+        }
+    }
+
+    uint64_t worst = 0;
+    for (uint32_t i = 0; i < g.numInitial; ++i) {
+        if (dist[i] == kUnset)
+            return kUnset;
+        worst = std::max<uint64_t>(worst, dist[i]);
+    }
+    return worst;
+}
+
+} // namespace
+
+std::string
+EvictStrategyResult::render() const
+{
+    const auto tier = [](SecOutcome o, bool unbounded, uint64_t len) {
+        if (o == SecOutcome::kNotCompiled)
+            return std::string("not-compiled");
+        if (o == SecOutcome::kOverBudget)
+            return std::string(">budget");
+        return unbounded ? std::string("unbounded")
+                         : std::to_string(len);
+    };
+    std::string out = "blind " +
+                      tier(outcome, pureMissUnbounded, pureMissLen) +
+                      ", informed " +
+                      tier(informedOutcome, informedUnbounded,
+                           informedLen);
+    if (informedOutcome == SecOutcome::kComplete &&
+        !informedUnbounded) {
+        out += " (min " + std::to_string(informedMinLines) +
+               " lines: " + std::to_string(informedLenAtMinLines) +
+               ")";
+    }
+    return out;
+}
+
+EvictStrategyResult
+evictStrategy(const policy::CompiledTableView& view,
+              const SecBudget& budget)
+{
+    const unsigned k = view.ways();
+    require(k >= 1 && k < 31, "evictStrategy: ways out of range");
+
+    EvictStrategyResult result;
+    const PureMissAnalysis pure = analyzePureMiss(view);
+    result.outcome = SecOutcome::kComplete;
+    result.pureMissUnbounded = pure.unbounded;
+    result.pureMissLen = pure.maxLen;
+    result.configsExplored = pure.configsExplored;
+
+    const InformedGraph g = buildInformedGraph(
+        view, pure.states, budget.maxConfigs);
+    result.configsExplored += g.configsExplored;
+    if (g.overBudget) {
+        result.informedOutcome = SecOutcome::kOverBudget;
+        return result;
+    }
+    result.informedOutcome = SecOutcome::kComplete;
+
+    // Unlimited pool: with the victim resident, at most k - 1
+    // attacker lines fit, so a pool of k lines never runs dry.
+    const uint64_t unlimited =
+        informedWorstCase(g, k, k, &result.configsExplored);
+    if (unlimited == kUnset) {
+        result.informedUnbounded = true;
+        return result;
+    }
+    result.informedLen = unlimited;
+
+    for (unsigned m = 1; m <= k; ++m) {
+        const uint64_t len =
+            informedWorstCase(g, k, m, &result.configsExplored);
+        if (len != kUnset) {
+            result.informedMinLines = m;
+            result.informedLenAtMinLines = len;
+            break;
+        }
+    }
+    ensure(result.informedMinLines >= 1,
+           "evictStrategy: full pool feasible but no minimal pool");
+    return result;
+}
+
+EvictCrossCheck
+crossCheckEvictBound(const std::string& spec, unsigned ways,
+                     const SecBudget& budget,
+                     const eval::PredictabilityConfig& predCfg)
+{
+    EvictCrossCheck check;
+    const auto view = viewForSpec(spec, ways, budget);
+    if (!view)
+        return check; // not applicable: no table to search over
+
+    const auto proto = policy::makePolicy(spec, ways);
+    const eval::MetricResult bound = eval::evictBound(*proto, predCfg);
+    const EvictStrategyResult strat = evictStrategy(*view, budget);
+    if (strat.outcome != SecOutcome::kComplete)
+        return check;
+    check.applicable = true;
+
+    // Wherever both tiers completed, the informed optimum is a
+    // refinement of the blind strategy and can never be worse.
+    if (strat.informedOutcome == SecOutcome::kComplete &&
+        !strat.informedUnbounded && !strat.pureMissUnbounded &&
+        strat.informedLen > strat.pureMissLen) {
+        check.consistent = false;
+        check.detail = spec + "@" + std::to_string(ways) +
+                       ": informed length " +
+                       std::to_string(strat.informedLen) +
+                       " exceeds blind length " +
+                       std::to_string(strat.pureMissLen);
+        return check;
+    }
+
+    // A finite survival bound B means no adversary keeps a line
+    // resident past B misses, so the blind stream must finish every
+    // canonical-fill configuration within B + 1 misses.
+    if (!bound.value.has_value())
+        return check; // unbounded or >budget: no finite constraint
+    const uint64_t b = *bound.value;
+
+    const PureMissAnalysis pure = analyzePureMiss(*view);
+    const uint32_t filled = view->filledState();
+    const uint32_t idx = pure.indexOf.at(filled);
+    for (unsigned w = 0; w < ways; ++w) {
+        const uint32_t d = pure.distByWay[w][idx];
+        if (d == kUnset || d > b + 1) {
+            check.consistent = false;
+            check.detail =
+                spec + "@" + std::to_string(ways) +
+                ": canonical victim at way " + std::to_string(w) +
+                " needs " +
+                (d == kUnset ? std::string("unbounded")
+                             : std::to_string(d)) +
+                " blind misses, but evictBound " +
+                std::to_string(b) + " admits at most " +
+                std::to_string(b + 1);
+            return check;
+        }
+    }
+    return check;
+}
+
+} // namespace recap::sec

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Minimal eviction-set strategies over a compiled policy automaton.
+ *
+ * The question an eviction-set attacker cares about: how many
+ * accesses to attacker-controlled lines guarantee that a victim
+ * line is evicted from its set, and how many distinct lines does
+ * that take? Both are answered by search over the compiled product
+ * automaton of (policy control state, victim position, attacker
+ * residency), at two attacker strengths:
+ *
+ *  - Blind conflict stream (pureMiss*): the attacker accesses fresh
+ *    lines only, each access a guaranteed miss — the classic
+ *    prime-style eviction sweep. Because fills are deterministic,
+ *    the worst case over every reachable (state, victim way) pair
+ *    is the exact length of the shortest universally-evicting
+ *    conflict stream, and its distinct-line count equals its
+ *    length. Computed in O(states x ways) by per-way reverse BFS
+ *    over the miss-chain functional graph. Policies that protect
+ *    residents from conflict streams (LIP/BIP insert at the LRU
+ *    end) come out unbounded — the automaton-level statement of
+ *    their thrash resistance.
+ *
+ *  - Informed adaptive attacker (informed*): the attacker knows the
+ *    full configuration and may re-access (touch) its own resident
+ *    lines to steer the policy between misses. Shortest-path search
+ *    over the product graph yields the worst-case optimal sequence
+ *    length, and re-running the reachability with the line pool
+ *    capped at m in {1..k} yields the minimum distinct-line count
+ *    that still guarantees eviction from every configuration. This
+ *    is a capability bound: no real attacker evicts faster.
+ *
+ * The informed product can be large (states x ways x 2^(ways-1)),
+ * so that tier carries its own SecOutcome and abstains over budget;
+ * the blind tier is cheap enough to complete for every policy that
+ * compiles.
+ */
+
+#ifndef RECAP_SEC_EVICT_STRATEGY_HH_
+#define RECAP_SEC_EVICT_STRATEGY_HH_
+
+#include <cstdint>
+#include <string>
+
+#include "recap/eval/predictability.hh"
+#include "recap/sec/sec.hh"
+
+namespace recap::sec
+{
+
+/** Result of the two-tier eviction-strategy search. */
+struct EvictStrategyResult
+{
+    /** Outcome of the blind conflict-stream tier. */
+    SecOutcome outcome = SecOutcome::kNotCompiled;
+
+    /**
+     * True iff some reachable (state, victim way) configuration
+     * survives a fresh-miss stream forever — no blind conflict
+     * stream of any length guarantees eviction.
+     */
+    bool pureMissUnbounded = false;
+
+    /**
+     * Worst case over configurations of the minimal fresh-miss
+     * count until the victim is evicted; equals the distinct-line
+     * count of the blind strategy. Valid when the tier completed
+     * and pureMissUnbounded is false.
+     */
+    uint64_t pureMissLen = 0;
+
+    /** Outcome of the informed-attacker tier. */
+    SecOutcome informedOutcome = SecOutcome::kNotCompiled;
+
+    /**
+     * True iff some configuration is unevictable even by an
+     * informed attacker with an unlimited line pool.
+     */
+    bool informedUnbounded = false;
+
+    /** Worst-case optimal sequence length, unlimited line pool. */
+    uint64_t informedLen = 0;
+
+    /**
+     * Minimum distinct-line pool size m such that an informed
+     * attacker restricted to m lines still evicts from every
+     * configuration, and the worst-case optimal length under that
+     * minimal pool.
+     */
+    uint64_t informedMinLines = 0;
+    uint64_t informedLenAtMinLines = 0;
+
+    /** Product configurations explored across both tiers. */
+    uint64_t configsExplored = 0;
+
+    /** e.g. "blind 4/4 lines, informed 4 (min 3 lines: 5)". */
+    std::string render() const;
+};
+
+/** Runs both tiers against @p view under @p budget. */
+EvictStrategyResult evictStrategy(const policy::CompiledTableView& view,
+                                  const SecBudget& budget = {});
+
+/**
+ * Cross-check between the eviction search and the predictability
+ * metrics: when eval::evictBound(proto) is a finite B, no resident
+ * line survives more than B misses, so the blind conflict stream
+ * must evict every canonical-fill configuration within B + 1
+ * misses; and wherever both tiers complete, the informed optimum
+ * can never exceed the blind one. Returns consistent == false with
+ * a human-readable detail on any violation (which would indicate a
+ * bug in one of the searches, not a property of the policy).
+ */
+struct EvictCrossCheck
+{
+    bool consistent = true;
+    bool applicable = false; ///< false when every side abstained
+    std::string detail;
+};
+
+EvictCrossCheck
+crossCheckEvictBound(const std::string& spec, unsigned ways,
+                     const SecBudget& budget = {},
+                     const eval::PredictabilityConfig& predCfg = {});
+
+} // namespace recap::sec
+
+#endif // RECAP_SEC_EVICT_STRATEGY_HH_

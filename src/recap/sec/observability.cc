@@ -1,0 +1,168 @@
+#include "recap/sec/observability.hh"
+
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "recap/common/error.hh"
+#include "recap/common/table.hh"
+
+namespace recap::sec
+{
+
+namespace
+{
+
+/** Integer power with overflow guard (0 on overflow). */
+uint64_t
+checkedPow(uint64_t base, unsigned exp)
+{
+    uint64_t out = 1;
+    for (unsigned i = 0; i < exp; ++i) {
+        if (out > (uint64_t{1} << 62) / base)
+            return 0;
+        out *= base;
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+ObservabilityResult::render() const
+{
+    if (outcome == SecOutcome::kNotCompiled)
+        return "not-compiled";
+    if (outcome == SecOutcome::kOverBudget)
+        return ">budget";
+    return std::to_string(observations) + " obs / " +
+           std::to_string(patterns) + " patterns (" +
+           formatDouble(leakedBits, 2) + " bits)";
+}
+
+ObservabilityResult
+observability(const policy::CompiledTableView& view,
+              const ObservabilityConfig& cfg, const SecBudget& budget)
+{
+    const unsigned k = view.ways();
+    const unsigned v = cfg.victimLines;
+    const unsigned horizon = cfg.horizon ? cfg.horizon : 2 * k;
+    require(v >= 1, "observability: need at least one victim line");
+
+    ObservabilityResult result;
+
+    // Configuration key: control state x per-way occupancy digit
+    // (0 = the way's original attacker line, j = victim line j).
+    const uint64_t radix = v + 1;
+    const uint64_t contentsSpan = checkedPow(radix, k);
+    if (contentsSpan == 0 ||
+        contentsSpan > (uint64_t{1} << 62) / view.numStates()) {
+        result.outcome = SecOutcome::kOverBudget;
+        return result;
+    }
+    std::vector<uint64_t> wayWeight(k);
+    for (unsigned w = 0; w < k; ++w)
+        wayWeight[w] = checkedPow(radix, w);
+
+    // Level-by-level forward exploration with exact pattern
+    // multiplicities: config -> number of victim prefixes landing
+    // there.
+    std::unordered_map<uint64_t, uint64_t> level;
+    level.emplace(uint64_t{view.filledState()} * contentsSpan, 1);
+
+    std::vector<unsigned> digits(k);
+    for (unsigned step = 0; step < horizon; ++step) {
+        std::unordered_map<uint64_t, uint64_t> next;
+        next.reserve(level.size() * v);
+        for (const auto& [key, count] : level) {
+            const auto state =
+                static_cast<uint32_t>(key / contentsSpan);
+            uint64_t code = key % contentsSpan;
+            for (unsigned w = 0; w < k; ++w) {
+                digits[w] = static_cast<unsigned>(code % radix);
+                code /= radix;
+            }
+            for (unsigned j = 1; j <= v; ++j) {
+                uint32_t newState;
+                uint64_t newCode = key % contentsSpan;
+                unsigned residentWay = k;
+                for (unsigned w = 0; w < k; ++w) {
+                    if (digits[w] == j) {
+                        residentWay = w;
+                        break;
+                    }
+                }
+                if (residentWay < k) {
+                    newState = view.touchNext(state, residentWay);
+                } else {
+                    const policy::Way w = view.victim(state);
+                    newState = view.fillNext(state, w);
+                    newCode -= digits[w] * wayWeight[w];
+                    newCode += uint64_t{j} * wayWeight[w];
+                }
+                next[newState * contentsSpan + newCode] += count;
+            }
+        }
+        level = std::move(next);
+        result.configsExplored += level.size();
+        if (result.configsExplored > budget.maxConfigs) {
+            result.outcome = SecOutcome::kOverBudget;
+            return result;
+        }
+    }
+
+    result.outcome = SecOutcome::kComplete;
+    result.patterns = checkedPow(v, horizon);
+    ensure(result.patterns != 0, "observability: pattern overflow");
+    result.reachedConfigs = level.size();
+
+    // Probe every distinct post-victim configuration: the attacker
+    // re-accesses its lines in home-way order; a line is a hit iff
+    // it is still resident at probe time (earlier probe misses can
+    // themselves evict attacker lines — simulated faithfully).
+    std::unordered_map<uint32_t, uint64_t> classes;
+    std::vector<int> occ(k);
+    for (const auto& [key, count] : level) {
+        auto state = static_cast<uint32_t>(key / contentsSpan);
+        uint64_t code = key % contentsSpan;
+        // occ[w]: attacker line id at way w, or -1 for victim lines.
+        for (unsigned w = 0; w < k; ++w) {
+            occ[w] = (code % radix) == 0 ? static_cast<int>(w) : -1;
+            code /= radix;
+        }
+        uint32_t obs = 0;
+        for (unsigned line = 0; line < k; ++line) {
+            unsigned residentWay = k;
+            for (unsigned w = 0; w < k; ++w) {
+                if (occ[w] == static_cast<int>(line)) {
+                    residentWay = w;
+                    break;
+                }
+            }
+            if (residentWay < k) {
+                state = view.touchNext(state, residentWay);
+            } else {
+                obs |= 1u << line; // miss observed
+                const policy::Way w = view.victim(state);
+                occ[w] = static_cast<int>(line);
+                state = view.fillNext(state, w);
+            }
+        }
+        classes[obs] += count;
+    }
+
+    result.observations = classes.size();
+    result.leakedBits =
+        std::log2(static_cast<double>(result.observations));
+    result.minClass = ~uint64_t{0};
+    for (const auto& [obs, count] : classes) {
+        (void)obs;
+        result.minClass = std::min(result.minClass, count);
+        result.maxClass = std::max(result.maxClass, count);
+    }
+    if (classes.empty())
+        result.minClass = 0;
+    return result;
+}
+
+} // namespace recap::sec

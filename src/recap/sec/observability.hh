@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Attacker observability of victim access patterns, in the spirit of
+ * the absorption/disclosure metrics of "Security Analysis of Cache
+ * Replacement Policies" (Cañones, Köpf, Reineke).
+ *
+ * Protocol modelled: the attacker primes the set with its k lines
+ * (canonical reset + sequential fill), the victim then performs L
+ * accesses drawn from an alphabet of v victim lines mapping to the
+ * same set, and the attacker finally probes its k lines in home-way
+ * order, observing a hit or miss per probe. The policy automaton
+ * decides which victim patterns are telling: two patterns that drive
+ * the product of (control state, per-way occupancy) to the same
+ * configuration are absorbed — indistinguishable forever — while
+ * distinct final observations disclose information.
+ *
+ * observability() forward-explores the product level by level with
+ * per-configuration pattern multiplicities (so the v^L patterns are
+ * counted exactly without enumeration), then simulates the probe
+ * from every distinct post-victim configuration and buckets the
+ * pattern counts by observation. log2(#observations) bounds the
+ * bits per round the attacker's hit/miss trace leaks about the
+ * victim's pattern.
+ */
+
+#ifndef RECAP_SEC_OBSERVABILITY_HH_
+#define RECAP_SEC_OBSERVABILITY_HH_
+
+#include <cstdint>
+#include <string>
+
+#include "recap/sec/sec.hh"
+
+namespace recap::sec
+{
+
+/** Shape of the victim phase. */
+struct ObservabilityConfig
+{
+    /** Victim-line alphabet size v (>= 1). */
+    unsigned victimLines = 2;
+
+    /** Victim accesses L per round; 0 = 2 x associativity. */
+    unsigned horizon = 0;
+};
+
+/** Result of the observability count. */
+struct ObservabilityResult
+{
+    SecOutcome outcome = SecOutcome::kNotCompiled;
+
+    /** Total victim patterns, v^L. */
+    uint64_t patterns = 0;
+
+    /** Distinct post-victim product configurations reached. */
+    uint64_t reachedConfigs = 0;
+
+    /** Distinct attacker probe observations (hit/miss vectors). */
+    uint64_t observations = 0;
+
+    /** log2(observations): bits disclosed per round, upper bound. */
+    double leakedBits = 0.0;
+
+    /**
+     * Pattern-count extremes across observation classes: a large
+     * maxClass means many victim behaviours are absorbed into one
+     * observation; minClass == 1 means some pattern is uniquely
+     * identified by the attacker's trace.
+     */
+    uint64_t minClass = 0;
+    uint64_t maxClass = 0;
+
+    uint64_t configsExplored = 0;
+
+    /** e.g. "13 obs / 256 patterns (3.7 bits)". */
+    std::string render() const;
+};
+
+/** Runs the forward product exploration on @p view. */
+ObservabilityResult
+observability(const policy::CompiledTableView& view,
+              const ObservabilityConfig& cfg = {},
+              const SecBudget& budget = {});
+
+} // namespace recap::sec
+
+#endif // RECAP_SEC_OBSERVABILITY_HH_

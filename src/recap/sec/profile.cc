@@ -1,0 +1,98 @@
+#include "recap/sec/profile.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "recap/common/parallel.hh"
+#include "recap/policy/factory.hh"
+
+namespace recap::sec
+{
+
+bool
+SecurityProfile::partial() const
+{
+    return evict.outcome != SecOutcome::kComplete ||
+           evict.informedOutcome != SecOutcome::kComplete ||
+           stealth.outcome != SecOutcome::kComplete ||
+           observe.outcome != SecOutcome::kComplete;
+}
+
+SecurityProfile
+securityProfile(const std::string& spec, unsigned ways,
+                const ProfileConfig& cfg)
+{
+    SecurityProfile profile;
+    profile.spec = spec;
+    profile.ways = ways;
+
+    const auto view = viewForSpec(spec, ways, cfg.budget);
+    if (!view)
+        return profile;
+
+    profile.compiled = true;
+    profile.evict = evictStrategy(*view, cfg.budget);
+    profile.stealth = stealthProbe(*view, cfg.budget);
+    profile.observe = observability(*view, cfg.observe, cfg.budget);
+    return profile;
+}
+
+std::vector<SecurityProfile>
+securitySweep(const std::vector<std::string>& specs,
+              const std::vector<unsigned>& waysList,
+              const ProfileConfig& cfg)
+{
+    struct Cell
+    {
+        std::string spec;
+        unsigned ways;
+    };
+    std::vector<Cell> cells;
+    for (const auto& spec : specs)
+        for (const unsigned ways : waysList)
+            if (policy::specSupportsWays(spec, ways))
+                cells.push_back({spec, ways});
+
+    std::vector<SecurityProfile> profiles(cells.size());
+    parallelFor(cells.size(), cfg.numThreads, [&](std::size_t i) {
+        profiles[i] =
+            securityProfile(cells[i].spec, cells[i].ways, cfg);
+    });
+    return profiles;
+}
+
+double
+leakageScore(const SecurityProfile& profile)
+{
+    double score = 0.0;
+    if (profile.stealth.outcome == SecOutcome::kComplete &&
+        profile.stealth.feasible) {
+        score += 1.0;
+    }
+    if (profile.evict.informedOutcome == SecOutcome::kComplete &&
+        !profile.evict.informedUnbounded &&
+        profile.evict.informedLen > 0) {
+        score += std::min(
+            1.0, static_cast<double>(profile.ways) /
+                     static_cast<double>(profile.evict.informedLen));
+    }
+    if (profile.observe.outcome == SecOutcome::kComplete &&
+        profile.observe.patterns > 1) {
+        const double patternBits = std::log2(
+            static_cast<double>(profile.observe.patterns));
+        score += profile.observe.leakedBits / patternBits;
+    }
+    return score;
+}
+
+void
+sortByLeakage(std::vector<SecurityProfile>& profiles)
+{
+    std::stable_sort(profiles.begin(), profiles.end(),
+                     [](const SecurityProfile& a,
+                        const SecurityProfile& b) {
+                         return leakageScore(a) > leakageScore(b);
+                     });
+}
+
+} // namespace recap::sec

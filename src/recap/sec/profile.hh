@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Per-policy security profiles and leakage-aware ranking.
+ *
+ * A SecurityProfile bundles the three sec:: analyses for one
+ * (policy, associativity) point; securitySweep() computes a grid of
+ * them in parallel (deterministically — the searches use no RNG),
+ * and leakageScore() collapses a profile into a single comparable
+ * number so benches and reports can rank policies by leakage
+ * resistance next to the usual miss-ratio rankings:
+ *
+ *   score = stealth feasibility (1 point)
+ *         + eviction ease       (ways / informed eviction length,
+ *                                0 when unbounded — capped at 1)
+ *         + disclosure          (leaked bits / pattern bits)
+ *
+ * Higher is leakier. Components whose search abstained contribute
+ * nothing and mark the profile partial, so an abstention can only
+ * under-state leakage, never fake resistance into the ranking;
+ * partial profiles are flagged in every rendering.
+ */
+
+#ifndef RECAP_SEC_PROFILE_HH_
+#define RECAP_SEC_PROFILE_HH_
+
+#include <string>
+#include <vector>
+
+#include "recap/sec/evict_strategy.hh"
+#include "recap/sec/observability.hh"
+#include "recap/sec/stealth.hh"
+
+namespace recap::sec
+{
+
+/** All three analyses for one (spec, ways) grid point. */
+struct SecurityProfile
+{
+    std::string spec;
+    unsigned ways = 0;
+
+    /** False when the policy has no compiled table at this ways. */
+    bool compiled = false;
+
+    EvictStrategyResult evict;
+    StealthResult stealth;
+    ObservabilityResult observe;
+
+    /** True iff any component abstained (over budget/not compiled). */
+    bool partial() const;
+};
+
+/** Knobs for profile computation. */
+struct ProfileConfig
+{
+    ObservabilityConfig observe;
+    SecBudget budget;
+
+    /**
+     * Worker threads for securitySweep (one grid row per task);
+     * 0 = hardware concurrency, 1 = serial. Rows are independent
+     * and deterministic, so every thread count yields identical
+     * results.
+     */
+    unsigned numThreads = 0;
+};
+
+/** Computes one profile; kNotCompiled throughout when no table. */
+SecurityProfile securityProfile(const std::string& spec,
+                                unsigned ways,
+                                const ProfileConfig& cfg = {});
+
+/**
+ * Profiles every supported (spec, ways) combination in row-major
+ * (spec-outer) order, parallelized across cfg.numThreads workers.
+ */
+std::vector<SecurityProfile>
+securitySweep(const std::vector<std::string>& specs,
+              const std::vector<unsigned>& waysList,
+              const ProfileConfig& cfg = {});
+
+/** Leakage score of @p profile (higher = leakier), in [0, 3]. */
+double leakageScore(const SecurityProfile& profile);
+
+/**
+ * Sorts @p profiles by descending leakage score (stable: equal
+ * scores keep their sweep order).
+ */
+void sortByLeakage(std::vector<SecurityProfile>& profiles);
+
+} // namespace recap::sec
+
+#endif // RECAP_SEC_PROFILE_HH_

@@ -1,0 +1,32 @@
+#include "recap/sec/sec.hh"
+
+#include <optional>
+
+namespace recap::sec
+{
+
+std::string
+outcomeName(SecOutcome outcome)
+{
+    switch (outcome) {
+      case SecOutcome::kComplete:
+        return "complete";
+      case SecOutcome::kOverBudget:
+        return "over-budget";
+      case SecOutcome::kNotCompiled:
+        return "not-compiled";
+    }
+    return "unknown";
+}
+
+std::optional<policy::CompiledTableView>
+viewForSpec(const std::string& spec, unsigned ways,
+            const SecBudget& budget)
+{
+    if (auto table =
+            policy::compiledTableFor(spec, ways, budget.compile))
+        return policy::CompiledTableView(std::move(table));
+    return std::nullopt;
+}
+
+} // namespace recap::sec

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Common vocabulary of the security-analysis subsystem.
+ *
+ * The sec:: searches treat a compiled policy automaton
+ * (policy::CompiledTableView) as a game board: the attacker plays
+ * accesses, the board answers with hits, misses and evictions, and
+ * exhaustive/BFS search over the dense transition tables answers
+ * adversarial questions — how cheaply a victim line can be evicted,
+ * whether a RELOAD+REFRESH-style stealthy probe cycle exists, and
+ * how much of the victim's access pattern the attacker's hit/miss
+ * trace discloses.
+ *
+ * Every search is budgeted and abstains explicitly: a result either
+ * completes (its numbers are exact) or reports kOverBudget /
+ * kNotCompiled, mirroring the nullptr-on-over-budget semantics of
+ * policy::CompileBudget. No search silently truncates.
+ */
+
+#ifndef RECAP_SEC_SEC_HH_
+#define RECAP_SEC_SEC_HH_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "recap/policy/compiled.hh"
+
+namespace recap::sec
+{
+
+/** How a budgeted security search ended. */
+enum class SecOutcome
+{
+    /** Search finished; the result fields are exact. */
+    kComplete,
+
+    /**
+     * The configuration budget ran out before the search finished.
+     * Fields flagged as best-so-far may still carry a witness (e.g.
+     * a stealthy cycle that was found before the budget expired),
+     * but no minimality or impossibility claim is made.
+     */
+    kOverBudget,
+
+    /**
+     * The policy has no compiled table (metadata-consuming policies
+     * refuse compilation; huge automata exceed the compile budget),
+     * so no table-based search ran at all.
+     */
+    kNotCompiled,
+};
+
+/** "complete" | "over-budget" | "not-compiled". */
+std::string outcomeName(SecOutcome outcome);
+
+/** Limits shared by the sec:: searches. */
+struct SecBudget
+{
+    /**
+     * Abort a search beyond this many explored product
+     * configurations (summed across the sub-searches of one
+     * analysis). The default admits every classic catalog policy at
+     * 2 and 4 ways and the small dueling parameterizations at 2
+     * ways; LRU-class automata at 8 ways exceed it in the informed
+     * eviction game and abstain.
+     */
+    uint64_t maxConfigs = 2'000'000;
+
+    /** Budget for obtaining the compiled table itself. */
+    policy::CompileBudget compile;
+};
+
+/**
+ * Compiles @p spec at @p ways under @p budget and wraps the table in
+ * a view; std::nullopt when the policy does not compile (the caller
+ * reports kNotCompiled).
+ */
+std::optional<policy::CompiledTableView>
+viewForSpec(const std::string& spec, unsigned ways,
+            const SecBudget& budget = {});
+
+} // namespace recap::sec
+
+#endif // RECAP_SEC_SEC_HH_

@@ -1,0 +1,194 @@
+#include "recap/sec/stealth.hh"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "recap/common/error.hh"
+
+namespace recap::sec
+{
+
+namespace
+{
+
+/** Pair-BFS node: idle-branch state, active-branch state, phase. */
+uint64_t
+nodeKey(uint32_t state0, uint32_t state1, unsigned restored,
+        uint32_t numStates)
+{
+    return (uint64_t{state0} * numStates + state1) * 2 + restored;
+}
+
+struct CycleSearch
+{
+    bool found = false;
+    uint64_t length = 0;
+    std::vector<policy::Way> word;
+};
+
+/**
+ * Shortest probe word closing a stealthy cycle at @p s0, or not
+ * found. @p explored counts nodes globally; the search aborts once
+ * it crosses @p maxConfigs (caller reports over-budget).
+ */
+CycleSearch
+shortestCycleAt(const policy::CompiledTableView& view, uint32_t s0,
+                uint64_t maxConfigs, uint64_t* explored)
+{
+    const unsigned k = view.ways();
+    const uint32_t n = view.numStates();
+    const policy::Way vstar = view.victim(s0);
+
+    CycleSearch result;
+
+    // Parent map doubles as the visited set: node -> (parent node,
+    // probed way). The start node is its own parent.
+    std::unordered_map<uint64_t, std::pair<uint64_t, uint8_t>>
+        parent;
+    std::deque<uint64_t> frontier;
+
+    const uint64_t start =
+        nodeKey(s0, view.fillNext(s0, vstar), 0, n);
+    const uint64_t goal = nodeKey(s0, s0, 1, n);
+    parent.emplace(start, std::make_pair(start, uint8_t{0}));
+    frontier.push_back(start);
+
+    while (!frontier.empty()) {
+        const uint64_t node = frontier.front();
+        frontier.pop_front();
+        if (++*explored > maxConfigs)
+            return result;
+
+        const unsigned restored = node & 1;
+        const uint32_t state1 =
+            static_cast<uint32_t>((node >> 1) % n);
+        const uint32_t state0 =
+            static_cast<uint32_t>((node >> 1) / n);
+
+        for (unsigned w = 0; w < k; ++w) {
+            // Idle branch: the set is entirely attacker-owned, so
+            // every probe access hits.
+            const uint32_t next0 = view.touchNext(state0, w);
+            uint32_t next1;
+            unsigned nextRestored = restored;
+            if (!restored && w == vstar) {
+                // Re-loading the displaced line is a miss in the
+                // active branch; stealth demands it evict the
+                // victim's line, never an attacker line.
+                if (view.victim(state1) != vstar)
+                    continue;
+                next1 = view.fillNext(state1, vstar);
+                nextRestored = 1;
+            } else {
+                next1 = view.touchNext(state1, w);
+            }
+            const uint64_t next =
+                nodeKey(next0, next1, nextRestored, n);
+            if (!parent
+                     .emplace(next,
+                              std::make_pair(node,
+                                             static_cast<uint8_t>(w)))
+                     .second) {
+                continue;
+            }
+            if (next == goal) {
+                // Reconstruct the probe word back to the start.
+                result.found = true;
+                uint64_t at = next;
+                while (at != start) {
+                    const auto& [prev, way] = parent.at(at);
+                    result.word.push_back(way);
+                    at = prev;
+                }
+                std::reverse(result.word.begin(),
+                             result.word.end());
+                result.length = result.word.size();
+                return result;
+            }
+            frontier.push_back(next);
+        }
+    }
+    return result;
+}
+
+} // namespace
+
+std::string
+StealthResult::render() const
+{
+    if (outcome == SecOutcome::kNotCompiled)
+        return "not-compiled";
+    if (outcome == SecOutcome::kOverBudget)
+        return feasible ? "yes (probe " + std::to_string(probeLen) +
+                              ", >budget)"
+                        : ">budget";
+    if (!feasible)
+        return "no";
+    return "yes (probe " + std::to_string(probeLen) + ", prep " +
+           std::to_string(prepLen) + ")";
+}
+
+StealthResult
+stealthProbe(const policy::CompiledTableView& view,
+             const SecBudget& budget)
+{
+    const unsigned k = view.ways();
+    StealthResult result;
+    result.outcome = SecOutcome::kComplete;
+
+    // Start states the attacker can prepare: BFS from the canonical
+    // prime over touches and self-conflict misses, with the BFS
+    // depth as the preparation cost.
+    std::unordered_map<uint32_t, uint32_t> prepDist;
+    std::deque<uint32_t> prepFrontier;
+    const uint32_t prime = view.filledState();
+    prepDist.emplace(prime, 0);
+    prepFrontier.push_back(prime);
+    std::vector<uint32_t> startOrder;
+    while (!prepFrontier.empty()) {
+        const uint32_t s = prepFrontier.front();
+        prepFrontier.pop_front();
+        startOrder.push_back(s);
+        const uint32_t d = prepDist.at(s);
+        const auto push = [&](uint32_t next) {
+            if (prepDist.emplace(next, d + 1).second)
+                prepFrontier.push_back(next);
+        };
+        for (unsigned w = 0; w < k; ++w)
+            push(view.touchNext(s, w));
+        push(view.fillNext(s, view.victim(s)));
+    }
+
+    // Pair-BFS per candidate start, cheapest preparation first;
+    // keep the lexicographically best (probe length, prep length).
+    bool exhausted = false;
+    for (const uint32_t s0 : startOrder) {
+        if (result.configsExplored >= budget.maxConfigs) {
+            exhausted = true;
+            break;
+        }
+        const CycleSearch cycle = shortestCycleAt(
+            view, s0, budget.maxConfigs, &result.configsExplored);
+        if (result.configsExplored > budget.maxConfigs)
+            exhausted = true;
+        if (!cycle.found)
+            continue;
+        const uint64_t prep = prepDist.at(s0);
+        if (!result.feasible || cycle.length < result.probeLen ||
+            (cycle.length == result.probeLen &&
+             prep < result.prepLen)) {
+            result.feasible = true;
+            result.probeLen = cycle.length;
+            result.prepLen = prep;
+            result.probe = cycle.word;
+            result.monitoredWay = view.victim(s0);
+        }
+    }
+    if (exhausted)
+        result.outcome = SecOutcome::kOverBudget;
+    return result;
+}
+
+} // namespace recap::sec

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * RELOAD+REFRESH-style stealthy probe synthesis.
+ *
+ * RELOAD+REFRESH observed that once the replacement policy is known
+ * exactly, an attacker occupying a whole cache set can monitor a
+ * victim line without the eviction storms of Prime+Probe: each round
+ * the victim either touches its line (evicting one known attacker
+ * line) or stays idle, and the attacker then runs a fixed probe
+ * sequence over its own lines that (a) hits on every access when the
+ * victim was idle — zero self-evictions, nothing for the victim or a
+ * monitor to notice — and (b) deterministically reveals the access
+ * and restores the set to the exact starting configuration, so
+ * rounds chain forever.
+ *
+ * stealthProbe() searches for such a cycle by BFS over pairs of
+ * automaton states: the idle branch (every probe access hits) and
+ * the active branch (the victim's line sits where the policy evicted
+ * an attacker line) are advanced in lockstep through the same probe
+ * word; any probe access that would evict an attacker-owned line in
+ * either branch is pruned, so a found word is stealthy by
+ * construction, and reaching (start, start, restored) closes the
+ * cycle. The victim's access is distinguishable for free: a closing
+ * word necessarily re-loads the evicted line — a miss in the active
+ * branch — while the idle branch is all hits.
+ *
+ * The start state ranges over every full-set state the attacker can
+ * prepare from the canonical prime (touches and self-conflict
+ * misses), and the shortest cycle over all start states is reported.
+ */
+
+#ifndef RECAP_SEC_STEALTH_HH_
+#define RECAP_SEC_STEALTH_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "recap/sec/sec.hh"
+
+namespace recap::sec
+{
+
+/** Result of the stealthy-cycle search. */
+struct StealthResult
+{
+    SecOutcome outcome = SecOutcome::kNotCompiled;
+
+    /**
+     * True iff a stealthy distinguishing cycle was found. Under
+     * kComplete, probeLen is the exact minimum over every
+     * preparable start state; under kOverBudget with feasible set,
+     * the cycle is a valid witness but shorter ones may exist.
+     */
+    bool feasible = false;
+
+    /** Accesses per round (length of the probe word). */
+    uint64_t probeLen = 0;
+
+    /**
+     * Attacker accesses needed to steer the set from the canonical
+     * prime state to the cycle's start state (0 when the prime
+     * state itself admits the cycle).
+     */
+    uint64_t prepLen = 0;
+
+    /**
+     * The probe word: per access, the home way of the attacker line
+     * to touch. The monitoring line is the one the victim's access
+     * displaces — the line at way victim(startState).
+     */
+    std::vector<policy::Way> probe;
+
+    /** Way the monitored victim line lands in (= victim(start)). */
+    policy::Way monitoredWay = 0;
+
+    uint64_t configsExplored = 0;
+
+    /** e.g. "yes (probe 3, prep 0)" / "no" / ">budget". */
+    std::string render() const;
+};
+
+/** Searches for the shortest stealthy cycle on @p view. */
+StealthResult stealthProbe(const policy::CompiledTableView& view,
+                           const SecBudget& budget = {});
+
+} // namespace recap::sec
+
+#endif // RECAP_SEC_STEALTH_HH_

@@ -229,6 +229,108 @@ pcReuseStreamMix(uint64_t hotBytes, size_t count, uint64_t seed,
     return t;
 }
 
+const char*
+victimPhaseName(VictimPhaseKind kind)
+{
+    switch (kind) {
+    case VictimPhaseKind::kZipf:
+        return "zipf";
+    case VictimPhaseKind::kScan:
+        return "scan";
+    case VictimPhaseKind::kReuse:
+        return "reuse";
+    }
+    ensure(false, "victimPhaseName: bad kind");
+    return "";
+}
+
+Trace
+attackerVictimInterleave(const AttackerVictimConfig& cfg)
+{
+    cfg.geometry.validate();
+    require(cfg.targetSet < cfg.geometry.numSets,
+            "attackerVictimInterleave: targetSet out of range");
+    require(cfg.victimLines >= 1,
+            "attackerVictimInterleave: need a victim line");
+    const unsigned attackers = cfg.attackerLines
+                                   ? cfg.attackerLines
+                                   : cfg.geometry.ways;
+
+    // Distinct tags mapping to the target set: consecutive tags are
+    // one set-stride apart. Attacker lines take the low tags, victim
+    // lines the tags above them.
+    const uint64_t stride =
+        uint64_t{cfg.geometry.lineSize} * cfg.geometry.numSets;
+    const cache::Addr setBase =
+        uint64_t{cfg.targetSet} * cfg.geometry.lineSize;
+    const auto attackerAddr = [&](unsigned i) {
+        return setBase + i * stride;
+    };
+    const auto victimAddr = [&](unsigned j) {
+        return setBase + (attackers + j) * stride;
+    };
+
+    Rng rng(cfg.seed);
+    Trace t;
+    t.reserve(static_cast<size_t>(cfg.rounds) *
+              (2 * attackers + cfg.victimAccessesPerRound));
+    for (unsigned round = 0; round < cfg.rounds; ++round) {
+        for (unsigned i = 0; i < attackers; ++i) // prime
+            t.push_back(attackerAddr(i));
+        for (unsigned a = 0; a < cfg.victimAccessesPerRound; ++a) {
+            unsigned j = 0;
+            switch (cfg.victimKind) {
+            case VictimPhaseKind::kZipf: {
+                // Rank r with weight 1/(r+1)^alpha via rejection-free
+                // inverse CDF over the tiny alphabet.
+                double total = 0.0;
+                for (unsigned r = 0; r < cfg.victimLines; ++r)
+                    total += 1.0 / std::pow(r + 1.0, cfg.zipfAlpha);
+                double u = rng.nextDouble() * total;
+                for (unsigned r = 0; r < cfg.victimLines; ++r) {
+                    u -= 1.0 / std::pow(r + 1.0, cfg.zipfAlpha);
+                    if (u <= 0.0) {
+                        j = r;
+                        break;
+                    }
+                }
+                break;
+            }
+            case VictimPhaseKind::kScan:
+                j = a % cfg.victimLines;
+                break;
+            case VictimPhaseKind::kReuse:
+                j = round % cfg.victimLines;
+                break;
+            }
+            t.push_back(victimAddr(j));
+        }
+        for (unsigned i = 0; i < attackers; ++i) // probe
+            t.push_back(attackerAddr(i));
+    }
+    return t;
+}
+
+std::vector<Workload>
+attackerVictimSuite(const cache::Geometry& geometry, uint64_t seed)
+{
+    std::vector<Workload> suite;
+    for (const auto kind :
+         {VictimPhaseKind::kZipf, VictimPhaseKind::kScan,
+          VictimPhaseKind::kReuse}) {
+        AttackerVictimConfig cfg;
+        cfg.geometry = geometry;
+        cfg.victimKind = kind;
+        cfg.seed = seed;
+        suite.push_back(
+            {std::string("attacker-victim-") + victimPhaseName(kind),
+             std::string("prime/probe rounds against a ") +
+                 victimPhaseName(kind) + " victim",
+             attackerVictimInterleave(cfg)});
+    }
+    return suite;
+}
+
 std::vector<Workload>
 specLikeSuite(const SuiteConfig& cfg)
 {

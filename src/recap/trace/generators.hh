@@ -83,6 +83,64 @@ Trace phaseMix(uint64_t cacheBytes, unsigned phasePairs,
 PcTrace pcReuseStreamMix(uint64_t hotBytes, size_t count,
                          uint64_t seed, cache::Addr base = 1 << 20);
 
+/** Victim behaviour between attacker probes (security workloads). */
+enum class VictimPhaseKind
+{
+    kZipf,  ///< skewed random over the victim lines
+    kScan,  ///< round-robin sweep over the victim lines
+    kReuse, ///< hammers one victim line per round
+};
+
+/** "zipf" / "scan" / "reuse". */
+const char* victimPhaseName(VictimPhaseKind kind);
+
+/**
+ * Shape of a prime/victim/probe interleaving targeting one cache
+ * set (the measurement protocol of the sec:: analyses, expressed as
+ * an ordinary address trace so the simulation harness can replay
+ * attacker workloads against any policy).
+ */
+struct AttackerVictimConfig
+{
+    cache::Geometry geometry{64, 64, 4};
+
+    /** Set index the attacker and victim contend on. */
+    unsigned targetSet = 0;
+
+    /** Attacker conflict lines; 0 = geometry.ways (full prime). */
+    unsigned attackerLines = 0;
+
+    /** Victim-line alphabet size. */
+    unsigned victimLines = 2;
+
+    /** Prime/victim/probe rounds. */
+    unsigned rounds = 64;
+
+    /** Victim accesses per round. */
+    unsigned victimAccessesPerRound = 8;
+
+    VictimPhaseKind victimKind = VictimPhaseKind::kZipf;
+
+    /** Skew of the kZipf victim (ignored otherwise). */
+    double zipfAlpha = 1.2;
+
+    uint64_t seed = 1;
+};
+
+/**
+ * Emits rounds of [attacker prime in home order | victim phase |
+ * attacker probe in home order]; attacker and victim lines are
+ * distinct tags mapping to cfg.targetSet.
+ */
+Trace attackerVictimInterleave(const AttackerVictimConfig& cfg);
+
+/**
+ * One named workload per VictimPhaseKind at @p geometry, for the
+ * security bench's workload context.
+ */
+std::vector<Workload> attackerVictimSuite(const cache::Geometry& geometry,
+                                          uint64_t seed = 1);
+
 /** Parameters for the SPEC-like suite sizing. */
 struct SuiteConfig
 {

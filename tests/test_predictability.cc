@@ -121,6 +121,30 @@ TEST(EvictBound, BudgetExhaustionIsReportedNotWrong)
     EXPECT_EQ(r.render(), ">budget");
 }
 
+// Pinned values for the adaptive/metadata policies: these exercise
+// the interpreted fallback paths (set-dueling state, EAF filter) and
+// must stay bit-stable — a drift means the policy semantics changed.
+TEST(MissTurnover, AdaptivePoliciesPinned)
+{
+    EXPECT_EQ(*missTurnover(*policy::makePolicy("dip", 2)).value,
+              14u);
+    EXPECT_EQ(*missTurnover(*policy::makePolicy("drrip", 2)).value,
+              17u);
+    EXPECT_EQ(*missTurnover(*policy::makePolicy("eaf", 2)).value,
+              17u);
+    EXPECT_EQ(*missTurnover(*policy::makePolicy("eaf", 4)).value,
+              49u);
+}
+
+TEST(EvictBound, AdaptivePoliciesPinned)
+{
+    EXPECT_EQ(*evictBound(*policy::makePolicy("dip", 2)).value, 1u);
+    EXPECT_EQ(*evictBound(*policy::makePolicy("drrip", 2)).value,
+              1u);
+    EXPECT_EQ(*evictBound(*policy::makePolicy("eaf", 2)).value, 15u);
+    EXPECT_EQ(*evictBound(*policy::makePolicy("eaf", 4)).value, 45u);
+}
+
 TEST(MetricResult, Rendering)
 {
     eval::MetricResult r;

@@ -10,6 +10,7 @@
 #include <sstream>
 
 #include "recap/common/error.hh"
+#include "recap/common/rng.hh"
 #include "recap/trace/generators.hh"
 #include "recap/trace/io.hh"
 
@@ -205,6 +206,49 @@ TEST(PcTraceIo, ReuseStreamMixAlternatesTwoPcs)
     // Deterministic in the seed.
     EXPECT_EQ(pcReuseStreamMix(4 * 64, 64, 7), t);
     EXPECT_NE(pcReuseStreamMix(4 * 64, 64, 8), t);
+}
+
+TEST(PcTraceIo, FuzzRoundTripRandomStreams)
+{
+    // Random address/PC pairs across the full 64-bit range — the
+    // writer/reader pair must be lossless for every stream shape,
+    // including empty traces and repeated pairs.
+    for (uint64_t seed = 1; seed <= 8; ++seed) {
+        Rng rng(seed);
+        PcTrace original(rng.nextBelow(200));
+        for (auto& access : original) {
+            access.addr = rng.next();
+            access.pc = rng.nextBool(0.1) ? 0 : rng.next();
+        }
+        std::stringstream ss;
+        writePcTrace(ss, original, "fuzz seed " +
+                                       std::to_string(seed));
+        EXPECT_EQ(readPcTrace(ss), original) << "seed " << seed;
+    }
+}
+
+TEST(PcTraceIo, FuzzLegacyV1StreamsReadAsZeroPcs)
+{
+    // Back-compat regression: every v1 address trace must load
+    // through the PC reader with all PCs zero and addresses intact.
+    for (uint64_t seed = 1; seed <= 8; ++seed) {
+        Rng rng(seed);
+        Trace addrs(1 + rng.nextBelow(100));
+        for (auto& a : addrs)
+            a = rng.next();
+        std::stringstream ss;
+        writeTrace(ss, addrs, "legacy fuzz");
+        const PcTrace loaded = readPcTrace(ss);
+        ASSERT_EQ(loaded.size(), addrs.size()) << "seed " << seed;
+        for (size_t i = 0; i < loaded.size(); ++i) {
+            EXPECT_EQ(loaded[i].addr, addrs[i]);
+            EXPECT_EQ(loaded[i].pc, 0u);
+        }
+        // And the address projection round-trips the other way too.
+        std::stringstream v1;
+        writeTrace(v1, addressesOf(loaded), "");
+        EXPECT_EQ(readTrace(v1), addrs);
+    }
 }
 
 } // namespace
