@@ -1,0 +1,321 @@
+/**
+ * @file
+ * Experiment Q2 — recap-queryd under concurrent load and hostility.
+ *
+ * Simulates thousands of scripted client sessions multiplexed over a
+ * worker-thread pool, all driving one ServerCore: a Zipf-distributed
+ * request mix (hot queries repeat, exercising the degraded cache)
+ * against sharded oracles, swept across machine hostility levels —
+ * an exact policy backend, then MachineOracle shards over
+ * FaultConfig::hostile(0.5 / 1.0 / 2.0) with adaptive voting and
+ * retries enabled.
+ *
+ * Reports throughput, p50/p99 request latency and the per-outcome
+ * counts (answered / aborted / shed / degraded) per level, and
+ * writes BENCH_queryd.json.
+ *
+ * RECAP_QUERYD_SMOKE=1 shrinks the sweep for CI;
+ * RECAP_QUERYD_QPS_FLOOR=<qps> makes the run fail when the exact
+ * backend's throughput drops below the floor (perf regression gate).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_json.hh"
+#include "recap/common/parallel.hh"
+#include "recap/hw/catalog.hh"
+#include "recap/hw/machine.hh"
+#include "recap/infer/measurement.hh"
+#include "recap/query/chaos.hh"
+#include "recap/query/service.hh"
+
+namespace
+{
+
+using namespace recap;
+using namespace recap::query;
+
+constexpr std::size_t kSessions = 2048;
+
+bool
+smokeMode()
+{
+    const char* env = std::getenv("RECAP_QUERYD_SMOKE");
+    return env != nullptr && env[0] != '\0' &&
+           std::string(env) != "0";
+}
+
+/** One machine-backed oracle shard at a given hostility. */
+struct HostileShard
+{
+    hw::Machine machine;
+    infer::MeasurementContext ctx;
+    MachineOracle oracle;
+
+    HostileShard(const hw::MachineSpec& spec, uint64_t seed,
+                 double hostile, const MachineOracleConfig& cfg)
+        : machine(spec, seed, hw::FaultConfig::hostile(hostile)),
+          ctx(machine),
+          oracle(ctx, infer::assumedGeometry(spec), 0, cfg)
+    {}
+};
+
+struct LevelSpec
+{
+    std::string label;
+    double hostile = 0.0; ///< only meaningful for machine levels
+    bool machineBacked = false;
+    unsigned requests = 0;
+    unsigned threads = 0;
+    /** 0 = size the admission limits to the thread count. */
+    unsigned maxConcurrent = 0;
+    unsigned maxQueue = 256;
+};
+
+struct LevelResult
+{
+    double seconds = 0.0;
+    double qps = 0.0;
+    uint64_t p50Micros = 0;
+    uint64_t p99Micros = 0;
+    ServiceStats stats;
+    uint64_t issued = 0;
+};
+
+uint64_t
+percentile(std::vector<uint64_t>& sorted, unsigned pct)
+{
+    if (sorted.empty())
+        return 0;
+    const std::size_t idx = std::min(
+        sorted.size() - 1, sorted.size() * pct / 100);
+    return sorted[idx];
+}
+
+LevelResult
+runLevel(const LevelSpec& spec)
+{
+    std::vector<std::unique_ptr<PolicyOracle>> policyShards;
+    std::vector<std::unique_ptr<HostileShard>> machineShards;
+    std::vector<QueryOracle*> oracles;
+    constexpr unsigned kShards = 2;
+    if (spec.machineBacked) {
+        const auto mspec =
+            hw::reducedSpec(hw::catalogMachine("core2-e6300"), 64);
+        MachineOracleConfig mcfg;
+        mcfg.prober.vote.enabled = true;
+        for (unsigned s = 0; s < kShards; ++s) {
+            machineShards.push_back(std::make_unique<HostileShard>(
+                mspec, deriveTaskSeed(31, s), spec.hostile, mcfg));
+            oracles.push_back(&machineShards.back()->oracle);
+        }
+    } else {
+        for (unsigned s = 0; s < kShards; ++s) {
+            policyShards.push_back(std::make_unique<PolicyOracle>(
+                "lru", 8, deriveTaskSeed(31, s)));
+            oracles.push_back(policyShards.back().get());
+        }
+    }
+
+    ServiceConfig cfg;
+    cfg.maxSessions = kSessions;
+    cfg.maxConcurrent =
+        spec.maxConcurrent != 0 ? spec.maxConcurrent : spec.threads;
+    cfg.maxQueue = spec.maxQueue;
+    cfg.session.limits.timeoutMillis = 10'000;
+    cfg.retry.maxAttempts = spec.machineBacked ? 2 : 1;
+    cfg.retry.baseDelayMillis = 1;
+    cfg.breaker.failureThreshold = 5;
+    cfg.breaker.openMillis = 50;
+    ServerCore core(std::move(oracles), cfg);
+
+    const std::vector<std::string> pool = defaultRequestPool(8);
+    const ZipfSampler zipf(pool.size(), 1.1);
+    const std::size_t sessionsPerThread =
+        kSessions / spec.threads;
+
+    std::vector<std::vector<uint64_t>> latencies(spec.threads);
+    const auto wallStart = std::chrono::steady_clock::now();
+    std::vector<std::thread> workers;
+    workers.reserve(spec.threads);
+    for (unsigned t = 0; t < spec.threads; ++t) {
+        workers.emplace_back([&, t] {
+            Rng rng(deriveTaskSeed(97, t));
+            const unsigned perThread =
+                spec.requests / spec.threads;
+            latencies[t].reserve(perThread);
+            for (unsigned r = 0; r < perThread; ++r) {
+                // Each worker multiplexes its block of scripted
+                // sessions round-robin, so thousands of logical
+                // sessions share a small thread pool.
+                const std::size_t session =
+                    t * sessionsPerThread + r % sessionsPerThread;
+                const std::string& line = pool[zipf.sample(rng)];
+                const auto t0 = std::chrono::steady_clock::now();
+                core.handle(session, line);
+                const auto t1 = std::chrono::steady_clock::now();
+                latencies[t].push_back(static_cast<uint64_t>(
+                    std::chrono::duration_cast<
+                        std::chrono::microseconds>(t1 - t0)
+                        .count()));
+            }
+        });
+    }
+    for (std::thread& w : workers)
+        w.join();
+    const std::chrono::duration<double> wall =
+        std::chrono::steady_clock::now() - wallStart;
+
+    std::vector<uint64_t> all;
+    for (const auto& perThread : latencies)
+        all.insert(all.end(), perThread.begin(), perThread.end());
+    std::sort(all.begin(), all.end());
+
+    LevelResult result;
+    result.issued = all.size();
+    result.seconds = wall.count();
+    result.qps = wall.count() > 0.0
+                     ? static_cast<double>(all.size()) / wall.count()
+                     : 0.0;
+    result.p50Micros = percentile(all, 50);
+    result.p99Micros = percentile(all, 99);
+    result.stats = core.stats();
+    return result;
+}
+
+int
+runLoadSweep()
+{
+    const bool smoke = smokeMode();
+    const unsigned policyRequests = smoke ? 4'000 : 24'000;
+    const unsigned machineRequests = smoke ? 48 : 240;
+    const unsigned policyThreads = smoke ? 4 : 16;
+    const unsigned machineThreads = smoke ? 4 : 8;
+
+    const std::vector<LevelSpec> levels = {
+        {"policy-exact", 0.0, false, policyRequests, policyThreads},
+        // Deliberately starved admission (2 slots, 2 queue places)
+        // under the full client herd: measures the shed rate the
+        // backpressure layer produces instead of latency collapse.
+        {"policy-overload", 0.0, false, policyRequests,
+         policyThreads, 2, 2},
+        {"hostile-0.5", 0.5, true, machineRequests, machineThreads},
+        {"hostile-1.0", 1.0, true, machineRequests, machineThreads},
+        {"hostile-2.0", 2.0, true, machineRequests, machineThreads},
+    };
+
+    benchjson::Writer json(
+        "queryd",
+        "Concurrent query-service load: throughput, tail latency "
+        "and outcome mix vs machine hostility");
+    json.field("sessions", uint64_t{kSessions});
+    json.field("shards", uint64_t{2});
+    json.field("smoke", uint64_t{smoke ? 1u : 0u});
+
+    std::cout << "recap-queryd load sweep (" << kSessions
+              << " scripted sessions, 2 shards"
+              << (smoke ? ", smoke" : "") << ")\n\n";
+    std::cout << std::left << std::setw(14) << "level"
+              << std::right << std::setw(9) << "requests"
+              << std::setw(10) << "qps" << std::setw(10) << "p50us"
+              << std::setw(10) << "p99us" << std::setw(10)
+              << "answered" << std::setw(9) << "aborted"
+              << std::setw(7) << "shed" << std::setw(10)
+              << "degraded" << std::setw(9) << "retries" << "\n";
+
+    double policyQps = 0.0;
+    bool lostRequests = false;
+    for (const LevelSpec& level : levels) {
+        const LevelResult r = runLevel(level);
+        if (level.label == "policy-exact")
+            policyQps = r.qps;
+        if (r.stats.requests() + r.stats.silent != r.issued)
+            lostRequests = true;
+        std::cout << std::left << std::setw(14) << level.label
+                  << std::right << std::setw(9) << r.issued
+                  << std::setw(10) << std::fixed
+                  << std::setprecision(0) << r.qps << std::setw(10)
+                  << r.p50Micros << std::setw(10) << r.p99Micros
+                  << std::setw(10) << r.stats.answered
+                  << std::setw(9) << r.stats.aborted << std::setw(7)
+                  << r.stats.shed << std::setw(10)
+                  << r.stats.degraded << std::setw(9)
+                  << r.stats.retries << "\n";
+        json.row({
+            {"level", level.label},
+            {"hostile", level.hostile},
+            {"requests", r.issued},
+            {"seconds", r.seconds},
+            {"qps", r.qps},
+            {"p50_us", r.p50Micros},
+            {"p99_us", r.p99Micros},
+            {"answered", r.stats.answered},
+            {"aborted", r.stats.aborted},
+            {"shed", r.stats.shed},
+            {"degraded", r.stats.degraded},
+            {"retries", r.stats.retries},
+            {"cached_degraded", r.stats.cachedDegraded},
+            {"disconnects", r.stats.disconnects},
+        });
+    }
+
+    const std::string path = json.write();
+    if (!path.empty())
+        std::cout << "\nWrote " << path << "\n";
+    std::cout << "\n";
+
+    if (lostRequests) {
+        std::cerr << "FAIL: outcome counts do not add up to the "
+                     "issued requests (taxonomy leak)\n";
+        return 1;
+    }
+    if (const char* floorEnv =
+            std::getenv("RECAP_QUERYD_QPS_FLOOR")) {
+        const double floor = std::atof(floorEnv);
+        if (floor > 0.0 && policyQps < floor) {
+            std::cerr << "FAIL: policy-exact throughput " << policyQps
+                      << " qps is below the floor " << floor << "\n";
+            return 1;
+        }
+        std::cout << "policy-exact throughput " << std::fixed
+                  << std::setprecision(0) << policyQps
+                  << " qps >= floor " << floor << "\n\n";
+    }
+    return 0;
+}
+
+void
+BM_QuerydHandlePolicy(benchmark::State& state)
+{
+    PolicyOracle oracle("lru", 8, 1);
+    ServerCore core({&oracle}, {});
+    for (auto unused : state) {
+        benchmark::DoNotOptimize(
+            core.handle(0, "a b c d a?").json.size());
+        (void)unused;
+    }
+}
+BENCHMARK(BM_QuerydHandlePolicy)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const int status = runLoadSweep();
+    if (status != 0)
+        return status;
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,235 @@
+#include "recap/common/resilience.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+#include "recap/common/parallel.hh"
+#include "recap/common/rng.hh"
+
+namespace recap
+{
+
+namespace
+{
+
+/** Transition-log cap; chaos runs can trip a breaker thousands of
+ *  times and the log must not grow without bound. */
+constexpr std::size_t kMaxTransitions = 4096;
+
+} // namespace
+
+uint64_t
+steadyNowMillis()
+{
+    using namespace std::chrono;
+    return static_cast<uint64_t>(
+        duration_cast<milliseconds>(
+            steady_clock::now().time_since_epoch())
+            .count());
+}
+
+ClockFn
+resolveClock(ClockFn clock)
+{
+    if (clock)
+        return clock;
+    return [] { return steadyNowMillis(); };
+}
+
+const char*
+abortReasonName(AbortReason reason)
+{
+    switch (reason) {
+    case AbortReason::kTimeout: return "timeout";
+    case AbortReason::kAccessBudget: return "access-budget";
+    case AbortReason::kShed: return "shed";
+    case AbortReason::kBreakerOpen: return "breaker-open";
+    case AbortReason::kLineTooLong: return "line-too-long";
+    case AbortReason::kTooManyQueries: return "too-many-queries";
+    case AbortReason::kQueryTooLong: return "query-too-long";
+    case AbortReason::kNoQuorum: return "no-quorum";
+    case AbortReason::kOracleFailure: return "oracle-failure";
+    case AbortReason::kDisconnect: return "disconnect";
+    }
+    return "unknown";
+}
+
+Deadline
+Deadline::in(uint64_t nowMillis, uint64_t budgetMillis)
+{
+    if (budgetMillis == 0)
+        return unbounded();
+    const uint64_t max = std::numeric_limits<uint64_t>::max();
+    Deadline d;
+    d.atMillis = budgetMillis > max - nowMillis
+                     ? max
+                     : nowMillis + budgetMillis;
+    return d;
+}
+
+uint64_t
+Deadline::remainingMillis(uint64_t nowMillis) const
+{
+    if (!bounded())
+        return std::numeric_limits<uint64_t>::max();
+    return nowMillis >= atMillis ? 0 : atMillis - nowMillis;
+}
+
+uint64_t
+retryBackoffMillis(const RetryConfig& cfg, unsigned retryIndex,
+                   uint64_t seed)
+{
+    // Exponential growth, saturating well before the shift overflows.
+    uint64_t delay = cfg.baseDelayMillis;
+    const unsigned shift = std::min(retryIndex, 32u);
+    if (delay != 0 && shift < 64 &&
+        delay > (cfg.maxDelayMillis >> shift)) {
+        delay = cfg.maxDelayMillis;
+    } else {
+        delay <<= shift;
+        delay = std::min(delay, cfg.maxDelayMillis);
+    }
+    const double jitter = std::clamp(cfg.jitter, 0.0, 1.0);
+    if (jitter > 0.0 && delay > 0) {
+        Rng rng(deriveTaskSeed(seed, retryIndex));
+        const double factor =
+            1.0 - jitter + 2.0 * jitter * rng.nextDouble();
+        delay = static_cast<uint64_t>(
+            static_cast<double>(delay) * factor + 0.5);
+    }
+    return delay;
+}
+
+CircuitBreaker::CircuitBreaker(const BreakerConfig& cfg) : cfg_(cfg) {}
+
+void
+CircuitBreaker::moveTo(State to, uint64_t nowMillis)
+{
+    if (state_ == to)
+        return;
+    if (transitions_.size() < kMaxTransitions)
+        transitions_.push_back({state_, to, nowMillis});
+    if (to == State::kOpen) {
+        ++counters_.trips;
+        openedAt_ = nowMillis;
+    }
+    if (to == State::kClosed)
+        ++counters_.closes;
+    state_ = to;
+}
+
+bool
+CircuitBreaker::allow(uint64_t nowMillis)
+{
+    if (!cfg_.enabled)
+        return true;
+    std::lock_guard<std::mutex> lock(mutex_);
+    switch (state_) {
+    case State::kClosed:
+        return true;
+    case State::kOpen:
+        if (cfg_.openMillis == 0 ||
+            (nowMillis >= openedAt_ &&
+             nowMillis - openedAt_ >= cfg_.openMillis)) {
+            moveTo(State::kHalfOpen, nowMillis);
+            probeSuccesses_ = 0;
+            probesInFlight_ = 1;
+            ++counters_.probes;
+            return true;
+        }
+        ++counters_.rejected;
+        return false;
+    case State::kHalfOpen:
+        if (probesInFlight_ == 0) {
+            probesInFlight_ = 1;
+            ++counters_.probes;
+            return true;
+        }
+        ++counters_.rejected;
+        return false;
+    }
+    return true;
+}
+
+void
+CircuitBreaker::onSuccess(uint64_t nowMillis)
+{
+    if (!cfg_.enabled)
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    switch (state_) {
+    case State::kClosed:
+        consecutiveFailures_ = 0;
+        break;
+    case State::kHalfOpen:
+        if (probesInFlight_ > 0)
+            --probesInFlight_;
+        ++probeSuccesses_;
+        if (probeSuccesses_ >= std::max(1u, cfg_.halfOpenSuccesses)) {
+            moveTo(State::kClosed, nowMillis);
+            consecutiveFailures_ = 0;
+        }
+        break;
+    case State::kOpen:
+        // A late success from a request admitted before the trip;
+        // the open dwell still applies.
+        break;
+    }
+}
+
+void
+CircuitBreaker::onFailure(uint64_t nowMillis)
+{
+    if (!cfg_.enabled)
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    switch (state_) {
+    case State::kClosed:
+        ++consecutiveFailures_;
+        if (consecutiveFailures_ >= std::max(1u, cfg_.failureThreshold))
+            moveTo(State::kOpen, nowMillis);
+        break;
+    case State::kHalfOpen:
+        if (probesInFlight_ > 0)
+            --probesInFlight_;
+        moveTo(State::kOpen, nowMillis);
+        break;
+    case State::kOpen:
+        break; // late failure; already open
+    }
+}
+
+CircuitBreaker::State
+CircuitBreaker::state() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return state_;
+}
+
+std::vector<CircuitBreaker::Transition>
+CircuitBreaker::transitions() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return transitions_;
+}
+
+CircuitBreaker::Counters
+CircuitBreaker::counters() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_;
+}
+
+const char*
+breakerStateName(CircuitBreaker::State state)
+{
+    switch (state) {
+    case CircuitBreaker::State::kClosed: return "closed";
+    case CircuitBreaker::State::kOpen: return "open";
+    case CircuitBreaker::State::kHalfOpen: return "half-open";
+    }
+    return "unknown";
+}
+
+} // namespace recap

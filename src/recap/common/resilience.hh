@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Reusable fault-tolerance primitives for the always-on services.
+ *
+ * The query service (S13) must degrade gracefully on a hostile
+ * machine instead of wedging or crashing: requests carry absolute
+ * deadlines that queueing time counts against, fault-poisoned
+ * measurements are retried with seed-deterministic exponential
+ * backoff, and a per-shard circuit breaker stops hammering a sick
+ * oracle and serves degraded answers until a half-open probe
+ * succeeds. The primitives live in common/ because none of them are
+ * query-specific; everything is deterministic given a seed and an
+ * injectable clock, so the chaos tests replay bit for bit.
+ *
+ * Time is a plain millisecond count supplied by the caller (an
+ * injectable ClockFn); nothing here reads a wall clock behind the
+ * caller's back, which is what lets the chaos harness script clock
+ * jumps.
+ */
+
+#ifndef RECAP_COMMON_RESILIENCE_HH_
+#define RECAP_COMMON_RESILIENCE_HH_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace recap
+{
+
+/** Millisecond clock; injectable so tests script time. */
+using ClockFn = std::function<uint64_t()>;
+
+/** Monotonic wall clock in milliseconds (std::chrono::steady_clock). */
+uint64_t steadyNowMillis();
+
+/** Resolves a clock knob: nullptr selects the steady wall clock. */
+ClockFn resolveClock(ClockFn clock);
+
+/**
+ * Machine-readable cause of a failed or refused request. The service
+ * carries this enum (not a free-form string) from the tripping
+ * checkpoint all the way into the JSON error object, so diagnostics
+ * never lose which limit tripped.
+ */
+enum class AbortReason
+{
+    kTimeout,        ///< per-request deadline exceeded
+    kAccessBudget,   ///< per-request machine-load budget exceeded
+    kShed,           ///< load-shed at admission (queue full)
+    kBreakerOpen,    ///< circuit breaker refused the request
+    kLineTooLong,    ///< protocol: request line over the byte limit
+    kTooManyQueries, ///< protocol: too many `;`-queries on one line
+    kQueryTooLong,   ///< protocol: one query over the step limit
+    kNoQuorum,       ///< measurement never reached a vote quorum
+    kOracleFailure,  ///< the oracle itself failed (threw)
+    kDisconnect,     ///< client vanished while the answer was written
+};
+
+/** Canonical wire name of @p reason ("timeout", "shed", ...). */
+const char* abortReasonName(AbortReason reason);
+
+/**
+ * An absolute millisecond deadline. Deadlines are computed once at
+ * request admission and flow down through every layer (queue wait,
+ * oracle checkpoints, SetProber replays), so time spent queueing
+ * counts against the same budget as time spent measuring.
+ */
+struct Deadline
+{
+    /** Absolute expiry in clock milliseconds; 0 = unbounded. */
+    uint64_t atMillis = 0;
+
+    static Deadline unbounded() { return {}; }
+
+    /** now + budget, saturating; budget 0 = unbounded. */
+    static Deadline in(uint64_t nowMillis, uint64_t budgetMillis);
+
+    bool bounded() const { return atMillis != 0; }
+
+    /** Strictly past the deadline (a reading AT the deadline is ok). */
+    bool expired(uint64_t nowMillis) const
+    {
+        return bounded() && nowMillis > atMillis;
+    }
+
+    /** Milliseconds left; 0 when expired, UINT64_MAX when unbounded. */
+    uint64_t remainingMillis(uint64_t nowMillis) const;
+};
+
+/**
+ * Retry schedule for requests whose failure is plausibly transient
+ * (fault-poisoned measurements, garbled counters). Deterministic:
+ * the backoff jitter is derived from an explicit seed, never from
+ * wall-clock entropy.
+ */
+struct RetryConfig
+{
+    /** Total attempts (first try included); 1 disables retry. */
+    unsigned maxAttempts = 1;
+
+    /** Delay before the first retry; doubles each further retry. */
+    uint64_t baseDelayMillis = 2;
+
+    /** Backoff ceiling. */
+    uint64_t maxDelayMillis = 128;
+
+    /**
+     * Jitter fraction in [0,1]: the delay is scaled by a uniform
+     * factor in [1-jitter, 1+jitter] so retrying clients desynchronize.
+     */
+    double jitter = 0.5;
+};
+
+/**
+ * The deterministic backoff delay before retry @p retryIndex
+ * (0-based: the delay after the first failed attempt has index 0).
+ * Equal (cfg, retryIndex, seed) always yield the equal delay.
+ */
+uint64_t retryBackoffMillis(const RetryConfig& cfg, unsigned retryIndex,
+                            uint64_t seed);
+
+/** Circuit-breaker tuning. */
+struct BreakerConfig
+{
+    /** False = the breaker never trips (every request admitted). */
+    bool enabled = true;
+
+    /** Consecutive failures that trip closed -> open. */
+    unsigned failureThreshold = 5;
+
+    /** Open dwell before a half-open probe is admitted. */
+    uint64_t openMillis = 1000;
+
+    /** Consecutive probe successes that close a half-open breaker. */
+    unsigned halfOpenSuccesses = 2;
+};
+
+/**
+ * A per-shard circuit breaker.
+ *
+ *   closed --(failureThreshold consecutive failures)--> open
+ *   open   --(openMillis elapsed; next allow())-------> half-open
+ *   half-open --(halfOpenSuccesses probe successes)---> closed
+ *   half-open --(any probe failure)-------------------> open
+ *
+ * While open, allow() refuses requests (the service answers them
+ * degraded); in half-open, exactly one probe request is in flight at
+ * a time. All methods are thread-safe; time is always passed in by
+ * the caller. Transitions are recorded (bounded) so tests pin the
+ * exact trip/half-open/close sequence.
+ */
+class CircuitBreaker
+{
+  public:
+    enum class State
+    {
+        kClosed,
+        kOpen,
+        kHalfOpen,
+    };
+
+    explicit CircuitBreaker(const BreakerConfig& cfg = {});
+
+    /**
+     * May the next request proceed at time @p nowMillis? Transitions
+     * open -> half-open when the dwell has elapsed (the admitted
+     * request is the probe).
+     */
+    bool allow(uint64_t nowMillis);
+
+    /** Reports a request outcome back to the breaker. */
+    void onSuccess(uint64_t nowMillis);
+    void onFailure(uint64_t nowMillis);
+
+    State state() const;
+
+    /** One recorded state transition. */
+    struct Transition
+    {
+        State from;
+        State to;
+        uint64_t atMillis;
+
+        bool operator==(const Transition&) const = default;
+    };
+
+    /** The transition log, oldest first (capped; see cc). */
+    std::vector<Transition> transitions() const;
+
+    /** Aggregate counters for stats endpoints. */
+    struct Counters
+    {
+        uint64_t trips = 0;    ///< closed/half-open -> open
+        uint64_t closes = 0;   ///< half-open -> closed
+        uint64_t probes = 0;   ///< half-open requests admitted
+        uint64_t rejected = 0; ///< requests refused by allow()
+    };
+
+    Counters counters() const;
+
+  private:
+    /** Records and performs a transition (mutex held). */
+    void moveTo(State to, uint64_t nowMillis);
+
+    BreakerConfig cfg_;
+    mutable std::mutex mutex_;
+    State state_ = State::kClosed;
+    unsigned consecutiveFailures_ = 0;
+    unsigned probeSuccesses_ = 0;
+    unsigned probesInFlight_ = 0;
+    uint64_t openedAt_ = 0;
+    Counters counters_;
+    std::vector<Transition> transitions_;
+};
+
+/** Canonical name of a breaker state ("closed", "open", "half-open"). */
+const char* breakerStateName(CircuitBreaker::State state);
+
+} // namespace recap
+
+#endif // RECAP_COMMON_RESILIENCE_HH_

@@ -99,6 +99,7 @@ SetProber::survives(const std::vector<BlockId>& seq, BlockId probe)
     if (cfg_.vote.enabled)
         return survivesVote(seq, probe).value();
     return majorityVote(cfg_.voteRepeats, [&] {
+        checkpoint();
         ctx_.beginExperiment();
         ctx_.flush();
         for (BlockId b : seq) {
@@ -113,6 +114,7 @@ VoteOutcome
 SetProber::survivesVote(const std::vector<BlockId>& seq, BlockId probe)
 {
     const auto experiment = [&] {
+        checkpoint();
         ctx_.beginExperiment();
         ctx_.flush();
         for (BlockId b : seq) {
@@ -319,6 +321,7 @@ SetProber::thrash(unsigned count)
 void
 SetProber::run(const std::vector<BlockId>& seq)
 {
+    checkpoint();
     ctx_.beginExperiment();
     ctx_.flush();
     for (BlockId b : seq) {
@@ -330,6 +333,7 @@ SetProber::run(const std::vector<BlockId>& seq)
 std::vector<bool>
 SetProber::replayObserved(const std::vector<BlockId>& seq)
 {
+    checkpoint();
     ctx_.beginExperiment();
     ctx_.flush();
     std::vector<bool> outcome;
@@ -342,6 +346,7 @@ SetProber::replayObserved(const std::vector<BlockId>& seq)
 std::vector<unsigned>
 SetProber::replayTimed(const std::vector<BlockId>& seq)
 {
+    checkpoint();
     ctx_.beginExperiment();
     ctx_.flush();
     std::vector<unsigned> levels;
@@ -356,6 +361,7 @@ SetProber::replayTimed(const std::vector<BlockId>& seq)
 std::vector<MeasurementContext::TimedReading>
 SetProber::replayTimedReadings(const std::vector<BlockId>& seq)
 {
+    checkpoint();
     ctx_.beginExperiment();
     ctx_.flush();
     std::vector<MeasurementContext::TimedReading> readings;

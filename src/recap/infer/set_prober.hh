@@ -34,6 +34,7 @@
 #define RECAP_INFER_SET_PROBER_HH_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "recap/infer/geometry_probe.hh"
@@ -172,7 +173,28 @@ class SetProber
     /** The prober's configuration (vote mode is read by callers). */
     const SetProberConfig& config() const { return cfg_; }
 
+    /**
+     * Installs (or clears, with nullptr) a hook run before every
+     * individual experiment replay. Deadline propagation: the query
+     * service routes per-request budgets through here so an adaptive
+     * vote that keeps escalating on a hostile machine aborts between
+     * replays instead of running its full schedule past the deadline.
+     * The hook aborts by throwing; the machine is left consistent
+     * (the next experiment starts from a flush anyway).
+     */
+    void setCheckpoint(std::function<void()> hook)
+    {
+        checkpoint_ = std::move(hook);
+    }
+
   private:
+    /** Runs the installed replay checkpoint hook, if any. */
+    void checkpoint() const
+    {
+        if (checkpoint_)
+            checkpoint_();
+    }
+
     /** One un-voted replay of flush + seq with per-access outcomes. */
     std::vector<bool> replayObserved(const std::vector<BlockId>& seq);
 
@@ -196,6 +218,7 @@ class SetProber
     DiscoveredGeometry geom_;
     unsigned targetLevel_;
     SetProberConfig cfg_;
+    std::function<void()> checkpoint_;
 
     /** One persistent conflict-line pool per inner level. */
     struct EvictorPool

@@ -159,6 +159,16 @@ MachineOracle::MachineOracle(infer::SetProber& prober,
     : prober_(&prober), mode_(mode)
 {}
 
+void
+MachineOracle::setCheckpoint(std::function<void()> hook)
+{
+    // Deadline propagation: the same hook guards both the segment
+    // granularity (observeSegment) and every individual replay inside
+    // the prober's vote loops.
+    prober_->setCheckpoint(hook);
+    QueryOracle::setCheckpoint(std::move(hook));
+}
+
 unsigned
 MachineOracle::ways() const
 {

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "recap/common/resilience.hh"
 #include "recap/infer/set_prober.hh"
 #include "recap/policy/compiled.hh"
 #include "recap/query/ast.hh"
@@ -36,22 +37,42 @@ namespace recap::query
 
 /**
  * Thrown by an oracle checkpoint to abort the current request (the
- * server installs checkpoints enforcing per-request timeouts and
+ * server installs checkpoints enforcing per-request deadlines and
  * access budgets). The session survives: the server answers with a
  * structured error and keeps serving.
+ *
+ * The cause is a structured AbortReason enum, not a free-form
+ * string; when several limits race (a deadline expiring while the
+ * access budget is also blown), every tripped limit is carried in
+ * allReasons() so diagnostics never lose which checkpoint fired.
  */
 class RequestAborted : public std::runtime_error
 {
   public:
-    RequestAborted(const std::string& what, std::string reason)
-        : std::runtime_error(what), reason_(std::move(reason))
-    {}
+    RequestAborted(const std::string& what, AbortReason reason,
+                   std::vector<AbortReason> all = {})
+        : std::runtime_error(what), code_(reason),
+          all_(std::move(all))
+    {
+        if (all_.empty())
+            all_.push_back(code_);
+    }
 
-    /** Machine-readable cause: "timeout", "access-budget", ... */
-    const std::string& reason() const { return reason_; }
+    /** The primary machine-readable cause. */
+    AbortReason code() const { return code_; }
+
+    /** Every limit found tripped, primary first (never empty). */
+    const std::vector<AbortReason>& allReasons() const
+    {
+        return all_;
+    }
+
+    /** Canonical wire name of code(): "timeout", "access-budget"... */
+    std::string reason() const { return abortReasonName(code_); }
 
   private:
-    std::string reason_;
+    AbortReason code_;
+    std::vector<AbortReason> all_;
 };
 
 /** Outcome of one probed access. */
@@ -186,9 +207,11 @@ class QueryOracle
      * experiment batch. The hook aborts long-running work by
      * throwing (conventionally RequestAborted); backends guarantee a
      * consistent device afterwards (the next experiment starts from
-     * a flush anyway).
+     * a flush anyway). Backends may propagate the hook deeper
+     * (MachineOracle installs it into its SetProber, so adaptive
+     * vote loops honour deadlines between individual replays).
      */
-    void setCheckpoint(std::function<void()> hook)
+    virtual void setCheckpoint(std::function<void()> hook)
     {
         checkpoint_ = std::move(hook);
     }
@@ -310,6 +333,13 @@ class MachineOracle : public QueryOracle
                   BatchStats* stats = nullptr) override;
     uint64_t experimentsRun() const override { return experiments_; }
     uint64_t accessesIssued() const override { return accesses_; }
+
+    /**
+     * Deadline propagation: the hook is also installed into the
+     * prober, which runs it before every individual replay — so a
+     * budget can abort mid-vote, not just between segments.
+     */
+    void setCheckpoint(std::function<void()> hook) override;
 
     infer::SetProber& prober() { return *prober_; }
     ObservationMode mode() const { return mode_; }

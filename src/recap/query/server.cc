@@ -1,7 +1,6 @@
 #include "recap/query/server.hh"
 
 #include <cctype>
-#include <chrono>
 #include <cstdio>
 #include <istream>
 #include <memory>
@@ -11,14 +10,13 @@
 #include <vector>
 
 #include "recap/common/error.hh"
+#include "recap/common/parallel.hh"
 #include "recap/hw/catalog.hh"
 #include "recap/hw/machine.hh"
 #include "recap/query/parse.hh"
+#include "recap/query/service.hh"
 
 namespace recap::query
-{
-
-namespace
 {
 
 std::string
@@ -49,6 +47,30 @@ jsonEscape(const std::string& s)
 }
 
 std::string
+abortedJson(const std::string& what, AbortReason primary,
+            const std::vector<AbortReason>& all)
+{
+    std::vector<AbortReason> reasons = all;
+    if (reasons.empty())
+        reasons.push_back(primary);
+    std::string out = "{\"ok\":false,\"error\":\"" + jsonEscape(what) +
+                      "\",\"aborted\":\"" + abortReasonName(primary) +
+                      "\",\"reasons\":[";
+    for (std::size_t i = 0; i < reasons.size(); ++i) {
+        if (i > 0)
+            out += ',';
+        out += '"';
+        out += abortReasonName(reasons[i]);
+        out += '"';
+    }
+    out += "]}";
+    return out;
+}
+
+namespace
+{
+
+std::string
 errorJson(const std::string& what, std::optional<std::size_t> position,
           std::optional<std::size_t> queryIndex)
 {
@@ -62,58 +84,53 @@ errorJson(const std::string& what, std::optional<std::size_t> position,
     return out.str();
 }
 
-std::string
-abortedJson(const std::string& what, const std::string& reason)
-{
-    return "{\"ok\":false,\"error\":\"" + jsonEscape(what) +
-           "\",\"aborted\":\"" + jsonEscape(reason) + "\"}";
-}
-
-uint64_t
-steadyNowMillis()
-{
-    using namespace std::chrono;
-    return static_cast<uint64_t>(
-        duration_cast<milliseconds>(
-            steady_clock::now().time_since_epoch())
-            .count());
-}
-
-/** Installs a request guard on the oracle; clears it on scope exit. */
+/**
+ * Installs a request guard on the oracle; clears it on scope exit.
+ * Every checkpoint evaluates ALL limits, so when several race (a
+ * deadline expiring while the access budget is also blown) the abort
+ * carries every tripped reason — deterministically timeout-first.
+ */
 class CheckpointGuard
 {
   public:
     CheckpointGuard(QueryOracle& oracle, const RequestLimits& limits,
-                    const std::function<uint64_t()>& clock)
+                    const ClockFn& clock, const Deadline* external)
         : oracle_(oracle)
     {
-        if (limits.timeoutMillis == 0 &&
-            limits.maxAccessesPerRequest == 0)
+        const bool wantDeadline = external
+                                      ? external->bounded()
+                                      : limits.timeoutMillis != 0;
+        if (!wantDeadline && limits.maxAccessesPerRequest == 0)
             return; // nothing to guard
-        std::function<uint64_t()> now =
-            clock ? clock : steadyNowMillis;
-        const uint64_t start = now();
+        const ClockFn now = resolveClock(clock);
+        Deadline deadline;
+        if (external)
+            deadline = *external;
+        else if (limits.timeoutMillis != 0)
+            deadline = Deadline::in(now(), limits.timeoutMillis);
         const uint64_t accessesBefore = oracle.accessesIssued();
-        oracle.setCheckpoint([&oracle = oracle_, limits, now, start,
+        oracle.setCheckpoint([&oracle = oracle_, limits, now, deadline,
                               accessesBefore] {
-            if (limits.timeoutMillis != 0 &&
-                now() - start > limits.timeoutMillis) {
-                throw RequestAborted(
-                    "request exceeded the " +
-                        std::to_string(limits.timeoutMillis) +
-                        " ms timeout",
-                    "timeout");
+            std::vector<AbortReason> tripped;
+            std::string what;
+            if (deadline.bounded() && deadline.expired(now())) {
+                tripped.push_back(AbortReason::kTimeout);
+                what = "request exceeded the " +
+                       std::to_string(limits.timeoutMillis) +
+                       " ms timeout";
             }
             if (limits.maxAccessesPerRequest != 0 &&
                 oracle.accessesIssued() - accessesBefore >
                     limits.maxAccessesPerRequest) {
-                throw RequestAborted(
-                    "request exceeded the access budget of " +
-                        std::to_string(
-                            limits.maxAccessesPerRequest) +
-                        " loads",
-                    "access-budget");
+                tripped.push_back(AbortReason::kAccessBudget);
+                if (!what.empty())
+                    what += "; ";
+                what += "request exceeded the access budget of " +
+                        std::to_string(limits.maxAccessesPerRequest) +
+                        " loads";
             }
+            if (!tripped.empty())
+                throw RequestAborted(what, tripped.front(), tripped);
         });
         armed_ = true;
     }
@@ -134,7 +151,7 @@ class CheckpointGuard
 
 void
 writeVerdict(std::ostringstream& out, const CompiledQuery& query,
-             const QueryVerdict& verdict)
+             const QueryVerdict& verdict, unsigned* undetermined)
 {
     out << "\"query\":\"" << jsonEscape(query.text)
         << "\",\"probes\":[";
@@ -145,7 +162,15 @@ writeVerdict(std::ostringstream& out, const CompiledQuery& query,
         out << "{\"step\":" << probe.step << ",\"block\":\""
             << jsonEscape(query.blockName(probe.block))
             << "\",\"hit\":" << (probe.hit ? "true" : "false")
-            << ",\"level\":" << probe.level << '}';
+            << ",\"level\":" << probe.level;
+        if (probe.confidence < 1.0)
+            out << ",\"confidence\":" << probe.confidence;
+        if (!probe.determined) {
+            out << ",\"determined\":false";
+            if (undetermined)
+                ++*undetermined;
+        }
+        out << '}';
     }
     out << "],\"experiments\":" << verdict.experiments
         << ",\"accesses\":" << verdict.accesses;
@@ -163,44 +188,65 @@ trim(const std::string& s)
     return s.substr(b, e - b);
 }
 
+RequestResult
+abortedResult(const std::string& what, AbortReason reason,
+              bool clientFault)
+{
+    RequestResult res;
+    res.kind = RequestResult::Kind::kAborted;
+    res.reason = reason;
+    res.reasons = {reason};
+    res.clientFault = clientFault;
+    res.json = abortedJson(what, reason);
+    return res;
+}
+
 } // namespace
 
-std::string
-respondLine(const std::string& line, QueryOracle& oracle,
-            const ServerOptions& opts)
+RequestResult
+respondLineClassified(const std::string& line, QueryOracle& oracle,
+                      const ServerOptions& opts,
+                      const Deadline* deadline)
 {
     const RequestLimits& limits = opts.limits;
     if (limits.maxLineBytes != 0 && line.size() > limits.maxLineBytes) {
-        return abortedJson("request line of " +
-                               std::to_string(line.size()) +
-                               " bytes exceeds the limit of " +
-                               std::to_string(limits.maxLineBytes),
-                           "line-too-long");
+        return abortedResult("request line of " +
+                                 std::to_string(line.size()) +
+                                 " bytes exceeds the limit of " +
+                                 std::to_string(limits.maxLineBytes),
+                             AbortReason::kLineTooLong, true);
     }
 
+    RequestResult res;
     const std::string request = trim(line);
-    if (request.empty() || request[0] == '#')
-        return "";
+    if (request.empty() || request[0] == '#') {
+        res.kind = RequestResult::Kind::kSilent;
+        return res;
+    }
 
     if (request[0] == ':') {
-        if (request == ":quit")
-            return "{\"ok\":true,\"bye\":true}";
-        if (request == ":ways") {
-            return "{\"ok\":true,\"ways\":" +
-                   std::to_string(oracle.ways()) + "}";
+        res.command = true;
+        res.okAnswer = true;
+        if (request == ":quit") {
+            res.json = "{\"ok\":true,\"bye\":true}";
+        } else if (request == ":ways") {
+            res.json = "{\"ok\":true,\"ways\":" +
+                       std::to_string(oracle.ways()) + "}";
+        } else if (request == ":backend") {
+            res.json = "{\"ok\":true,\"backend\":\"" +
+                       jsonEscape(oracle.describe()) + "\"}";
+        } else if (request == ":stats") {
+            res.json = "{\"ok\":true,\"experiments\":" +
+                       std::to_string(oracle.experimentsRun()) +
+                       ",\"accesses\":" +
+                       std::to_string(oracle.accessesIssued()) + "}";
+        } else {
+            res.okAnswer = false;
+            res.clientFault = true;
+            res.json = errorJson("unknown command: " + request,
+                                 std::nullopt, std::nullopt);
         }
-        if (request == ":backend") {
-            return "{\"ok\":true,\"backend\":\"" +
-                   jsonEscape(oracle.describe()) + "\"}";
-        }
-        if (request == ":stats") {
-            return "{\"ok\":true,\"experiments\":" +
-                   std::to_string(oracle.experimentsRun()) +
-                   ",\"accesses\":" +
-                   std::to_string(oracle.accessesIssued()) + "}";
-        }
-        return errorJson("unknown command: " + request, std::nullopt,
-                         std::nullopt);
+        return res;
     }
 
     // Split `;`-separated queries; offsets locate errors in the line.
@@ -220,11 +266,11 @@ respondLine(const std::string& line, QueryOracle& oracle,
 
     if (limits.maxQueriesPerLine != 0 &&
         parts.size() > limits.maxQueriesPerLine) {
-        return abortedJson(
+        return abortedResult(
             std::to_string(parts.size()) +
                 " queries on one line exceed the limit of " +
                 std::to_string(limits.maxQueriesPerLine),
-            "too-many-queries");
+            AbortReason::kTooManyQueries, true);
     }
 
     std::vector<CompiledQuery> queries;
@@ -234,34 +280,40 @@ respondLine(const std::string& line, QueryOracle& oracle,
             if (limits.maxStepsPerQuery != 0 &&
                 queries.back().steps.size() >
                     limits.maxStepsPerQuery) {
-                return abortedJson(
+                return abortedResult(
                     "query " + std::to_string(i) + " has " +
                         std::to_string(queries.back().steps.size()) +
                         " steps, over the limit of " +
                         std::to_string(limits.maxStepsPerQuery),
-                    "query-too-long");
+                    AbortReason::kQueryTooLong, true);
             }
         } catch (const ParseError& e) {
-            return errorJson(e.message(),
-                             parts[i].second + e.position(),
-                             parts.size() > 1
-                                 ? std::optional<std::size_t>(i)
-                                 : std::nullopt);
+            res.clientFault = true;
+            res.json = errorJson(e.message(),
+                                 parts[i].second + e.position(),
+                                 parts.size() > 1
+                                     ? std::optional<std::size_t>(i)
+                                     : std::nullopt);
+            return res;
         } catch (const UsageError& e) {
-            return errorJson(e.what(), std::nullopt,
-                             parts.size() > 1
-                                 ? std::optional<std::size_t>(i)
-                                 : std::nullopt);
+            res.clientFault = true;
+            res.json = errorJson(e.what(), std::nullopt,
+                                 parts.size() > 1
+                                     ? std::optional<std::size_t>(i)
+                                     : std::nullopt);
+            return res;
         }
     }
 
     std::ostringstream out;
     try {
-        const CheckpointGuard guard(oracle, limits, opts.clock);
+        const CheckpointGuard guard(oracle, limits, opts.clock,
+                                    deadline);
         if (queries.size() == 1) {
             const QueryVerdict verdict = oracle.evaluate(queries[0]);
             out << "{\"ok\":true,";
-            writeVerdict(out, queries[0], verdict);
+            writeVerdict(out, queries[0], verdict,
+                         &res.undeterminedProbes);
             out << '}';
         } else {
             BatchStats stats;
@@ -272,7 +324,8 @@ respondLine(const std::string& line, QueryOracle& oracle,
                 if (i > 0)
                     out << ',';
                 out << '{';
-                writeVerdict(out, queries[i], verdicts[i]);
+                writeVerdict(out, queries[i], verdicts[i],
+                             &res.undeterminedProbes);
                 out << '}';
             }
             out << "],\"sharing\":{\"queries\":" << stats.queries
@@ -283,11 +336,28 @@ respondLine(const std::string& line, QueryOracle& oracle,
                 << "}}";
         }
     } catch (const RequestAborted& e) {
-        return abortedJson(e.what(), e.reason());
+        res.kind = RequestResult::Kind::kAborted;
+        res.reason = e.code();
+        res.reasons = e.allReasons();
+        res.json = abortedJson(e.what(), e.code(), e.allReasons());
+        return res;
     } catch (const std::exception& e) {
-        return errorJson(e.what(), std::nullopt, std::nullopt);
+        res.kind = RequestResult::Kind::kFailed;
+        res.reason = AbortReason::kOracleFailure;
+        res.reasons = {AbortReason::kOracleFailure};
+        res.json = abortedJson(e.what(), AbortReason::kOracleFailure);
+        return res;
     }
-    return out.str();
+    res.okAnswer = true;
+    res.json = out.str();
+    return res;
+}
+
+std::string
+respondLine(const std::string& line, QueryOracle& oracle,
+            const ServerOptions& opts)
+{
+    return respondLineClassified(line, oracle, opts).json;
 }
 
 unsigned
@@ -311,21 +381,40 @@ runSession(std::istream& in, std::ostream& out, QueryOracle& oracle,
 namespace
 {
 
-/** Everything a machine-backed session owns. */
-struct MachineSession
+/** Everything one machine-backed oracle shard owns. */
+struct MachineShard
 {
     hw::Machine machine;
     infer::MeasurementContext ctx;
     std::unique_ptr<MachineOracle> oracle;
 
-    MachineSession(const hw::MachineSpec& spec, uint64_t seed,
-                   const hw::NoiseConfig& noise, unsigned level,
-                   const MachineOracleConfig& cfg)
-        : machine(spec, seed, noise), ctx(machine),
+    MachineShard(const hw::MachineSpec& spec, uint64_t seed,
+                 const hw::FaultConfig& faults, unsigned level,
+                 const MachineOracleConfig& cfg)
+        : machine(spec, seed, faults), ctx(machine),
           oracle(std::make_unique<MachineOracle>(
               ctx, infer::assumedGeometry(spec), level, cfg))
     {}
 };
+
+/** Parses "A[:B[:C...]]" into its numeric fields. */
+std::vector<uint64_t>
+parseColonSpec(const std::string& s)
+{
+    std::vector<uint64_t> vals;
+    std::size_t start = 0;
+    for (;;) {
+        const std::size_t colon = s.find(':', start);
+        vals.push_back(std::stoull(
+            s.substr(start, colon == std::string::npos
+                                ? std::string::npos
+                                : colon - start)));
+        if (colon == std::string::npos)
+            break;
+        start = colon + 1;
+    }
+    return vals;
+}
 
 } // namespace
 
@@ -341,21 +430,28 @@ querydMain(int argc, const char* const* argv, std::istream& in,
     unsigned maxSets = 512;
     uint64_t seed = 1;
     double noiseP = 0.0;
+    double hostileX = 0.0;
     bool adaptiveVote = false;
     ObservationMode mode = ObservationMode::kCounter;
-    ServerOptions opts;
+    ServiceConfig scfg;
+    ServerOptions& opts = scfg.session;
+    unsigned shards = 1;
 
     const auto usage = [&err] {
         err << "usage: recap-queryd --policy <spec> [--ways N] "
                "[--seed S]\n"
                "       recap-queryd --machine <name> [--level L] "
                "[--mode counter|latency]\n"
-               "                    [--noise P] [--votes N] "
-               "[--adaptive] [--seed S] [--max-sets N]\n"
+               "                    [--noise P] [--hostile X] "
+               "[--votes N] [--adaptive] [--seed S] [--max-sets N]\n"
                "       common: [--naive] [--threads N] "
                "[--timeout-ms N] [--max-line-bytes N]\n"
                "               [--max-queries N] [--max-steps N] "
-               "[--max-accesses N]  (0 disables)\n";
+               "[--max-accesses N]  (0 disables)\n"
+               "       service: [--shards N] [--sessions N] "
+               "[--max-queue N] [--max-concurrent N]\n"
+               "                [--retry A[:BASE[:MAX]]] "
+               "[--breaker T[:OPENMS[:HALF]]]\n";
         return 2;
     };
 
@@ -383,6 +479,8 @@ querydMain(int argc, const char* const* argv, std::istream& in,
                 seed = std::stoull(value());
             else if (arg == "--noise")
                 noiseP = std::stod(value());
+            else if (arg == "--hostile")
+                hostileX = std::stod(value());
             else if (arg == "--threads")
                 opts.batch.numThreads =
                     static_cast<unsigned>(std::stoul(value()));
@@ -401,7 +499,39 @@ querydMain(int argc, const char* const* argv, std::istream& in,
             else if (arg == "--max-accesses")
                 opts.limits.maxAccessesPerRequest =
                     std::stoull(value());
-            else if (arg == "--mode") {
+            else if (arg == "--shards")
+                shards = static_cast<unsigned>(std::stoul(value()));
+            else if (arg == "--sessions")
+                scfg.maxSessions = std::stoull(value());
+            else if (arg == "--max-queue")
+                scfg.maxQueue = std::stoull(value());
+            else if (arg == "--max-concurrent")
+                scfg.maxConcurrent =
+                    static_cast<unsigned>(std::stoul(value()));
+            else if (arg == "--retry") {
+                const auto vals = parseColonSpec(value());
+                require(!vals.empty() && vals.size() <= 3,
+                        "--retry wants A[:BASE[:MAX]]");
+                scfg.retry.maxAttempts =
+                    static_cast<unsigned>(vals[0]);
+                if (vals.size() > 1)
+                    scfg.retry.baseDelayMillis = vals[1];
+                if (vals.size() > 2)
+                    scfg.retry.maxDelayMillis = vals[2];
+            } else if (arg == "--breaker") {
+                const auto vals = parseColonSpec(value());
+                require(!vals.empty() && vals.size() <= 3,
+                        "--breaker wants T[:OPENMS[:HALF]]");
+                scfg.breaker.enabled = vals[0] != 0;
+                if (vals[0] != 0)
+                    scfg.breaker.failureThreshold =
+                        static_cast<unsigned>(vals[0]);
+                if (vals.size() > 1)
+                    scfg.breaker.openMillis = vals[1];
+                if (vals.size() > 2)
+                    scfg.breaker.halfOpenSuccesses =
+                        static_cast<unsigned>(vals[2]);
+            } else if (arg == "--mode") {
                 const std::string m = value();
                 require(m == "counter" || m == "latency",
                         "--mode must be counter or latency");
@@ -414,27 +544,52 @@ querydMain(int argc, const char* const* argv, std::istream& in,
         }
         require(policySpec.empty() != machineName.empty(),
                 "exactly one of --policy / --machine is required");
+        require(shards >= 1, "--shards wants at least 1");
+        scfg.seed = seed;
 
+        // Build one oracle per shard eagerly, so a bad spec fails the
+        // whole invocation instead of poisoning a shard at first use.
+        std::vector<std::unique_ptr<PolicyOracle>> policyShards;
+        std::vector<std::unique_ptr<MachineShard>> machineShards;
+        std::vector<QueryOracle*> oracles;
+        std::string where;
         if (!policySpec.empty()) {
-            PolicyOracle oracle(policySpec, ways, seed);
-            err << "# recap-queryd serving " << oracle.describe()
-                << "\n";
-            runSession(in, out, oracle, opts);
-            return 0;
+            for (unsigned s = 0; s < shards; ++s) {
+                policyShards.push_back(std::make_unique<PolicyOracle>(
+                    policySpec, ways,
+                    s == 0 ? seed : deriveTaskSeed(seed, s)));
+                oracles.push_back(policyShards.back().get());
+            }
+        } else {
+            const auto spec = hw::reducedSpec(
+                hw::catalogMachine(machineName), maxSets);
+            hw::NoiseConfig noise;
+            noise.disturbProbability = noiseP;
+            const hw::FaultConfig faults =
+                hostileX > 0.0 ? hw::FaultConfig::hostile(hostileX)
+                               : hw::FaultConfig::fromNoise(noise);
+            MachineOracleConfig cfg;
+            cfg.mode = mode;
+            cfg.prober.voteRepeats = votes;
+            cfg.prober.vote.enabled = adaptiveVote;
+            for (unsigned s = 0; s < shards; ++s) {
+                machineShards.push_back(
+                    std::make_unique<MachineShard>(
+                        spec, s == 0 ? seed : deriveTaskSeed(seed, s),
+                        faults, level, cfg));
+                oracles.push_back(machineShards.back()->oracle.get());
+            }
+            where = " on " + spec.name;
         }
 
-        const auto spec = hw::reducedSpec(
-            hw::catalogMachine(machineName), maxSets);
-        hw::NoiseConfig noise;
-        noise.disturbProbability = noiseP;
-        MachineOracleConfig cfg;
-        cfg.mode = mode;
-        cfg.prober.voteRepeats = votes;
-        cfg.prober.vote.enabled = adaptiveVote;
-        MachineSession session(spec, seed, noise, level, cfg);
-        err << "# recap-queryd serving " << session.oracle->describe()
-            << " on " << spec.name << "\n";
-        runSession(in, out, *session.oracle, opts);
+        err << "# recap-queryd serving " << oracles[0]->describe()
+            << where;
+        if (shards > 1)
+            err << " (" << shards << " shards)";
+        err << "\n";
+
+        ServerCore core(std::move(oracles), scfg);
+        runService(in, out, core);
         return 0;
     } catch (const std::exception& e) {
         err << "recap-queryd: " << e.what() << "\n";

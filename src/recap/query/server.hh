@@ -17,10 +17,15 @@
  *     `:quit` ends the session;
  *   - blank lines and `#` comments are ignored (no response);
  *   - malformed input answers {"ok":false,"error":...,"position":N}
- *     and the session continues.
+ *     and the session continues;
+ *   - aborted / refused requests answer {"ok":false,"error":...,
+ *     "aborted":"<reason>","reasons":[...]} where the reason is one
+ *     of the structured AbortReason names (timeout, access-budget,
+ *     shed, breaker-open, ...).
  *
  * The session loop is stream-parameterized so tests drive it with
- * string streams; the recap-queryd binary connects it to
+ * string streams; the recap-queryd binary connects it through the
+ * fault-tolerant multi-session ServerCore (service.hh) to
  * stdin/stdout.
  */
 
@@ -28,10 +33,11 @@
 #define RECAP_QUERY_SERVER_HH_
 
 #include <cstdint>
-#include <functional>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
+#include "recap/common/resilience.hh"
 #include "recap/query/oracle.hh"
 
 namespace recap::query
@@ -60,7 +66,7 @@ struct RequestLimits
      */
     uint64_t maxAccessesPerRequest = 20'000'000;
 
-    /** Per-request wall-clock timeout. */
+    /** Per-request wall-clock budget (deadline). */
     uint64_t timeoutMillis = 30'000;
 };
 
@@ -74,12 +80,79 @@ struct ServerOptions
     RequestLimits limits;
 
     /**
-     * Millisecond clock for the timeout guard; nullptr = steady
+     * Millisecond clock for the deadline guard; nullptr = steady
      * wall clock. Tests inject a scripted clock so timeout expiry is
      * deterministic.
      */
-    std::function<uint64_t()> clock;
+    ClockFn clock;
 };
+
+/** JSON string escaping for response bodies. */
+std::string jsonEscape(const std::string& s);
+
+/** A structured {"ok":false,...,"aborted":...} error object. */
+std::string abortedJson(const std::string& what, AbortReason primary,
+                        const std::vector<AbortReason>& all = {});
+
+/**
+ * The classified result of answering one request line — what the
+ * fault-tolerant service layer consumes to drive retries, circuit
+ * breakers, and the outcome taxonomy.
+ */
+struct RequestResult
+{
+    enum class Kind
+    {
+        kSilent,   ///< blank / comment: no response at all
+        kAnswered, ///< a complete answer (including structured
+                   ///< parse/usage errors — the client's fault)
+        kAborted,  ///< a limit or checkpoint aborted the request
+        kFailed,   ///< the oracle itself threw (transient candidate)
+    };
+
+    Kind kind = Kind::kAnswered;
+
+    /** The JSON response line ("" iff kSilent). */
+    std::string json;
+
+    /** Primary cause for kAborted / kFailed. */
+    AbortReason reason = AbortReason::kOracleFailure;
+
+    /** Every tripped limit for kAborted (primary first). */
+    std::vector<AbortReason> reasons;
+
+    /**
+     * True when the failure is the client's doing (malformed input,
+     * protocol limits) rather than oracle sickness — such results
+     * never count against a circuit breaker.
+     */
+    bool clientFault = false;
+
+    /** True for `:command` lines (metadata, not oracle work). */
+    bool command = false;
+
+    /** True when json carries "ok":true (cacheable answer). */
+    bool okAnswer = false;
+
+    /**
+     * Probes whose vote never reached a quorum (fault-poisoned
+     * measurement); > 0 marks the answer untrustworthy and makes the
+     * request a retry candidate at the service layer.
+     */
+    unsigned undeterminedProbes = 0;
+};
+
+/**
+ * Answers one request line (without trailing newline), classified.
+ * @param deadline Absolute request deadline; nullptr derives one
+ *        from opts.limits.timeoutMillis at entry (the legacy
+ *        behaviour). The service layer passes the admission-time
+ *        deadline so queueing counts against the same budget.
+ */
+RequestResult respondLineClassified(const std::string& line,
+                                    QueryOracle& oracle,
+                                    const ServerOptions& opts = {},
+                                    const Deadline* deadline = nullptr);
 
 /**
  * Answers one request line (without trailing newline).
@@ -90,9 +163,9 @@ std::string respondLine(const std::string& line, QueryOracle& oracle,
                         const ServerOptions& opts = {});
 
 /**
- * Runs a full session: reads @p in line by line, writes one JSON
- * response line per request to @p out, returns when the stream ends
- * or a `:quit` arrives.
+ * Runs a full single-oracle session: reads @p in line by line,
+ * writes one JSON response line per request to @p out, returns when
+ * the stream ends or a `:quit` arrives.
  * @return the number of query lines answered.
  */
 unsigned runSession(std::istream& in, std::ostream& out,
@@ -101,16 +174,18 @@ unsigned runSession(std::istream& in, std::ostream& out,
 
 /**
  * The recap-queryd entry point (argv parsing + oracle construction +
- * session), parameterized over streams so it is testable in-process.
+ * service), parameterized over streams so it is testable in-process.
  *
  * Usage:
  *   recap-queryd --policy <spec> [--ways N] [--seed S]
  *   recap-queryd --machine <catalog-name> [--level L]
- *                [--mode counter|latency] [--noise P] [--votes N]
- *                [--adaptive] [--seed S] [--max-sets N]
+ *                [--mode counter|latency] [--noise P] [--hostile X]
+ *                [--votes N] [--adaptive] [--seed S] [--max-sets N]
  *   common: [--naive] [--threads N] [--timeout-ms N]
  *           [--max-line-bytes N] [--max-queries N] [--max-steps N]
  *           [--max-accesses N]  (0 disables a limit)
+ *   service: [--shards N] [--sessions N] [--max-queue N]
+ *            [--retry A[:BASE[:MAX]]] [--breaker T[:OPEN[:HALF]]]
  *
  * @return 0 on a clean session, 2 on a usage error.
  */

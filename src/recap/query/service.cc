@@ -1,0 +1,490 @@
+#include "recap/query/service.hh"
+
+#include <cctype>
+#include <chrono>
+#include <deque>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+
+#include "recap/common/error.hh"
+#include "recap/common/parallel.hh"
+
+namespace recap::query
+{
+
+namespace
+{
+
+std::string
+trimmed(const std::string& s)
+{
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+/** The answer prefix every cacheable response starts with. */
+constexpr const char* kOkPrefix = "{\"ok\":true,";
+
+} // namespace
+
+const char*
+outcomeName(Outcome outcome)
+{
+    switch (outcome) {
+    case Outcome::kSilent: return "silent";
+    case Outcome::kAnswered: return "answered";
+    case Outcome::kAborted: return "aborted";
+    case Outcome::kShed: return "shed";
+    case Outcome::kDegraded: return "degraded";
+    }
+    return "?";
+}
+
+/** Everything one oracle shard owns besides the oracle itself. */
+struct ServerCore::Shard
+{
+    QueryOracle* oracle = nullptr;
+
+    /** Serializes oracle access AND guards the degraded cache. */
+    std::mutex mutex;
+
+    CircuitBreaker breaker;
+
+    /**
+     * Last good answer per request line, stored as the body after
+     * the `{"ok":true,` prefix so a degraded replay splices its
+     * marker fields in without re-parsing.
+     */
+    std::unordered_map<std::string, std::string> cache;
+    std::deque<std::string> cacheOrder;
+
+    Shard(QueryOracle* o, const BreakerConfig& breakerCfg)
+        : oracle(o), breaker(breakerCfg)
+    {}
+};
+
+ServerCore::ServerCore(std::vector<QueryOracle*> shards,
+                       const ServiceConfig& cfg)
+    : cfg_(cfg), clock_(resolveClock(cfg.session.clock))
+{
+    require(!shards.empty(), "ServerCore: need at least one shard");
+    if (cfg_.maxConcurrent == 0)
+        cfg_.maxConcurrent = 1;
+    for (QueryOracle* oracle : shards) {
+        require(oracle != nullptr, "ServerCore: null oracle shard");
+        shards_.push_back(
+            std::make_unique<Shard>(oracle, cfg_.breaker));
+    }
+}
+
+ServerCore::~ServerCore() = default;
+
+const CircuitBreaker&
+ServerCore::breaker(std::size_t shard) const
+{
+    return shards_.at(shard)->breaker;
+}
+
+ServiceStats
+ServerCore::stats() const
+{
+    ServiceStats s;
+    s.answered = answered_.load();
+    s.aborted = aborted_.load();
+    s.shed = shed_.load();
+    s.degraded = degraded_.load();
+    s.silent = silent_.load();
+    s.retries = retries_.load();
+    s.disconnects = disconnects_.load();
+    s.cachedDegraded = cachedDegraded_.load();
+    return s;
+}
+
+std::string
+ServerCore::healthJson() const
+{
+    const ServiceStats s = stats();
+    std::ostringstream out;
+    out << "{\"ok\":true,\"health\":{\"shards\":[";
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+        Shard& shard = *shards_[i];
+        const auto counters = shard.breaker.counters();
+        std::size_t cached = 0;
+        {
+            std::lock_guard<std::mutex> lock(shard.mutex);
+            cached = shard.cache.size();
+        }
+        if (i > 0)
+            out << ',';
+        out << "{\"id\":" << i << ",\"breaker\":\""
+            << breakerStateName(shard.breaker.state())
+            << "\",\"trips\":" << counters.trips
+            << ",\"rejected\":" << counters.rejected
+            << ",\"cached\":" << cached << '}';
+    }
+    unsigned active = 0;
+    std::size_t queued = 0;
+    {
+        std::lock_guard<std::mutex> lock(admitMutex_);
+        active = active_;
+        queued = waiting_;
+    }
+    out << "],\"active\":" << active << ",\"queued\":" << queued
+        << ",\"outcomes\":{\"answered\":" << s.answered
+        << ",\"aborted\":" << s.aborted << ",\"shed\":" << s.shed
+        << ",\"degraded\":" << s.degraded
+        << ",\"retries\":" << s.retries
+        << ",\"disconnects\":" << s.disconnects << "}}}";
+    return out.str();
+}
+
+bool
+ServerCore::admit(const Deadline& deadline, Response& resp)
+{
+    std::unique_lock<std::mutex> lock(admitMutex_);
+    if (active_ < cfg_.maxConcurrent) {
+        ++active_;
+        return true;
+    }
+    if (waiting_ >= cfg_.maxQueue) {
+        resp.outcome = Outcome::kShed;
+        resp.reason = AbortReason::kShed;
+        resp.json = abortedJson(
+            "server overloaded: " + std::to_string(waiting_) +
+                " requests already queued (limit " +
+                std::to_string(cfg_.maxQueue) + ")",
+            AbortReason::kShed);
+        return false;
+    }
+    ++waiting_;
+    for (;;) {
+        if (active_ < cfg_.maxConcurrent) {
+            ++active_;
+            --waiting_;
+            return true;
+        }
+        if (deadline.expired(clock_())) {
+            --waiting_;
+            resp.outcome = Outcome::kAborted;
+            resp.reason = AbortReason::kTimeout;
+            resp.json = abortedJson(
+                "request spent its " +
+                    std::to_string(
+                        cfg_.session.limits.timeoutMillis) +
+                    " ms budget queued for admission",
+                AbortReason::kTimeout);
+            return false;
+        }
+        // Slice the wait so injected/scripted clocks (which only
+        // advance when read) still expire deadlines.
+        admitCv_.wait_for(lock, std::chrono::milliseconds(10));
+    }
+}
+
+void
+ServerCore::release()
+{
+    {
+        std::lock_guard<std::mutex> lock(admitMutex_);
+        --active_;
+    }
+    admitCv_.notify_one();
+}
+
+void
+ServerCore::backoffWait(uint64_t millis, const Deadline& deadline)
+{
+    if (millis == 0)
+        return;
+    const uint64_t start = clock_();
+    const uint64_t target = start > UINT64_MAX - millis
+                                ? UINT64_MAX
+                                : start + millis;
+    uint64_t slices = 0;
+    for (;;) {
+        const uint64_t now = clock_();
+        if (now >= target || deadline.expired(now))
+            return;
+        // A frozen injected clock would never reach the target;
+        // bound the real-time slices by the nominal delay.
+        if (++slices > millis + 1)
+            return;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+}
+
+ServerCore::Response
+ServerCore::degradedResponse(Shard& shard, const std::string& request)
+{
+    Response resp;
+    resp.outcome = Outcome::kDegraded;
+    resp.reason = AbortReason::kBreakerOpen;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.cache.find(request);
+    if (it != shard.cache.end()) {
+        resp.fromCache = true;
+        resp.json = std::string(kOkPrefix) +
+                    "\"degraded\":true,\"cached\":true," + it->second;
+    } else {
+        resp.json =
+            "{\"ok\":false,\"error\":\"circuit open: oracle shard "
+            "unavailable, no cached answer\",\"aborted\":\"" +
+            std::string(abortReasonName(AbortReason::kBreakerOpen)) +
+            "\",\"reasons\":[\"" +
+            abortReasonName(AbortReason::kBreakerOpen) +
+            "\"],\"degraded\":true}";
+    }
+    return resp;
+}
+
+ServerCore::Response
+ServerCore::executeAdmitted(std::size_t session,
+                            const std::string& line,
+                            const std::string& request,
+                            const Deadline& deadline)
+{
+    Shard& shard = *shards_[shardOf(session)];
+    const uint64_t jitterSeed = deriveTaskSeed(cfg_.seed, session);
+    Response resp;
+    for (unsigned attempt = 0;; ++attempt) {
+        resp.attempts = attempt + 1;
+        const uint64_t now = clock_();
+        if (deadline.expired(now)) {
+            resp.outcome = Outcome::kAborted;
+            resp.reason = AbortReason::kTimeout;
+            resp.json = abortedJson(
+                "request exceeded the " +
+                    std::to_string(
+                        cfg_.session.limits.timeoutMillis) +
+                    " ms timeout",
+                AbortReason::kTimeout);
+            return resp;
+        }
+        if (!shard.breaker.allow(now)) {
+            Response degraded = degradedResponse(shard, request);
+            degraded.attempts = resp.attempts;
+            return degraded;
+        }
+
+        RequestResult result;
+        {
+            std::lock_guard<std::mutex> lock(shard.mutex);
+            result = respondLineClassified(line, *shard.oracle,
+                                           cfg_.session, &deadline);
+        }
+
+        resp.json = result.json;
+        resp.clientFault = result.clientFault;
+        switch (result.kind) {
+        case RequestResult::Kind::kSilent:
+            resp.outcome = Outcome::kSilent;
+            return resp;
+        case RequestResult::Kind::kAnswered: {
+            resp.outcome = Outcome::kAnswered;
+            if (result.command || result.clientFault)
+                return resp; // neutral: no breaker signal
+            if (result.undeterminedProbes == 0) {
+                shard.breaker.onSuccess(clock_());
+                if (result.okAnswer && cfg_.degradedCacheCap != 0) {
+                    std::lock_guard<std::mutex> lock(shard.mutex);
+                    if (result.json.rfind(kOkPrefix, 0) == 0 &&
+                        !shard.cache.count(request)) {
+                        if (shard.cacheOrder.size() >=
+                            cfg_.degradedCacheCap) {
+                            shard.cache.erase(
+                                shard.cacheOrder.front());
+                            shard.cacheOrder.pop_front();
+                        }
+                        shard.cache.emplace(
+                            request, result.json.substr(
+                                         std::string(kOkPrefix)
+                                             .size()));
+                        shard.cacheOrder.push_back(request);
+                    }
+                }
+                return resp;
+            }
+            // Probes without a quorum: the answer is poisoned by
+            // faults — a breaker failure and a retry candidate.
+            shard.breaker.onFailure(clock_());
+            resp.reason = AbortReason::kNoQuorum;
+            break;
+        }
+        case RequestResult::Kind::kFailed:
+            shard.breaker.onFailure(clock_());
+            resp.outcome = Outcome::kAborted;
+            resp.reason = AbortReason::kOracleFailure;
+            break;
+        case RequestResult::Kind::kAborted:
+            resp.outcome = Outcome::kAborted;
+            resp.reason = result.reason;
+            if (!result.clientFault)
+                shard.breaker.onFailure(clock_());
+            return resp; // deadline/budget aborts never retry
+        }
+
+        // Transient failure (no-quorum / oracle-failure): retry with
+        // seed-deterministic backoff while attempts and budget last.
+        if (attempt + 1 >= cfg_.retry.maxAttempts ||
+            deadline.expired(clock_()))
+            return resp;
+        ++retries_;
+        backoffWait(retryBackoffMillis(cfg_.retry, attempt,
+                                       jitterSeed),
+                    deadline);
+    }
+}
+
+void
+ServerCore::deliver(Response& resp, const ResponseSink& sink)
+{
+    if (!sink || resp.json.empty())
+        return;
+    try {
+        sink(resp.json);
+    } catch (...) {
+        resp.delivered = false;
+        ++disconnects_;
+    }
+}
+
+void
+ServerCore::count(const Response& resp)
+{
+    switch (resp.outcome) {
+    case Outcome::kSilent: ++silent_; break;
+    case Outcome::kAnswered: ++answered_; break;
+    case Outcome::kAborted: ++aborted_; break;
+    case Outcome::kShed: ++shed_; break;
+    case Outcome::kDegraded:
+        ++degraded_;
+        if (resp.fromCache)
+            ++cachedDegraded_;
+        break;
+    }
+}
+
+ServerCore::Response
+ServerCore::handle(std::size_t session, const std::string& line,
+                   const ResponseSink& sink)
+{
+    const RequestLimits& limits = cfg_.session.limits;
+    Response resp;
+
+    if (cfg_.maxSessions != 0 && session >= cfg_.maxSessions) {
+        resp.outcome = Outcome::kAnswered;
+        resp.clientFault = true;
+        resp.json = "{\"ok\":false,\"error\":\"session " +
+                    std::to_string(session) +
+                    " out of range (sessions limit " +
+                    std::to_string(cfg_.maxSessions) + ")\"}";
+        deliver(resp, sink);
+        count(resp);
+        return resp;
+    }
+
+    // Protocol-limit and silent fast paths skip admission: a flood
+    // of oversized or blank lines must not occupy oracle slots.
+    if (limits.maxLineBytes != 0 &&
+        line.size() > limits.maxLineBytes) {
+        resp.outcome = Outcome::kAborted;
+        resp.reason = AbortReason::kLineTooLong;
+        resp.clientFault = true;
+        resp.json = abortedJson(
+            "request line of " + std::to_string(line.size()) +
+                " bytes exceeds the limit of " +
+                std::to_string(limits.maxLineBytes),
+            AbortReason::kLineTooLong);
+        deliver(resp, sink);
+        count(resp);
+        return resp;
+    }
+    const std::string request = trimmed(line);
+    if (request.empty() || request[0] == '#') {
+        resp.outcome = Outcome::kSilent;
+        count(resp);
+        return resp;
+    }
+    if (request == ":health") {
+        // Served before admission on purpose: health must answer
+        // even when the service is saturated.
+        resp.outcome = Outcome::kAnswered;
+        resp.json = healthJson();
+        deliver(resp, sink);
+        count(resp);
+        return resp;
+    }
+
+    const Deadline deadline =
+        Deadline::in(clock_(), limits.timeoutMillis);
+    const bool slot = admit(deadline, resp);
+    if (slot) {
+        resp = executeAdmitted(session, line, request, deadline);
+        deliver(resp, sink);
+        release();
+    } else {
+        deliver(resp, sink);
+    }
+    count(resp);
+    return resp;
+}
+
+namespace
+{
+
+/** Parses an `N> ` session prefix; false = unprefixed (session 0). */
+bool
+parseSessionPrefix(const std::string& line, std::size_t& session,
+                   std::string& payload)
+{
+    std::size_t i = 0;
+    while (i < line.size() &&
+           std::isdigit(static_cast<unsigned char>(line[i])))
+        ++i;
+    if (i == 0 || i + 1 >= line.size() || line[i] != '>' ||
+        line[i + 1] != ' ')
+        return false;
+    try {
+        session = std::stoull(line.substr(0, i));
+    } catch (const std::exception&) {
+        return false; // absurd session number: treat as payload
+    }
+    payload = line.substr(i + 2);
+    return true;
+}
+
+} // namespace
+
+unsigned
+runService(std::istream& in, std::ostream& out, ServerCore& core)
+{
+    unsigned answered = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+        std::size_t session = 0;
+        std::string payload = line;
+        const bool prefixed =
+            parseSessionPrefix(line, session, payload);
+        const ServerCore::Response resp =
+            core.handle(session, payload);
+        if (resp.outcome == Outcome::kSilent)
+            continue;
+        if (prefixed)
+            out << session << "> ";
+        out << resp.json << '\n' << std::flush;
+        ++answered;
+        if (!prefixed && trimmed(payload) == ":quit")
+            break;
+    }
+    return answered;
+}
+
+} // namespace recap::query

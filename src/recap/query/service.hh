@@ -1,0 +1,269 @@
+/**
+ * @file
+ * ServerCore: the fault-tolerant concurrent front of recap-queryd.
+ *
+ * One core multiplexes many client sessions over a small pool of
+ * oracle shards. Every request flows through the same pipeline:
+ *
+ *   classify -> admit (slots + bounded queue, shed on overflow)
+ *            -> breaker check (open => degraded answer)
+ *            -> execute on the session's shard under a deadline
+ *            -> retry transient failures with backoff
+ *            -> deliver (a slow or vanishing reader holds its
+ *               admission slot, creating backpressure)
+ *
+ * and ends in exactly ONE of the outcome taxonomy states:
+ *
+ *   answered  — a complete JSON answer (including structured parse
+ *               errors: the protocol answered, the query didn't)
+ *   aborted   — a limit/checkpoint stopped it (timeout,
+ *               access-budget, protocol limits, oracle-failure)
+ *   shed      — refused at admission: queue full
+ *   degraded  — the shard's circuit breaker is open; the answer is a
+ *               cached previous answer or an explicit abstention
+ *
+ * (blank/comment lines are "silent" and get no response at all).
+ *
+ * Sessions are logical: session id N is pinned to shard N % shards,
+ * so two sessions on different shards never contend on an oracle,
+ * and two sessions on the SAME shard serialize through its mutex but
+ * cannot observe each other's aborts — checkpoints are installed and
+ * cleared strictly inside the per-shard critical section.
+ *
+ * Everything is deterministic given a seed and an injected clock;
+ * the chaos harness (chaos.hh) drives this class with scripted
+ * clocks, hostile fault models, and adversarial sinks.
+ */
+
+#ifndef RECAP_QUERY_SERVICE_HH_
+#define RECAP_QUERY_SERVICE_HH_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "recap/common/resilience.hh"
+#include "recap/query/server.hh"
+
+namespace recap::query
+{
+
+/** The request outcome taxonomy (see file comment). */
+enum class Outcome
+{
+    kSilent,
+    kAnswered,
+    kAborted,
+    kShed,
+    kDegraded,
+};
+
+/** Canonical name: "silent", "answered", "aborted", "shed", ... */
+const char* outcomeName(Outcome outcome);
+
+/** Service-level configuration on top of the per-request limits. */
+struct ServiceConfig
+{
+    /** Per-request limits, batch knobs and the (injectable) clock. */
+    ServerOptions session;
+
+    /** Highest admitted session id + 1; 0 = unlimited. */
+    std::size_t maxSessions = 64;
+
+    /** Requests executing concurrently (admission slots). */
+    unsigned maxConcurrent = 4;
+
+    /**
+     * Requests allowed to WAIT for a slot; one more is shed with a
+     * structured load-shed answer. 0 = no queue (shed when busy).
+     */
+    std::size_t maxQueue = 64;
+
+    /** Retry schedule for transient failures (1 attempt = off). */
+    RetryConfig retry;
+
+    /** Per-shard circuit breaker tuning. */
+    BreakerConfig breaker;
+
+    /** Root seed for retry jitter (per-session derived). */
+    uint64_t seed = 1;
+
+    /** Degraded-answer cache entries per shard (0 disables). */
+    std::size_t degradedCacheCap = 1024;
+};
+
+/** A point-in-time snapshot of the service counters. */
+struct ServiceStats
+{
+    uint64_t answered = 0;
+    uint64_t aborted = 0;
+    uint64_t shed = 0;
+    uint64_t degraded = 0;
+    uint64_t silent = 0;
+
+    /** Retries performed (extra attempts beyond the first). */
+    uint64_t retries = 0;
+
+    /** Deliveries that failed because the client vanished. */
+    uint64_t disconnects = 0;
+
+    /** Degraded answers served from the per-shard cache. */
+    uint64_t cachedDegraded = 0;
+
+    /** Every classified request (silent lines excluded). */
+    uint64_t requests() const
+    {
+        return answered + aborted + shed + degraded;
+    }
+};
+
+/**
+ * The concurrent query service core. handle() is fully thread-safe:
+ * the chaos harness and the load bench call it from many client
+ * threads at once.
+ */
+class ServerCore
+{
+  public:
+    /**
+     * @param shards Oracle shards, borrowed (caller keeps them alive
+     *        and does not touch them while the core runs). At least
+     *        one.
+     */
+    ServerCore(std::vector<QueryOracle*> shards,
+               const ServiceConfig& cfg = {});
+    ~ServerCore();
+
+    ServerCore(const ServerCore&) = delete;
+    ServerCore& operator=(const ServerCore&) = delete;
+
+    /** The classified end state of one request. */
+    struct Response
+    {
+        Outcome outcome = Outcome::kAnswered;
+
+        /** The JSON response line ("" iff silent). */
+        std::string json;
+
+        /** Structured cause for aborted / shed / degraded. */
+        AbortReason reason = AbortReason::kOracleFailure;
+
+        /** Oracle attempts consumed (>1 means retried). */
+        unsigned attempts = 1;
+
+        /** Degraded answer served from the shard cache. */
+        bool fromCache = false;
+
+        /** False when the sink threw (client disconnected). */
+        bool delivered = true;
+
+        /** The failure was the client's (never trips breakers). */
+        bool clientFault = false;
+    };
+
+    /**
+     * Response delivery hook: called once with the JSON line (under
+     * the sender's admission slot, so a slow sink creates
+     * backpressure). May throw to model a client disconnect — the
+     * request still classifies, with delivered = false.
+     */
+    using ResponseSink = std::function<void(const std::string&)>;
+
+    /**
+     * Executes one request line for logical session @p session.
+     * Blocks while queued for admission (the wait counts against the
+     * request deadline). Never throws; every line ends in exactly
+     * one taxonomy outcome.
+     */
+    Response handle(std::size_t session, const std::string& line,
+                    const ResponseSink& sink = {});
+
+    std::size_t shardCount() const { return shards_.size(); }
+    std::size_t shardOf(std::size_t session) const
+    {
+        return session % shards_.size();
+    }
+
+    /** The shard's breaker, for state/transition assertions. */
+    const CircuitBreaker& breaker(std::size_t shard) const;
+
+    ServiceStats stats() const;
+
+    /** The `:health` answer: shards, breakers, queue, outcomes. */
+    std::string healthJson() const;
+
+    const ServiceConfig& config() const { return cfg_; }
+
+  private:
+    struct Shard;
+
+    /**
+     * Fills @p resp and returns false when admission sheds or times
+     * the request out; true = a slot is held (caller must release).
+     */
+    bool admit(const Deadline& deadline, Response& resp);
+    void release();
+
+    /** The execute+retry loop; requires a held admission slot. */
+    Response executeAdmitted(std::size_t session,
+                             const std::string& line,
+                             const std::string& request,
+                             const Deadline& deadline);
+
+    /** Degraded answer while the breaker is open (cache/abstain). */
+    Response degradedResponse(Shard& shard,
+                              const std::string& request);
+
+    /** Clock-aware bounded backoff sleep (scripted clocks advance). */
+    void backoffWait(uint64_t millis, const Deadline& deadline);
+
+    void deliver(Response& resp, const ResponseSink& sink);
+    void count(const Response& resp);
+
+    ServiceConfig cfg_;
+    ClockFn clock_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+
+    // Admission control.
+    mutable std::mutex admitMutex_;
+    std::condition_variable admitCv_;
+    unsigned active_ = 0;
+    std::size_t waiting_ = 0;
+
+    // Outcome counters (atomic: handle() runs on many threads).
+    std::atomic<uint64_t> answered_{0};
+    std::atomic<uint64_t> aborted_{0};
+    std::atomic<uint64_t> shed_{0};
+    std::atomic<uint64_t> degraded_{0};
+    std::atomic<uint64_t> silent_{0};
+    std::atomic<uint64_t> retries_{0};
+    std::atomic<uint64_t> disconnects_{0};
+    std::atomic<uint64_t> cachedDegraded_{0};
+};
+
+/**
+ * The stdio front of the service: reads @p in line by line, routes
+ * each to a logical session, writes one response line per answered
+ * request to @p out.
+ *
+ * Session framing: a line starting with `N> ` (digits, '>', space)
+ * addresses session N and its response is echoed with the same `N> `
+ * prefix; an unprefixed line is session 0 and answers bare JSON —
+ * byte-compatible with the single-session protocol. An unprefixed
+ * `:quit` ends the whole service loop; a prefixed one only answers
+ * bye for that session.
+ *
+ * @return the number of response lines written.
+ */
+unsigned runService(std::istream& in, std::ostream& out,
+                    ServerCore& core);
+
+} // namespace recap::query
+
+#endif // RECAP_QUERY_SERVICE_HH_

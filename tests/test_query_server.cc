@@ -363,6 +363,129 @@ TEST(QuerydMain, RejectsBadInvocations)
     EXPECT_EQ(runQueryd({"--frobnicate"}, "", out, err), 2);
     EXPECT_EQ(runQueryd({"--policy", "no-such-policy"}, "", out, err),
               2);
+    EXPECT_EQ(runQueryd({"--policy", "lru", "--retry", "x"}, "", out,
+                        err),
+              2);
+}
+
+// ---------------------------------------------------------------
+// NDJSON session-parser fuzzing: hostile byte streams must always
+// produce structured JSON errors (or structured answers) and must
+// never kill the session — the next valid request still answers.
+// ---------------------------------------------------------------
+
+TEST(QueryServerFuzz, RandomByteLinesAlwaysAnswerStructuredJson)
+{
+    PolicyOracle oracle("lru", 4);
+    ServerOptions opts;
+    opts.limits.maxLineBytes = 512;
+    Rng rng(2024);
+    for (int i = 0; i < 2000; ++i) {
+        // Lines of arbitrary bytes: embedded NULs, malformed UTF-8
+        // continuation bytes, control characters — everything but
+        // the '\n' framing delimiter.
+        const std::size_t len = rng.nextBelow(96);
+        std::string line;
+        line.reserve(len);
+        for (std::size_t b = 0; b < len; ++b) {
+            char c = static_cast<char>(rng.nextBelow(256));
+            if (c == '\n')
+                c = '\0';
+            line += c;
+        }
+        const std::string response =
+            query::respondLine(line, oracle, opts);
+        if (response.empty())
+            continue; // blank/comment-shaped garbage: silent is fine
+        EXPECT_TRUE(response.rfind("{\"ok\":", 0) == 0)
+            << "iteration " << i << ": " << response;
+        // Every response is one line — framing survives any input.
+        EXPECT_EQ(response.find('\n'), std::string::npos);
+    }
+    // The session (oracle + parser) survived 2000 hostile lines.
+    const std::string after =
+        query::respondLine("a b c d a?", oracle, opts);
+    EXPECT_TRUE(contains(after, "\"ok\":true")) << after;
+}
+
+TEST(QueryServerFuzz, MalformedUtf8AndNulsGetStructuredErrors)
+{
+    PolicyOracle oracle("lru", 4);
+    const std::vector<std::string> hostile = {
+        std::string("\xc3\x28 a?"),         // bad continuation
+        std::string("\xf0\x9f a?"),         // truncated 4-byte seq
+        std::string("a\x00b a?", 7),        // embedded NUL
+        std::string("\xff\xfe\xfd"),        // not UTF-8 at all
+        std::string(3, '\x01') + " a?",     // control chars
+    };
+    for (const std::string& line : hostile) {
+        const std::string response = query::respondLine(line, oracle);
+        ASSERT_FALSE(response.empty());
+        EXPECT_TRUE(contains(response, "\"ok\":false")) << response;
+        EXPECT_TRUE(contains(response, "\"error\"")) << response;
+    }
+    EXPECT_TRUE(contains(query::respondLine("a a?", oracle),
+                         "\"ok\":true"));
+}
+
+TEST(QueryServerFuzz, OverlongLinesAbortWithoutWedgingTheSession)
+{
+    PolicyOracle oracle("lru", 4);
+    ServerOptions opts;
+    opts.limits.maxLineBytes = 64;
+    std::istringstream in(std::string(4096, 'a') + "\n" +
+                          "a b a?\n:quit\n");
+    std::ostringstream out;
+    runSession(in, out, oracle, opts);
+    std::vector<std::string> lines;
+    std::istringstream parsed(out.str());
+    for (std::string line; std::getline(parsed, line);)
+        lines.push_back(line);
+    ASSERT_EQ(lines.size(), 3u);
+    EXPECT_TRUE(contains(lines[0], "\"aborted\":\"line-too-long\""))
+        << lines[0];
+    EXPECT_TRUE(contains(lines[0], "\"reasons\":[\"line-too-long\"]"))
+        << lines[0];
+    EXPECT_TRUE(contains(lines[1], "\"ok\":true")) << lines[1];
+    EXPECT_TRUE(contains(lines[2], "\"bye\":true")) << lines[2];
+}
+
+TEST(QueryServerFuzz, TruncatedFinalLineStillAnswers)
+{
+    PolicyOracle oracle("lru", 4);
+    // No trailing newline: the final (truncated) line must still be
+    // parsed and answered before EOF ends the session.
+    std::istringstream in("a b a?\na b c d");
+    std::ostringstream out;
+    const unsigned answered = runSession(in, out, oracle);
+    EXPECT_EQ(answered, 2u);
+    EXPECT_TRUE(contains(out.str(), "\"ok\":true")) << out.str();
+}
+
+TEST(QueryServerFuzz, AbortReasonsSurviveCheckpointRaces)
+{
+    // When the deadline and the access budget trip in the same
+    // checkpoint, the response carries BOTH structured reasons, with
+    // the timeout deterministically primary.
+    PolicyOracle oracle("lru", 4);
+    ServerOptions opts;
+    opts.limits.timeoutMillis = 50;
+    opts.limits.maxAccessesPerRequest = 1;
+    opts.batch.prefixSharing = false; // per-query checkpoints
+    auto now = std::make_shared<uint64_t>(0);
+    opts.clock = [now] { return *now += 40; };
+    // Guard arms at t=40 (deadline 90). Query 1's checkpoint at t=80
+    // passes and its replay consumes 5 accesses; query 2's
+    // checkpoint at t=120 then finds BOTH limits blown at once.
+    const std::string response = query::respondLine(
+        "a b c d a? ; a b c d b?", oracle, opts);
+    EXPECT_TRUE(contains(response, "\"aborted\":\"timeout\""))
+        << response;
+    EXPECT_TRUE(contains(
+        response, "\"reasons\":[\"timeout\",\"access-budget\"]"))
+        << response;
+    EXPECT_TRUE(contains(response, "ms timeout")) << response;
+    EXPECT_TRUE(contains(response, "access budget")) << response;
 }
 
 } // namespace

@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Tests for the common resilience primitives: absolute deadlines,
+ * seed-deterministic retry backoff, and the circuit-breaker state
+ * machine (trip / half-open probe / close), including the pinned
+ * transition log the chaos harness relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "recap/common/resilience.hh"
+
+namespace
+{
+
+using recap::AbortReason;
+using recap::abortReasonName;
+using recap::BreakerConfig;
+using recap::breakerStateName;
+using recap::CircuitBreaker;
+using recap::Deadline;
+using recap::resolveClock;
+using recap::RetryConfig;
+using recap::retryBackoffMillis;
+
+using State = CircuitBreaker::State;
+
+TEST(Deadline, UnboundedNeverExpires)
+{
+    const Deadline d = Deadline::unbounded();
+    EXPECT_FALSE(d.bounded());
+    EXPECT_FALSE(d.expired(0));
+    EXPECT_FALSE(d.expired(std::numeric_limits<uint64_t>::max()));
+    EXPECT_EQ(d.remainingMillis(12345),
+              std::numeric_limits<uint64_t>::max());
+    // Budget 0 means "no deadline".
+    EXPECT_FALSE(Deadline::in(1000, 0).bounded());
+}
+
+TEST(Deadline, ExpiresStrictlyAfterTheBudget)
+{
+    const Deadline d = Deadline::in(100, 50);
+    EXPECT_TRUE(d.bounded());
+    EXPECT_FALSE(d.expired(100));
+    EXPECT_FALSE(d.expired(150)); // at the deadline: still fine
+    EXPECT_TRUE(d.expired(151));
+    EXPECT_EQ(d.remainingMillis(100), 50u);
+    EXPECT_EQ(d.remainingMillis(149), 1u);
+    EXPECT_EQ(d.remainingMillis(200), 0u);
+    // A clock that jumps backwards only delays expiry, never wedges.
+    EXPECT_FALSE(d.expired(10));
+}
+
+TEST(Deadline, SaturatesInsteadOfOverflowing)
+{
+    const uint64_t max = std::numeric_limits<uint64_t>::max();
+    const Deadline d = Deadline::in(max - 10, 100);
+    EXPECT_TRUE(d.bounded());
+    EXPECT_EQ(d.atMillis, max);
+    EXPECT_FALSE(d.expired(max));
+}
+
+TEST(Resilience, ResolveClockDefaultsToSteadyTime)
+{
+    const auto clock = resolveClock(nullptr);
+    const uint64_t a = clock();
+    const uint64_t b = clock();
+    EXPECT_LE(a, b);
+    // An injected clock is passed through untouched.
+    const auto scripted = resolveClock([] { return uint64_t{42}; });
+    EXPECT_EQ(scripted(), 42u);
+}
+
+TEST(Resilience, AbortReasonNamesAreCanonical)
+{
+    EXPECT_STREQ(abortReasonName(AbortReason::kTimeout), "timeout");
+    EXPECT_STREQ(abortReasonName(AbortReason::kAccessBudget),
+                 "access-budget");
+    EXPECT_STREQ(abortReasonName(AbortReason::kShed), "shed");
+    EXPECT_STREQ(abortReasonName(AbortReason::kBreakerOpen),
+                 "breaker-open");
+    EXPECT_STREQ(abortReasonName(AbortReason::kNoQuorum), "no-quorum");
+    EXPECT_STREQ(abortReasonName(AbortReason::kOracleFailure),
+                 "oracle-failure");
+    EXPECT_STREQ(abortReasonName(AbortReason::kDisconnect),
+                 "disconnect");
+}
+
+TEST(RetryBackoff, GrowsExponentiallyUpToTheCeiling)
+{
+    RetryConfig cfg;
+    cfg.baseDelayMillis = 2;
+    cfg.maxDelayMillis = 100;
+    cfg.jitter = 0.0; // exact values
+    EXPECT_EQ(retryBackoffMillis(cfg, 0, 1), 2u);
+    EXPECT_EQ(retryBackoffMillis(cfg, 1, 1), 4u);
+    EXPECT_EQ(retryBackoffMillis(cfg, 2, 1), 8u);
+    EXPECT_EQ(retryBackoffMillis(cfg, 5, 1), 64u);
+    EXPECT_EQ(retryBackoffMillis(cfg, 6, 1), 100u);  // clamped
+    EXPECT_EQ(retryBackoffMillis(cfg, 40, 1), 100u); // way past
+}
+
+TEST(RetryBackoff, JitterIsSeedDeterministicAndBounded)
+{
+    RetryConfig cfg;
+    cfg.baseDelayMillis = 40;
+    cfg.maxDelayMillis = 40;
+    cfg.jitter = 0.5;
+    for (unsigned retry = 0; retry < 8; ++retry) {
+        const uint64_t a = retryBackoffMillis(cfg, retry, 7);
+        const uint64_t b = retryBackoffMillis(cfg, retry, 7);
+        EXPECT_EQ(a, b) << "retry " << retry;
+        EXPECT_GE(a, 20u) << "retry " << retry; // 40 * (1 - 0.5)
+        EXPECT_LE(a, 60u) << "retry " << retry; // 40 * (1 + 0.5)
+    }
+    // Different seeds decorrelate the schedule.
+    bool anyDifferent = false;
+    for (unsigned retry = 0; retry < 8; ++retry)
+        if (retryBackoffMillis(cfg, retry, 7) !=
+            retryBackoffMillis(cfg, retry, 8))
+            anyDifferent = true;
+    EXPECT_TRUE(anyDifferent);
+}
+
+TEST(CircuitBreakerTest, TripsAfterConsecutiveFailuresOnly)
+{
+    BreakerConfig cfg;
+    cfg.failureThreshold = 3;
+    CircuitBreaker breaker(cfg);
+    EXPECT_EQ(breaker.state(), State::kClosed);
+
+    breaker.onFailure(1);
+    breaker.onFailure(2);
+    breaker.onSuccess(3); // resets the consecutive count
+    breaker.onFailure(4);
+    breaker.onFailure(5);
+    EXPECT_EQ(breaker.state(), State::kClosed);
+    EXPECT_TRUE(breaker.allow(6));
+
+    breaker.onFailure(7); // third consecutive: trips
+    EXPECT_EQ(breaker.state(), State::kOpen);
+    EXPECT_EQ(breaker.counters().trips, 1u);
+}
+
+TEST(CircuitBreakerTest, OpenRejectsUntilTheDwellElapses)
+{
+    BreakerConfig cfg;
+    cfg.failureThreshold = 1;
+    cfg.openMillis = 100;
+    CircuitBreaker breaker(cfg);
+    breaker.onFailure(10);
+    EXPECT_EQ(breaker.state(), State::kOpen);
+    EXPECT_FALSE(breaker.allow(50));
+    EXPECT_FALSE(breaker.allow(109));
+    EXPECT_EQ(breaker.counters().rejected, 2u);
+    // Dwell elapsed: the next request is the half-open probe.
+    EXPECT_TRUE(breaker.allow(110));
+    EXPECT_EQ(breaker.state(), State::kHalfOpen);
+    EXPECT_EQ(breaker.counters().probes, 1u);
+}
+
+TEST(CircuitBreakerTest, HalfOpenAdmitsOneProbeAtATime)
+{
+    BreakerConfig cfg;
+    cfg.failureThreshold = 1;
+    cfg.openMillis = 10;
+    cfg.halfOpenSuccesses = 2;
+    CircuitBreaker breaker(cfg);
+    breaker.onFailure(0);
+    ASSERT_TRUE(breaker.allow(20)); // probe 1 in flight
+    EXPECT_FALSE(breaker.allow(21)); // concurrent request refused
+    breaker.onSuccess(22);
+    EXPECT_EQ(breaker.state(), State::kHalfOpen); // needs 2 successes
+    ASSERT_TRUE(breaker.allow(23)); // probe 2
+    breaker.onSuccess(24);
+    EXPECT_EQ(breaker.state(), State::kClosed);
+    EXPECT_EQ(breaker.counters().closes, 1u);
+}
+
+TEST(CircuitBreakerTest, HalfOpenFailureReopensAndRearmsTheDwell)
+{
+    BreakerConfig cfg;
+    cfg.failureThreshold = 1;
+    cfg.openMillis = 100;
+    CircuitBreaker breaker(cfg);
+    breaker.onFailure(0);
+    ASSERT_TRUE(breaker.allow(100)); // half-open probe
+    breaker.onFailure(101);          // probe failed
+    EXPECT_EQ(breaker.state(), State::kOpen);
+    EXPECT_FALSE(breaker.allow(150)); // dwell re-armed at t=101
+    EXPECT_TRUE(breaker.allow(201));
+}
+
+TEST(CircuitBreakerTest, TransitionLogPinsTheFullCycle)
+{
+    BreakerConfig cfg;
+    cfg.failureThreshold = 2;
+    cfg.openMillis = 50;
+    cfg.halfOpenSuccesses = 1;
+    CircuitBreaker breaker(cfg);
+    breaker.onFailure(1);
+    breaker.onFailure(2);   // closed -> open @2
+    ASSERT_TRUE(breaker.allow(60)); // open -> half-open @60
+    breaker.onSuccess(61);  // half-open -> closed @61
+
+    const std::vector<CircuitBreaker::Transition> expected = {
+        {State::kClosed, State::kOpen, 2},
+        {State::kOpen, State::kHalfOpen, 60},
+        {State::kHalfOpen, State::kClosed, 61},
+    };
+    EXPECT_EQ(breaker.transitions(), expected);
+}
+
+TEST(CircuitBreakerTest, DisabledBreakerNeverTrips)
+{
+    BreakerConfig cfg;
+    cfg.enabled = false;
+    cfg.failureThreshold = 1;
+    CircuitBreaker breaker(cfg);
+    for (int i = 0; i < 100; ++i) {
+        breaker.onFailure(static_cast<uint64_t>(i));
+        EXPECT_TRUE(breaker.allow(static_cast<uint64_t>(i)));
+    }
+    EXPECT_EQ(breaker.state(), State::kClosed);
+    EXPECT_TRUE(breaker.transitions().empty());
+}
+
+TEST(CircuitBreakerTest, ThreadSafeUnderConcurrentReports)
+{
+    BreakerConfig cfg;
+    cfg.failureThreshold = 4;
+    cfg.openMillis = 0; // immediate half-open probes
+    CircuitBreaker breaker(cfg);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&breaker, t] {
+            for (uint64_t i = 0; i < 2000; ++i) {
+                if (breaker.allow(i)) {
+                    if ((i + static_cast<uint64_t>(t)) % 3 == 0)
+                        breaker.onFailure(i);
+                    else
+                        breaker.onSuccess(i);
+                }
+            }
+        });
+    }
+    for (auto& th : threads)
+        th.join();
+    // No crash, and the state is one of the three valid states.
+    const std::string name = breakerStateName(breaker.state());
+    EXPECT_TRUE(name == "closed" || name == "open" ||
+                name == "half-open");
+}
+
+} // namespace
