@@ -15,6 +15,7 @@
 
 #include <iostream>
 
+#include "bench_json.hh"
 #include "recap/common/table.hh"
 #include "recap/eval/hierarchy_eval.hh"
 #include "recap/hw/catalog.hh"
@@ -49,6 +50,10 @@ printExtensionAmat()
     TextTable table({"machine", "LLC policy (as shipped)",
                      "AMAT", "LLC->lru", "LLC->fifo",
                      "LLC->qlru:H1,M3,R0,U2"});
+    benchjson::Writer json(
+        "ext_amat",
+        "hierarchy AMAT per machine with last-level policy swaps");
+    json.field("reduced_sets", uint64_t{kReducedSets});
 
     for (const auto& name : hw::catalogNames()) {
         const auto spec =
@@ -59,22 +64,38 @@ printExtensionAmat()
             mixedWorkload(spec.levels[llc].capacityBytes);
 
         const auto shipped = eval::evaluateHierarchy(spec, workload);
-        std::vector<std::string> row{
-            name,
+        const std::string llcPolicy =
             spec.levels[llc].isAdaptive()
                 ? "adaptive duel"
-                : spec.levels[llc].policySpec,
+                : spec.levels[llc].policySpec;
+        std::vector<std::string> row{
+            name,
+            llcPolicy,
             formatDouble(shipped.amat(), 2),
         };
-        for (const std::string swap :
-             {"lru", "fifo", "qlru:H1,M3,R0,U2"}) {
+        benchjson::Object cells{
+            {"machine", name},
+            {"llc_policy", llcPolicy},
+            {"amat_shipped", shipped.amat()},
+        };
+        const std::pair<const char*, const char*> swaps[] = {
+            {"lru", "amat_llc_lru"},
+            {"fifo", "amat_llc_fifo"},
+            {"qlru:H1,M3,R0,U2", "amat_llc_qlru_h1m3"},
+        };
+        for (const auto& [swap, key] : swaps) {
             const auto swapped = eval::evaluateHierarchy(
                 eval::withLevelPolicy(spec, llc, swap), workload);
             row.push_back(formatDouble(swapped.amat(), 2));
+            cells.push_back({key, swapped.amat()});
         }
         table.addRow(std::move(row));
+        json.row(std::move(cells));
     }
     table.print(std::cout);
+    const std::string path = json.write();
+    if (!path.empty())
+        std::cout << "Wrote " << path << "\n";
     std::cout << "\nAMAT in cycles; lower is better. Swap columns "
                  "replace only the last level's policy.\n\n";
 }

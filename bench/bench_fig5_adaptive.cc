@@ -18,6 +18,7 @@
 #include <algorithm>
 #include <iostream>
 
+#include "bench_json.hh"
 #include "recap/cache/cache.hh"
 #include "recap/common/table.hh"
 #include "recap/eval/simulate.hh"
@@ -60,6 +61,13 @@ printFigure5()
 
     TextTable table({"window", "adaptive", "static " + kLruLike,
                      "static " + kScanRes, "PSEL (sel B >= 512)"});
+    benchjson::Writer json(
+        "fig5",
+        "set-dueling L3 dynamics: windowed miss ratios + PSEL");
+    json.field("geometry", kGeom.describe());
+    json.field("policy_a", kLruLike);
+    json.field("policy_b", kScanRes);
+    json.field("window_accesses", uint64_t{window});
     size_t pos = 0;
     unsigned index = 0;
     while (pos < workload.size()) {
@@ -73,14 +81,29 @@ printFigure5()
             miss_b += !static_b.access(workload[i]);
         }
         const double n = static_cast<double>(end - pos);
-        table.addRow({std::to_string(index++),
+        table.addRow({std::to_string(index),
                       formatPercent(miss_ad / n, 1),
                       formatPercent(miss_a / n, 1),
                       formatPercent(miss_b / n, 1),
                       std::to_string(adaptive.psel())});
+        json.row({{"window", uint64_t{index}},
+                  {"miss_ratio_adaptive", miss_ad / n},
+                  {"miss_ratio_static_a", miss_a / n},
+                  {"miss_ratio_static_b", miss_b / n},
+                  {"psel", uint64_t{adaptive.psel()}}});
+        ++index;
         pos = end;
     }
     table.print(std::cout);
+    json.field("overall_miss_ratio_adaptive",
+               adaptive.stats().missRatio());
+    json.field("overall_miss_ratio_static_a",
+               static_a.stats().missRatio());
+    json.field("overall_miss_ratio_static_b",
+               static_b.stats().missRatio());
+    const std::string path = json.write();
+    if (!path.empty())
+        std::cout << "Wrote " << path << "\n";
 
     std::cout << "\nOverall miss ratios: adaptive "
               << formatPercent(adaptive.stats().missRatio())

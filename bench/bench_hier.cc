@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Experiment H1 — Compiled hierarchy walk vs interpreted
+ * cache::Hierarchy.
+ *
+ * For every classic + modern catalog machine (set counts reduced to
+ * 256, policies and leader layouts intact) plus an ivybridge-style
+ * variant whose 8-way adaptive L3 compiles end to end, runs the same
+ * load/store trace through the interpreted hierarchy and the
+ * compiled hier:: walk, cross-checks them access-by-access (served
+ * levels, PSEL, statistics, final tag images — the shared
+ * hier::crossCheck lockstep), and reports single-thread throughput
+ * for both paths plus the speedup and AMAT.
+ *
+ * Writes BENCH_hier.json. When RECAP_HIER_SPEEDUP_FLOOR is set (the
+ * CI hier-smoke job sets a conservative floor), exits non-zero if
+ * the geometric-mean speedup drops below it. Any lockstep mismatch
+ * exits non-zero unconditionally.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_json.hh"
+#include "recap/common/table.hh"
+#include "recap/eval/hierarchy_eval.hh"
+#include "recap/hier/simulate.hh"
+#include "recap/hw/catalog.hh"
+#include "recap/trace/generators.hh"
+
+namespace
+{
+
+using namespace recap;
+
+constexpr uint64_t kAccesses = 200000;
+constexpr size_t kCheckAccesses = 10000;
+constexpr unsigned kReps = 3;
+constexpr unsigned kMaxSets = 256;
+constexpr uint64_t kSeed = 7;
+
+/** The acceptance-bar machine: an adaptive L3 that compiles fully. */
+hw::MachineSpec
+ivybridge8w()
+{
+    auto spec = hw::reducedSpec(
+        hw::catalogMachine("ivybridge-i5"), kMaxSets);
+    auto& l3 = spec.levels.back();
+    l3.capacityBytes = l3.capacityBytes / l3.ways * 8;
+    l3.ways = 8;
+    spec.name = "ivybridge-8w";
+    spec.description += " (8-way adaptive L3, compiles end to end)";
+    return spec;
+}
+
+trace::RefTrace
+traceFor(const hw::MachineSpec& spec)
+{
+    uint64_t footprint = 0;
+    for (const auto& lvl : spec.levels)
+        footprint += lvl.geometry().sizeBytes();
+    return trace::withWrites(
+        trace::zipf(4 * footprint, kAccesses, 0.9, kSeed), 0.25,
+        kSeed + 1);
+}
+
+std::string
+formatRate(double accPerSec)
+{
+    return formatDouble(accPerSec / 1e6, 1) + " M/s";
+}
+
+int
+runComparison()
+{
+    std::cout << "====================================================\n";
+    std::cout << " H1: compiled hierarchy walk vs interpreted\n";
+    std::cout << "     (catalog reduced to " << kMaxSets
+              << " sets, " << kAccesses
+              << "-access zipf load/store trace, 1 thread)\n";
+    std::cout << "====================================================\n\n";
+
+    std::vector<hw::MachineSpec> machines;
+    for (const auto& spec : hw::intelCatalog())
+        machines.push_back(hw::reducedSpec(spec, kMaxSets));
+    for (const auto& spec : hw::modernCatalog())
+        machines.push_back(hw::reducedSpec(spec, kMaxSets));
+    machines.push_back(ivybridge8w());
+
+    TextTable table({"machine", "compiled", "interpreted", "hier",
+                     "speedup", "amat"});
+    benchjson::Writer json(
+        "hier",
+        "interpreted vs compiled multi-level hierarchy simulation");
+    json.field("accesses", kAccesses);
+    json.field("max_sets", uint64_t{kMaxSets});
+    json.field("check_accesses", uint64_t{kCheckAccesses});
+
+    double logSum = 0.0;
+    unsigned counted = 0;
+    bool mismatch = false;
+    bool adaptiveCompiled = false;
+
+    for (const auto& spec : machines) {
+        const auto refs = traceFor(spec);
+
+        // In-run bit-exactness first: a fast walk that diverges from
+        // the interpreted reference is worth nothing.
+        trace::RefTrace check(refs.begin(),
+                              refs.begin() + kCheckAccesses);
+        hier::CrossCheckOptions checkOpts;
+        checkOpts.seed = kSeed;
+        const auto report = hier::crossCheck(spec, check, checkOpts);
+        if (!report.ok) {
+            std::cerr << "MISMATCH: " << report.detail << "\n";
+            mismatch = true;
+        }
+
+        double interpSecs = 1e300;
+        for (unsigned rep = 0; rep < kReps; ++rep) {
+            auto h = eval::buildHierarchy(spec, kSeed);
+            const auto start = std::chrono::steady_clock::now();
+            benchmark::DoNotOptimize(
+                hier::runTrace(h, refs).totalCycles);
+            const std::chrono::duration<double> elapsed =
+                std::chrono::steady_clock::now() - start;
+            interpSecs = std::min(interpSecs, elapsed.count());
+        }
+        double compiledSecs = 1e300;
+        double amat = 0.0;
+        for (unsigned rep = 0; rep < kReps; ++rep) {
+            hier::Hierarchy h(spec, kSeed);
+            const auto start = std::chrono::steady_clock::now();
+            const auto run = hier::runTrace(h, refs);
+            benchmark::DoNotOptimize(run.totalCycles);
+            const std::chrono::duration<double> elapsed =
+                std::chrono::steady_clock::now() - start;
+            compiledSecs = std::min(compiledSecs, elapsed.count());
+            amat = run.amat();
+        }
+
+        const double interpRate = kAccesses / interpSecs;
+        const double compiledRate = kAccesses / compiledSecs;
+        const double speedup = compiledRate / interpRate;
+        logSum += std::log(speedup);
+        ++counted;
+
+        hier::Hierarchy probe(spec, kSeed);
+        const bool full = probe.fullyCompiled();
+        bool adaptive = false;
+        for (unsigned l = 0; l < probe.depth(); ++l)
+            adaptive = adaptive || probe.isAdaptive(l);
+        if (full && adaptive)
+            adaptiveCompiled = true;
+
+        table.addRow({spec.name, full ? "full" : "hybrid",
+                      formatRate(interpRate), formatRate(compiledRate),
+                      formatDouble(speedup, 2) + "x",
+                      formatDouble(amat, 2)});
+        json.row({{"machine", spec.name},
+                  {"compiled", std::string(full ? "full" : "hybrid")},
+                  {"adaptive", uint64_t{adaptive ? 1 : 0}},
+                  {"interpreted_acc_per_sec", interpRate},
+                  {"hier_acc_per_sec", compiledRate},
+                  {"speedup", speedup},
+                  {"amat_cycles", amat},
+                  {"lockstep_ok", uint64_t{report.ok ? 1 : 0}}});
+    }
+
+    const double geomean =
+        counted ? std::exp(logSum / counted) : 0.0;
+    table.print(std::cout);
+    std::cout << "\nGeomean speedup over " << counted
+              << " machines: " << formatDouble(geomean, 2) << "x\n";
+    json.field("geomean_speedup", geomean);
+    json.field("adaptive_compiled_end_to_end",
+               uint64_t{adaptiveCompiled ? 1 : 0});
+    const std::string path = json.write();
+    if (!path.empty())
+        std::cout << "Wrote " << path << "\n";
+    std::cout << "\n";
+
+    if (mismatch)
+        return 1;
+    if (!adaptiveCompiled) {
+        std::cerr << "FAIL: no adaptive set-dueling machine ran "
+                     "compiled end to end\n";
+        return 1;
+    }
+    if (const char* env = std::getenv("RECAP_HIER_SPEEDUP_FLOOR")) {
+        const double floor = std::strtod(env, nullptr);
+        if (geomean < floor) {
+            std::cerr << "FAIL: geomean speedup "
+                      << formatDouble(geomean, 2)
+                      << "x below the configured floor of "
+                      << formatDouble(floor, 2) << "x\n";
+            return 1;
+        }
+        std::cout << "Speedup floor of " << formatDouble(floor, 2)
+                  << "x satisfied.\n\n";
+    }
+    return 0;
+}
+
+void
+BM_HierCompiledWalk(benchmark::State& state)
+{
+    const auto spec = ivybridge8w();
+    const auto refs = traceFor(spec);
+    for (auto unused : state) {
+        hier::Hierarchy h(spec, kSeed);
+        benchmark::DoNotOptimize(
+            hier::runTrace(h, refs).totalCycles);
+        (void)unused;
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * refs.size()));
+}
+BENCHMARK(BM_HierCompiledWalk)->Unit(benchmark::kMillisecond);
+
+void
+BM_HierInterpretedWalk(benchmark::State& state)
+{
+    const auto spec = ivybridge8w();
+    const auto refs = traceFor(spec);
+    for (auto unused : state) {
+        auto h = eval::buildHierarchy(spec, kSeed);
+        benchmark::DoNotOptimize(
+            hier::runTrace(h, refs).totalCycles);
+        (void)unused;
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * refs.size()));
+}
+BENCHMARK(BM_HierInterpretedWalk)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const int status = runComparison();
+    if (status != 0)
+        return status;
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -92,6 +92,120 @@ Cache::accessDetailedWithPc(Addr addr, uint64_t pc, bool write)
 }
 
 bool
+Cache::probeAccess(Addr addr, bool write, bool touchOnHit)
+{
+    const unsigned set = geom_.setIndex(addr);
+    const uint64_t tag = geom_.tag(addr);
+    Set& s = sets_[set];
+    ++stats_.accesses;
+    if (write)
+        ++stats_.writes;
+
+    policy::AccessMeta meta;
+    meta.block = addr / geom_.lineSize;
+    meta.hasBlock = true;
+    if (metaA_)
+        s.policyA->beginAccess(meta);
+    if (metaB_ && s.policyB)
+        s.policyB->beginAccess(meta);
+
+    for (unsigned w = 0; w < geom_.ways; ++w) {
+        if (s.valid[w] && s.tags[w] == tag) {
+            ++stats_.hits;
+            if (touchOnHit) {
+                s.policyA->touch(w);
+                if (s.policyB)
+                    s.policyB->touch(w);
+                if (write)
+                    s.dirty[w] = true;
+            }
+            return true;
+        }
+    }
+    ++stats_.misses;
+    if (adaptive_)
+        trainPsel(setRole(set));
+    return false;
+}
+
+Cache::Extracted
+Cache::extract(Addr addr)
+{
+    const unsigned set = geom_.setIndex(addr);
+    const uint64_t tag = geom_.tag(addr);
+    Set& s = sets_[set];
+    for (unsigned w = 0; w < geom_.ways; ++w) {
+        if (s.valid[w] && s.tags[w] == tag) {
+            Extracted out{true, static_cast<bool>(s.dirty[w])};
+            s.valid[w] = false;
+            s.dirty[w] = false;
+            return out;
+        }
+    }
+    return {};
+}
+
+std::optional<Cache::Displaced>
+Cache::insertLine(Addr addr, bool dirty)
+{
+    const unsigned set = geom_.setIndex(addr);
+    const uint64_t tag = geom_.tag(addr);
+    Set& s = sets_[set];
+
+    policy::AccessMeta meta;
+    meta.block = addr / geom_.lineSize;
+    meta.hasBlock = true;
+    if (metaA_)
+        s.policyA->beginAccess(meta);
+    if (metaB_ && s.policyB)
+        s.policyB->beginAccess(meta);
+
+    std::optional<Displaced> displaced;
+    policy::Way way = geom_.ways;
+    for (unsigned w = 0; w < geom_.ways; ++w) {
+        if (!s.valid[w]) {
+            way = w;
+            break;
+        }
+    }
+    if (way == geom_.ways) {
+        way = decider(set).victim();
+        ++stats_.evictions;
+        displaced = Displaced{
+            ((s.tags[way] << log2Floor(geom_.numSets) | set)
+             << log2Floor(geom_.lineSize)),
+            static_cast<bool>(s.dirty[way])};
+        if (s.dirty[way])
+            ++stats_.writebacks;
+    }
+    s.tags[way] = tag;
+    s.valid[way] = true;
+    s.dirty[way] = dirty;
+    s.policyA->fill(way);
+    if (s.policyB)
+        s.policyB->fill(way);
+    return displaced;
+}
+
+void
+Cache::backInvalidate(Addr addr)
+{
+    const unsigned set = geom_.setIndex(addr);
+    const uint64_t tag = geom_.tag(addr);
+    Set& s = sets_[set];
+    for (unsigned w = 0; w < geom_.ways; ++w) {
+        if (s.valid[w] && s.tags[w] == tag) {
+            if (s.dirty[w])
+                ++stats_.writebacks;
+            s.valid[w] = false;
+            s.dirty[w] = false;
+            ++stats_.backInvalidations;
+            return;
+        }
+    }
+}
+
+bool
 Cache::isDirty(Addr addr) const
 {
     const unsigned set = geom_.setIndex(addr);

@@ -28,6 +28,9 @@ struct LevelStats
     uint64_t writes = 0;     ///< accesses that were stores
     uint64_t writebacks = 0; ///< dirty lines displaced or flushed
 
+    /** Lines invalidated to restore inclusion (inclusive mode). */
+    uint64_t backInvalidations = 0;
+
     /** misses / accesses; 0 when no accesses. */
     double missRatio() const
     {
@@ -112,6 +115,54 @@ class Cache
     /** Like accessWithPc(), but reports details. */
     AccessResult accessDetailedWithPc(Addr addr, uint64_t pc,
                                       bool write = false);
+
+    /**
+     * Observing probe for the exclusive-hierarchy walk: counts the
+     * access (and hit/miss, PSEL training) like access(), but never
+     * fills on a miss. On a hit the policy automatons are touched
+     * only when @p touchOnHit is set (the innermost level keeps the
+     * line, an outer level is about to surrender it to extract()).
+     * @return true on hit.
+     */
+    bool probeAccess(Addr addr, bool write, bool touchOnHit);
+
+    /** Result of extract(): was the line present, and was it dirty? */
+    struct Extracted
+    {
+        bool present = false;
+        bool dirty = false;
+    };
+
+    /**
+     * Removes the line containing @p addr without statistics, policy
+     * input, or a writeback — the dirty bit travels with the block
+     * (exclusive-hierarchy promotion). The policy automatons are
+     * deliberately not notified: "invalidate" is outside the
+     * touch/fill input alphabet, matching invalidate().
+     */
+    Extracted extract(Addr addr);
+
+    /** A line displaced by insertLine(), to cascade outward. */
+    struct Displaced
+    {
+        Addr addr = 0;  ///< base address of the displaced line
+        bool dirty = false;
+    };
+
+    /**
+     * Installs the line containing @p addr without counting an
+     * access (victim-cascade insertion in exclusive hierarchies):
+     * fills the lowest invalid way, else evicts the decider's victim
+     * (counting the eviction, and a writeback when the victim was
+     * dirty). @return the displaced line, if any.
+     */
+    std::optional<Displaced> insertLine(Addr addr, bool dirty);
+
+    /**
+     * invalidate() for inclusion maintenance: additionally counts
+     * stats().backInvalidations when a line was actually removed.
+     */
+    void backInvalidate(Addr addr);
 
     /** True iff the line containing @p addr is resident and dirty. */
     bool isDirty(Addr addr) const;

@@ -5,8 +5,22 @@
 namespace recap::cache
 {
 
-Hierarchy::Hierarchy(unsigned memoryLatency)
-    : memoryLatency_(memoryLatency)
+const char*
+inclusionModeName(InclusionMode mode)
+{
+    switch (mode) {
+      case InclusionMode::kNonInclusive:
+        return "non-inclusive";
+      case InclusionMode::kInclusive:
+        return "inclusive";
+      case InclusionMode::kExclusive:
+        return "exclusive";
+    }
+    return "?";
+}
+
+Hierarchy::Hierarchy(unsigned memoryLatency, InclusionMode mode)
+    : memoryLatency_(memoryLatency), mode_(mode)
 {
     require(memoryLatency >= 1,
             "Hierarchy: memory latency must be >= 1");
@@ -19,6 +33,15 @@ Hierarchy::addLevel(Cache cache, unsigned hitLatency)
     if (!levels_.empty()) {
         require(hitLatency >= levels_.back().hitLatency,
                 "Hierarchy: outer levels must not be faster");
+        // Back-invalidation and block promotion move whole lines
+        // between levels, which only makes sense when every level
+        // agrees on what a line is.
+        if (mode_ != InclusionMode::kNonInclusive) {
+            require(cache.geometry().lineSize ==
+                        levels_.front().cache.geometry().lineSize,
+                    "Hierarchy: inclusive/exclusive modes need one "
+                    "line size across levels");
+        }
     }
     levels_.push_back(Level{std::move(cache), hitLatency});
 }
@@ -27,6 +50,14 @@ unsigned
 Hierarchy::access(Addr addr, bool write)
 {
     require(!levels_.empty(), "Hierarchy::access: no levels");
+    switch (mode_) {
+      case InclusionMode::kInclusive:
+        return accessInclusive(addr, write);
+      case InclusionMode::kExclusive:
+        return accessExclusive(addr, write);
+      case InclusionMode::kNonInclusive:
+        break;
+    }
     for (unsigned i = 0; i < levels_.size(); ++i) {
         // A missing level fills itself as part of access(), which is
         // exactly the fill-on-miss behaviour we want.
@@ -34,6 +65,60 @@ Hierarchy::access(Addr addr, bool write)
             return i;
     }
     return depth();
+}
+
+unsigned
+Hierarchy::accessInclusive(Addr addr, bool write)
+{
+    // Same outward fill-on-miss walk as the non-inclusive mode, but
+    // every victim evicted at level i takes its copies in the inner
+    // levels j < i with it, so outer levels stay supersets.
+    for (unsigned i = 0; i < levels_.size(); ++i) {
+        const AccessResult r =
+            levels_[i].cache.accessDetailed(addr, write);
+        if (r.evictedBlock) {
+            for (unsigned j = 0; j < i; ++j)
+                levels_[j].cache.backInvalidate(*r.evictedBlock);
+        }
+        if (r.hit)
+            return i;
+    }
+    return depth();
+}
+
+unsigned
+Hierarchy::accessExclusive(Addr addr, bool write)
+{
+    // Probe phase: walk outward without filling. Only the innermost
+    // level keeps the line on a hit, so only it touches its policy
+    // automatons; an outer level is about to surrender the line.
+    unsigned hitLevel = depth();
+    for (unsigned i = 0; i < levels_.size(); ++i) {
+        if (levels_[i].cache.probeAccess(addr, write,
+                                         /*touchOnHit=*/i == 0)) {
+            hitLevel = i;
+            break;
+        }
+    }
+    if (hitLevel == 0)
+        return 0;
+
+    // Promotion: pull the line out of the level that held it (dirty
+    // bit travels with it) and re-install it at L1; the displaced L1
+    // victim cascades outward one level at a time.
+    bool dirty = write;
+    if (hitLevel < depth()) {
+        const Cache::Extracted ex =
+            levels_[hitLevel].cache.extract(addr);
+        dirty = ex.dirty || write;
+    }
+    std::optional<Cache::Displaced> displaced =
+        levels_.front().cache.insertLine(addr, dirty);
+    for (unsigned j = 1; j < levels_.size() && displaced; ++j) {
+        displaced = levels_[j].cache.insertLine(displaced->addr,
+                                                displaced->dirty);
+    }
+    return hitLevel;
 }
 
 unsigned

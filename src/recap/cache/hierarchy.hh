@@ -23,12 +23,45 @@ struct Level
 };
 
 /**
- * A non-inclusive, fill-on-miss hierarchy.
+ * Cross-level content discipline of a hierarchy.
  *
- * An access walks the levels from L1 outward until it hits (or
- * reaches memory); every level it missed in fills the line, so upper
- * levels always end up holding recently touched lines, as on the
- * modelled machines.
+ * The exact semantics each mode implements (the reference the
+ * compiled hier:: subsystem is pinned bit-identical against):
+ *
+ *  - kNonInclusive ("mostly inclusive", the modelled Intel parts'
+ *    behaviour and the historical default): an access walks the
+ *    levels from L1 outward until it hits, and every missed level
+ *    fills the line independently. Evictions at one level leave the
+ *    other levels alone.
+ *  - kInclusive: like kNonInclusive, plus back-invalidation — when
+ *    level i evicts a victim line, every inner level j < i
+ *    invalidates its copy of that line (counted in the inner level's
+ *    LevelStats::backInvalidations; a dirty copy counts a writeback),
+ *    so outer levels remain a superset of inner ones.
+ *  - kExclusive: a line lives in at most one level. The walk probes
+ *    levels outward without filling; a hit at an outer level removes
+ *    the line there (no policy input — "invalidate" is outside the
+ *    touch/fill alphabet) and re-installs it at L1, and the displaced
+ *    L1 victim cascades outward level by level (each displacement
+ *    fills the next level's lowest invalid way or evicts its
+ *    decider's victim). Dirty bits travel with blocks; each dirty
+ *    displacement counts a writeback at the displacing level
+ *    (modelling its victim-path traffic).
+ */
+enum class InclusionMode
+{
+    kNonInclusive,
+    kInclusive,
+    kExclusive,
+};
+
+/** Canonical name: "non-inclusive", "inclusive", "exclusive". */
+const char* inclusionModeName(InclusionMode mode);
+
+/**
+ * A multi-level, fill-on-miss hierarchy with a selectable inclusion
+ * discipline (see InclusionMode; kNonInclusive reproduces the
+ * historical behaviour bit for bit).
  */
 class Hierarchy
 {
@@ -36,8 +69,13 @@ class Hierarchy
     /**
      * @param memoryLatency Cycles for an access that misses all
      *                      levels.
+     * @param mode          Cross-level content discipline. Inclusive
+     *                      and exclusive modes require every level to
+     *                      share one line size (checked by addLevel).
      */
-    explicit Hierarchy(unsigned memoryLatency = 200);
+    explicit Hierarchy(unsigned memoryLatency = 200,
+                       InclusionMode mode =
+                           InclusionMode::kNonInclusive);
 
     /** Appends a level (L1 first). */
     void addLevel(Cache cache, unsigned hitLatency);
@@ -69,12 +107,19 @@ class Hierarchy
 
     unsigned memoryLatency() const { return memoryLatency_; }
 
+    /** Cross-level content discipline this hierarchy maintains. */
+    InclusionMode inclusionMode() const { return mode_; }
+
     /** Clears the statistics of every level. */
     void resetStats();
 
   private:
+    unsigned accessInclusive(Addr addr, bool write);
+    unsigned accessExclusive(Addr addr, bool write);
+
     std::vector<Level> levels_;
     unsigned memoryLatency_;
+    InclusionMode mode_;
 };
 
 } // namespace recap::cache

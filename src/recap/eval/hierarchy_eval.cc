@@ -1,15 +1,18 @@
 #include "recap/eval/hierarchy_eval.hh"
 
 #include "recap/common/error.hh"
+#include "recap/hier/hierarchy.hh"
+#include "recap/hier/simulate.hh"
 
 namespace recap::eval
 {
 
 cache::Hierarchy
-buildHierarchy(const hw::MachineSpec& spec, uint64_t seed)
+buildHierarchy(const hw::MachineSpec& spec, uint64_t seed,
+               cache::InclusionMode mode)
 {
     spec.validate();
-    cache::Hierarchy hierarchy(spec.memoryLatency);
+    cache::Hierarchy hierarchy(spec.memoryLatency, mode);
     uint64_t level_seed = seed;
     for (const auto& lvl : spec.levels) {
         if (lvl.isAdaptive()) {
@@ -34,10 +37,11 @@ namespace
 
 template <typename AccessFn>
 HierarchyResult
-runHierarchy(const hw::MachineSpec& spec, size_t count,
-             uint64_t seed, AccessFn&& access_one)
+runInterpreted(const hw::MachineSpec& spec, size_t count,
+               const HierarchyOptions& opts, AccessFn&& access_one)
 {
-    cache::Hierarchy hierarchy = buildHierarchy(spec, seed);
+    cache::Hierarchy hierarchy =
+        buildHierarchy(spec, opts.seed, opts.inclusion);
 
     HierarchyResult result;
     result.servedBy.assign(hierarchy.depth() + 1, 0);
@@ -54,27 +58,74 @@ runHierarchy(const hw::MachineSpec& spec, size_t count,
     return result;
 }
 
+template <typename TraceT>
+HierarchyResult
+runCompiled(const hw::MachineSpec& spec, const TraceT& t,
+            const HierarchyOptions& opts)
+{
+    hier::Options hopts;
+    hopts.mode = opts.inclusion;
+    hopts.budget = opts.budget;
+    hier::Hierarchy hierarchy(spec, opts.seed, hopts);
+    const hier::RunResult run = hier::runTrace(hierarchy, t);
+
+    HierarchyResult result;
+    result.servedBy = run.servedBy;
+    result.accesses = run.accesses;
+    result.totalCycles = run.totalCycles;
+    for (unsigned i = 0; i < hierarchy.depth(); ++i) {
+        result.levelNames.push_back(hierarchy.name(i));
+        result.levels.push_back(hierarchy.stats(i));
+    }
+    return result;
+}
+
 } // namespace
 
 HierarchyResult
 evaluateHierarchy(const hw::MachineSpec& spec, const trace::Trace& t,
                   uint64_t seed)
 {
-    return runHierarchy(spec, t.size(), seed,
-                        [&](cache::Hierarchy& h, size_t i) {
-                            return h.access(t[i]);
-                        });
+    HierarchyOptions opts;
+    opts.seed = seed;
+    return evaluateHierarchy(spec, t, opts);
 }
 
 HierarchyResult
 evaluateHierarchy(const hw::MachineSpec& spec,
                   const trace::RefTrace& refs, uint64_t seed)
 {
-    return runHierarchy(spec, refs.size(), seed,
-                        [&](cache::Hierarchy& h, size_t i) {
-                            return h.access(refs[i].addr,
-                                            refs[i].write);
-                        });
+    HierarchyOptions opts;
+    opts.seed = seed;
+    return evaluateHierarchy(spec, refs, opts);
+}
+
+HierarchyResult
+evaluateHierarchy(const hw::MachineSpec& spec, const trace::Trace& t,
+                  const HierarchyOptions& opts)
+{
+    if (opts.forceInterpreted) {
+        return runInterpreted(spec, t.size(), opts,
+                              [&](cache::Hierarchy& h, size_t i) {
+                                  return h.access(t[i]);
+                              });
+    }
+    return runCompiled(spec, t, opts);
+}
+
+HierarchyResult
+evaluateHierarchy(const hw::MachineSpec& spec,
+                  const trace::RefTrace& refs,
+                  const HierarchyOptions& opts)
+{
+    if (opts.forceInterpreted) {
+        return runInterpreted(spec, refs.size(), opts,
+                              [&](cache::Hierarchy& h, size_t i) {
+                                  return h.access(refs[i].addr,
+                                                  refs[i].write);
+                              });
+    }
+    return runCompiled(spec, refs, opts);
 }
 
 hw::MachineSpec

@@ -4,6 +4,13 @@
  * cache configuration and report per-level statistics plus the
  * average memory access time (AMAT) — the end-to-end performance
  * lens on the reverse-engineered policies.
+ *
+ * evaluateHierarchy() rides the compiled hier:: subsystem whenever
+ * the level policies fit the compile budget and falls back to the
+ * interpreted cache::Hierarchy otherwise (mirroring
+ * policy::makeCompiledOrFallback); both paths are bit-identical, so
+ * the choice is purely a performance one and can be forced for
+ * differential measurement via HierarchyOptions.
  */
 
 #ifndef RECAP_EVAL_HIERARCHY_EVAL_HH_
@@ -14,6 +21,7 @@
 
 #include "recap/cache/hierarchy.hh"
 #include "recap/hw/spec.hh"
+#include "recap/policy/compiled.hh"
 #include "recap/trace/trace.hh"
 
 namespace recap::eval
@@ -37,9 +45,32 @@ struct HierarchyResult
     }
 };
 
-/** Builds a Hierarchy from a machine spec (same wiring Machine uses). */
-cache::Hierarchy buildHierarchy(const hw::MachineSpec& spec,
-                                uint64_t seed = 1);
+/** Evaluation knobs beyond the bare seed. */
+struct HierarchyOptions
+{
+    uint64_t seed = 1;
+
+    /** Cross-level content discipline. */
+    cache::InclusionMode inclusion =
+        cache::InclusionMode::kNonInclusive;
+
+    /** Compile budget for the fast path's policy tables. */
+    policy::CompileBudget budget;
+
+    /**
+     * Run the interpreted cache::Hierarchy instead of the compiled
+     * subsystem — the baseline side of speedup measurements.
+     */
+    bool forceInterpreted = false;
+};
+
+/**
+ * Builds an interpreted Hierarchy from a machine spec (same wiring
+ * Machine uses; the reference the compiled path is pinned against).
+ */
+cache::Hierarchy buildHierarchy(
+    const hw::MachineSpec& spec, uint64_t seed = 1,
+    cache::InclusionMode mode = cache::InclusionMode::kNonInclusive);
 
 /** Runs a load trace through the spec's hierarchy. */
 HierarchyResult evaluateHierarchy(const hw::MachineSpec& spec,
@@ -50,6 +81,16 @@ HierarchyResult evaluateHierarchy(const hw::MachineSpec& spec,
 HierarchyResult evaluateHierarchy(const hw::MachineSpec& spec,
                                   const trace::RefTrace& refs,
                                   uint64_t seed = 1);
+
+/** Runs a load trace with explicit options. */
+HierarchyResult evaluateHierarchy(const hw::MachineSpec& spec,
+                                  const trace::Trace& t,
+                                  const HierarchyOptions& opts);
+
+/** Runs a reference trace with explicit options. */
+HierarchyResult evaluateHierarchy(const hw::MachineSpec& spec,
+                                  const trace::RefTrace& refs,
+                                  const HierarchyOptions& opts);
 
 /**
  * Convenience: a copy of @p spec with level @p level's policy

@@ -1,0 +1,182 @@
+#include "recap/hier/simulate.hh"
+
+#include <sstream>
+
+#include "recap/eval/hierarchy_eval.hh"
+
+namespace recap::hier
+{
+
+namespace
+{
+
+template <typename HierT, typename AccessFn>
+RunResult
+drive(HierT& h, size_t count, AccessFn&& access_one)
+{
+    RunResult result;
+    result.servedBy.assign(h.depth() + 1, 0);
+    for (size_t i = 0; i < count; ++i)
+        ++result.servedBy[access_one(i)];
+    // Total latency from the served-level histogram afterwards: the
+    // per-access latencyOf() call (range check and all) is pure
+    // overhead in the hot loop and the sum is identical.
+    for (unsigned l = 0; l <= h.depth(); ++l)
+        result.totalCycles +=
+            result.servedBy[l] * uint64_t{h.latencyOf(l)};
+    result.accesses = count;
+    return result;
+}
+
+/** Field-by-field LevelStats comparison with a named first diff. */
+bool
+diffStats(const cache::LevelStats& a, const cache::LevelStats& b,
+          std::string* field, uint64_t* got, uint64_t* want)
+{
+    const struct
+    {
+        const char* name;
+        uint64_t lhs;
+        uint64_t rhs;
+    } fields[] = {
+        {"accesses", a.accesses, b.accesses},
+        {"hits", a.hits, b.hits},
+        {"misses", a.misses, b.misses},
+        {"evictions", a.evictions, b.evictions},
+        {"writes", a.writes, b.writes},
+        {"writebacks", a.writebacks, b.writebacks},
+        {"backInvalidations", a.backInvalidations,
+         b.backInvalidations},
+    };
+    for (const auto& f : fields) {
+        if (f.lhs != f.rhs) {
+            *field = f.name;
+            *got = f.lhs;
+            *want = f.rhs;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+RunResult
+runTrace(Hierarchy& h, const trace::Trace& t)
+{
+    return drive(h, t.size(),
+                 [&](size_t i) { return h.access(t[i]); });
+}
+
+RunResult
+runTrace(Hierarchy& h, const trace::RefTrace& refs)
+{
+    return drive(h, refs.size(), [&](size_t i) {
+        return h.access(refs[i].addr, refs[i].write);
+    });
+}
+
+RunResult
+runTrace(cache::Hierarchy& h, const trace::Trace& t)
+{
+    return drive(h, t.size(),
+                 [&](size_t i) { return h.access(t[i]); });
+}
+
+RunResult
+runTrace(cache::Hierarchy& h, const trace::RefTrace& refs)
+{
+    return drive(h, refs.size(), [&](size_t i) {
+        return h.access(refs[i].addr, refs[i].write);
+    });
+}
+
+CrossCheckReport
+crossCheck(const hw::MachineSpec& spec, const trace::RefTrace& refs,
+           const CrossCheckOptions& opts)
+{
+    Options hopts;
+    hopts.mode = opts.mode;
+    hopts.budget = opts.budget;
+    Hierarchy fast(spec, opts.seed, hopts);
+    cache::Hierarchy ref =
+        eval::buildHierarchy(spec, opts.seed, opts.mode);
+
+    CrossCheckReport report;
+    report.fullyCompiled = fast.fullyCompiled();
+    report.result.servedBy.assign(fast.depth() + 1, 0);
+
+    auto fail = [&](const std::string& what) {
+        report.ok = false;
+        report.detail = what;
+    };
+
+    for (size_t i = 0; i < refs.size(); ++i) {
+        const unsigned la = fast.access(refs[i].addr, refs[i].write);
+        const unsigned lb = ref.access(refs[i].addr, refs[i].write);
+        ++report.result.servedBy[la];
+        report.result.totalCycles += fast.latencyOf(la);
+        if (la != lb) {
+            std::ostringstream os;
+            os << spec.name << ": access " << i << " (addr 0x"
+               << std::hex << refs[i].addr << std::dec
+               << (refs[i].write ? ", store" : ", load")
+               << ") served by level " << la << " compiled vs " << lb
+               << " interpreted";
+            fail(os.str());
+            break;
+        }
+        for (unsigned l = 0; l < fast.depth(); ++l) {
+            if (!fast.isAdaptive(l))
+                continue;
+            const unsigned pa = fast.psel(l);
+            const unsigned pb = ref.level(l).cache.psel();
+            if (pa != pb) {
+                std::ostringstream os;
+                os << spec.name << ": access " << i << ": level "
+                   << l << " PSEL " << pa << " compiled vs " << pb
+                   << " interpreted";
+                fail(os.str());
+                break;
+            }
+        }
+        if (!report.ok)
+            break;
+    }
+    report.result.accesses = refs.size();
+    if (!report.ok)
+        return report;
+
+    for (unsigned l = 0; l < fast.depth(); ++l) {
+        std::string field;
+        uint64_t got = 0;
+        uint64_t want = 0;
+        if (diffStats(fast.stats(l), ref.level(l).cache.stats(),
+                      &field, &got, &want)) {
+            std::ostringstream os;
+            os << spec.name << ": level " << l << " " << field << " "
+               << got << " compiled vs " << want << " interpreted";
+            fail(os.str());
+            return report;
+        }
+    }
+
+    const unsigned stride = opts.imageSetStride ? opts.imageSetStride
+                                                : 1;
+    for (unsigned l = 0; l < fast.depth(); ++l) {
+        const unsigned sets = fast.geometry(l).numSets;
+        for (unsigned s = 0; s < sets; s += stride) {
+            if (fast.setImage(l, s) !=
+                ref.level(l).cache.setImage(s)) {
+                std::ostringstream os;
+                os << spec.name << ": level " << l << " set " << s
+                   << " final image differs (tags/valid/policy key)";
+                fail(os.str());
+                return report;
+            }
+        }
+    }
+    return report;
+}
+
+} // namespace recap::hier

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Batch trace driving and differential cross-checking for the
+ * compiled hierarchy subsystem.
+ *
+ * crossCheck() is the subsystem's correctness anchor: it runs the
+ * same trace through a hier::Hierarchy and through the interpreted
+ * cache::Hierarchy reference in lockstep and reports the first
+ * divergence in served level, PSEL, per-level counters (including
+ * back-invalidations), or final tag images. The differential tests,
+ * the fuzzer, and bench_hier's in-run bit-exactness gate all share
+ * this one implementation.
+ */
+
+#ifndef RECAP_HIER_SIMULATE_HH_
+#define RECAP_HIER_SIMULATE_HH_
+
+#include <string>
+#include <vector>
+
+#include "recap/hier/hierarchy.hh"
+#include "recap/trace/trace.hh"
+
+namespace recap::hier
+{
+
+/** servedBy/latency outcome of one trace run. */
+struct RunResult
+{
+    /** Hits served by each level; last entry = memory accesses. */
+    std::vector<uint64_t> servedBy;
+    uint64_t accesses = 0;
+    uint64_t totalCycles = 0;
+
+    /** Average memory access time in cycles. */
+    double amat() const
+    {
+        return accesses ? static_cast<double>(totalCycles) /
+                          static_cast<double>(accesses) : 0.0;
+    }
+};
+
+/** Runs a load trace through @p h. */
+RunResult runTrace(Hierarchy& h, const trace::Trace& t);
+
+/** Runs a load/store reference trace through @p h. */
+RunResult runTrace(Hierarchy& h, const trace::RefTrace& refs);
+
+/** Interpreted-reference counterparts (same accounting). */
+RunResult runTrace(cache::Hierarchy& h, const trace::Trace& t);
+RunResult runTrace(cache::Hierarchy& h, const trace::RefTrace& refs);
+
+/** Knobs for crossCheck(). */
+struct CrossCheckOptions
+{
+    cache::InclusionMode mode = cache::InclusionMode::kNonInclusive;
+    uint64_t seed = 1;
+    policy::CompileBudget budget;
+
+    /**
+     * Compare final setImage() of every @p imageSetStride-th set.
+     * 1 = every set; larger strides keep big-machine sweeps cheap.
+     */
+    unsigned imageSetStride = 1;
+};
+
+/** Outcome of one differential run. */
+struct CrossCheckReport
+{
+    bool ok = true;
+
+    /** First divergence, human-readable; empty when ok. */
+    std::string detail;
+
+    /** Whether every level of the fast path ran compiled. */
+    bool fullyCompiled = false;
+
+    /** The fast path's run outcome (valid even on mismatch). */
+    RunResult result;
+};
+
+/**
+ * Runs @p refs through hier::Hierarchy and the interpreted
+ * cache::Hierarchy built from the same @p spec/seed/mode in
+ * lockstep, comparing served levels and adaptive PSEL per access
+ * and statistics plus tag images at the end.
+ */
+CrossCheckReport crossCheck(const hw::MachineSpec& spec,
+                            const trace::RefTrace& refs,
+                            const CrossCheckOptions& opts = {});
+
+} // namespace recap::hier
+
+#endif // RECAP_HIER_SIMULATE_HH_

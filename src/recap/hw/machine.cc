@@ -53,26 +53,9 @@ Machine::Machine(const MachineSpec& spec, uint64_t seed,
 
 Machine::Machine(const MachineSpec& spec, uint64_t seed,
                  const FaultConfig& faults)
-    : spec_(validated(spec)), hierarchy_(spec.memoryLatency),
+    : spec_(validated(spec)), hierarchy_(spec_, seed),
       faults_(faults, seed, spec.levels.front().geometry())
-{
-    uint64_t level_seed = seed;
-    for (const auto& lvl : spec_.levels) {
-        if (lvl.isAdaptive()) {
-            hierarchy_.addLevel(
-                cache::Cache(lvl.geometry(), lvl.policySpec,
-                             lvl.policySpecB, lvl.duel, lvl.name,
-                             level_seed),
-                lvl.hitLatency);
-        } else {
-            hierarchy_.addLevel(
-                cache::Cache(lvl.geometry(), lvl.policySpec, lvl.name,
-                             level_seed),
-                lvl.hitLatency);
-        }
-        level_seed += 0x10001;
-    }
-}
+{}
 
 uint64_t
 Machine::timedAccess(cache::Addr addr)
@@ -108,7 +91,7 @@ Machine::counters() const
     PerfCounts counts;
     counts.levels.reserve(depth());
     for (unsigned i = 0; i < depth(); ++i)
-        counts.levels.push_back(hierarchy_.level(i).cache.stats());
+        counts.levels.push_back(hierarchy_.stats(i));
     counts.memoryAccesses = memoryAccesses_;
 
     if (!faults_.config().anyCounterFaults())
@@ -149,11 +132,32 @@ Machine::groundTruthAdaptive(unsigned level) const
     return spec_.levels[level].isAdaptive();
 }
 
-const cache::Cache&
-Machine::levelCache(unsigned level) const
+const cache::Geometry&
+Machine::levelGeometry(unsigned level) const
 {
-    require(level < depth(), "Machine::levelCache: level range");
-    return hierarchy_.level(level).cache;
+    require(level < depth(), "Machine::levelGeometry: level range");
+    return hierarchy_.geometry(level);
+}
+
+bool
+Machine::levelAdaptive(unsigned level) const
+{
+    require(level < depth(), "Machine::levelAdaptive: level range");
+    return hierarchy_.isAdaptive(level);
+}
+
+cache::Cache::SetRole
+Machine::levelSetRole(unsigned level, unsigned set) const
+{
+    require(level < depth(), "Machine::levelSetRole: level range");
+    return hierarchy_.setRole(level, set);
+}
+
+unsigned
+Machine::levelPsel(unsigned level) const
+{
+    require(level < depth(), "Machine::levelPsel: level range");
+    return hierarchy_.psel(level);
 }
 
 void

@@ -22,8 +22,8 @@
 #include <cstdint>
 #include <vector>
 
-#include "recap/cache/hierarchy.hh"
 #include "recap/common/rng.hh"
+#include "recap/hier/hierarchy.hh"
 #include "recap/hw/faults.hh"
 #include "recap/hw/spec.hh"
 
@@ -134,10 +134,15 @@ class Machine
     bool groundTruthAdaptive(unsigned level) const;
 
     /**
-     * White-box inspection of a cache level, for tests and
-     * experiment reporting ONLY — inference code must not use it.
+     * White-box inspection for tests and experiment reporting ONLY —
+     * inference code must not use these. Thin passthroughs to the
+     * underlying hier::Hierarchy.
      */
-    const cache::Cache& levelCache(unsigned level) const;
+    const cache::Geometry& levelGeometry(unsigned level) const;
+    bool levelAdaptive(unsigned level) const;
+    cache::Cache::SetRole levelSetRole(unsigned level,
+                                       unsigned set) const;
+    unsigned levelPsel(unsigned level) const;
 
   private:
     /**
@@ -150,7 +155,10 @@ class Machine
     void injectAccess(cache::Addr addr);
 
     MachineSpec spec_;
-    cache::Hierarchy hierarchy_;
+    // The compiled hier:: walk; levels whose policies exceed the
+    // compile budget transparently run their interpreted automatons
+    // inside it, so behaviour is identical for every spec.
+    hier::Hierarchy hierarchy_;
     // Mutable: counter-read faults (garble/drop) consume RNG state
     // even though counters() is logically const for the experimenter.
     mutable FaultModel faults_;

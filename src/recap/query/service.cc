@@ -1,5 +1,7 @@
 #include "recap/query/service.hh"
 
+#include <array>
+#include <bit>
 #include <cctype>
 #include <chrono>
 #include <deque>
@@ -66,10 +68,38 @@ struct ServerCore::Shard
     std::unordered_map<std::string, std::string> cache;
     std::deque<std::string> cacheOrder;
 
+    /**
+     * Log2-spaced request-latency histogram in milliseconds: bucket
+     * b counts latencies whose bit width is b (0, 1, 2-3, 4-7, ...),
+     * the last bucket is open-ended. Lock-free so :health never
+     * waits on a request in flight.
+     */
+    static constexpr std::size_t kLatencyBuckets = 16;
+    std::array<std::atomic<uint64_t>, kLatencyBuckets> latency{};
+
+    void recordLatency(uint64_t millis)
+    {
+        const std::size_t b = std::min<std::size_t>(
+            std::bit_width(millis), kLatencyBuckets - 1);
+        latency[b].fetch_add(1, std::memory_order_relaxed);
+    }
+
     Shard(QueryOracle* o, const BreakerConfig& breakerCfg)
         : oracle(o), breaker(breakerCfg)
     {}
 };
+
+namespace
+{
+
+/** Inclusive upper edge of latency bucket @p b, in milliseconds. */
+uint64_t
+bucketUpperMillis(std::size_t b)
+{
+    return b == 0 ? 0 : (uint64_t{1} << b) - 1;
+}
+
+} // namespace
 
 ServerCore::ServerCore(std::vector<QueryOracle*> shards,
                        const ServiceConfig& cfg)
@@ -128,7 +158,44 @@ ServerCore::healthJson() const
             << breakerStateName(shard.breaker.state())
             << "\",\"trips\":" << counters.trips
             << ",\"rejected\":" << counters.rejected
-            << ",\"cached\":" << cached << '}';
+            << ",\"cached\":" << cached;
+
+        // Latency histogram with quantiles derived from the log2
+        // buckets (quantile = the containing bucket's upper edge).
+        uint64_t buckets[Shard::kLatencyBuckets];
+        uint64_t total = 0;
+        for (std::size_t b = 0; b < Shard::kLatencyBuckets; ++b) {
+            buckets[b] =
+                shard.latency[b].load(std::memory_order_relaxed);
+            total += buckets[b];
+        }
+        const auto quantile = [&](double q) {
+            uint64_t cum = 0;
+            for (std::size_t b = 0; b < Shard::kLatencyBuckets; ++b) {
+                cum += buckets[b];
+                if (static_cast<double>(cum) >=
+                    q * static_cast<double>(total))
+                    return bucketUpperMillis(b);
+            }
+            return bucketUpperMillis(Shard::kLatencyBuckets - 1);
+        };
+        out << ",\"latency\":{\"count\":" << total << ",\"p50_ms\":"
+            << (total ? quantile(0.5) : 0) << ",\"p99_ms\":"
+            << (total ? quantile(0.99) : 0) << ",\"buckets\":[";
+        for (std::size_t b = 0; b < Shard::kLatencyBuckets; ++b)
+            out << (b ? "," : "") << buckets[b];
+        out << "]}";
+
+        out << ",\"transitions\":[";
+        const auto transitions = shard.breaker.transitions();
+        for (std::size_t t = 0; t < transitions.size(); ++t) {
+            out << (t ? "," : "") << "{\"from\":\""
+                << breakerStateName(transitions[t].from)
+                << "\",\"to\":\""
+                << breakerStateName(transitions[t].to)
+                << "\",\"at\":" << transitions[t].atMillis << '}';
+        }
+        out << "]}";
     }
     unsigned active = 0;
     std::size_t queued = 0;
@@ -423,11 +490,15 @@ ServerCore::handle(std::size_t session, const std::string& line,
         return resp;
     }
 
+    const uint64_t start = clock_();
     const Deadline deadline =
-        Deadline::in(clock_(), limits.timeoutMillis);
+        Deadline::in(start, limits.timeoutMillis);
     const bool slot = admit(deadline, resp);
     if (slot) {
         resp = executeAdmitted(session, line, request, deadline);
+        const uint64_t end = clock_();
+        shards_[shardOf(session)]->recordLatency(
+            end > start ? end - start : 0);
         deliver(resp, sink);
         release();
     } else {

@@ -195,7 +195,12 @@ class ServerCore
 
     ServiceStats stats() const;
 
-    /** The `:health` answer: shards, breakers, queue, outcomes. */
+    /**
+     * The `:health` answer: per shard the breaker state, its full
+     * transition log, a log2-bucketed request-latency histogram with
+     * p50/p99 (in ms, quantile = the containing bucket's upper
+     * edge), plus queue depth and the outcome counters.
+     */
     std::string healthJson() const;
 
     const ServiceConfig& config() const { return cfg_; }

@@ -78,18 +78,20 @@ TEST(AdaptiveDetect, LeaderPlacementMatchesGroundTruth)
     const auto report = detectAdaptive(ctx, geometryOf(spec), 2, cfg);
     ASSERT_TRUE(report.adaptive);
 
-    const auto& l3 = machine.levelCache(2);
     for (unsigned s : report.leadersSelected)
-        EXPECT_NE(l3.setRole(s), cache::Cache::SetRole::kFollower)
+        EXPECT_NE(machine.levelSetRole(2, s),
+                  cache::Cache::SetRole::kFollower)
             << "set " << s;
     for (unsigned s : report.leadersUnselected)
-        EXPECT_NE(l3.setRole(s), cache::Cache::SetRole::kFollower)
+        EXPECT_NE(machine.levelSetRole(2, s),
+                  cache::Cache::SetRole::kFollower)
             << "set " << s;
     // The two leader groups must be of opposite kinds.
     ASSERT_FALSE(report.leadersSelected.empty());
     ASSERT_FALSE(report.leadersUnselected.empty());
-    EXPECT_NE(l3.setRole(report.leadersSelected.front()),
-              l3.setRole(report.leadersUnselected.front()));
+    EXPECT_NE(machine.levelSetRole(2, report.leadersSelected.front()),
+              machine.levelSetRole(2,
+                                   report.leadersUnselected.front()));
 }
 
 TEST(AdaptiveDetect, StaticLevelsReadUniform)

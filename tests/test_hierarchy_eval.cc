@@ -105,6 +105,52 @@ TEST(HierarchyEval, WithLevelPolicyValidates)
     EXPECT_EQ(modified.levels[2].policySpec, "lru");
 }
 
+// Pinned regression values: exact cycle totals and per-level served
+// counts for one classic and one modern/adaptive catalog machine.
+// These freeze the whole simulation contract — policy automata, seed
+// derivation, fill/evict order, the compiled hier:: walk AND its
+// interpreted fallback (both must produce exactly these numbers; the
+// Hier lockstep suites assert the two paths agree access by access).
+// A legitimate behaviour change must update them consciously.
+TEST(HierarchyEval, PinnedNehalemAmatAndServedBy)
+{
+    const auto spec = hw::reducedSpec(
+        hw::catalogMachine("nehalem-i5"), 256);
+    const auto t = trace::zipf(512 * 1024, 40000, 0.9, 3);
+    const auto result = evaluateHierarchy(spec, t);
+    EXPECT_EQ(result.totalCycles, 2732358u);
+    ASSERT_EQ(result.servedBy.size(), 4u);
+    EXPECT_EQ(result.servedBy[0], 3976u);
+    EXPECT_EQ(result.servedBy[1], 7812u);
+    EXPECT_EQ(result.servedBy[2], 19649u);
+    EXPECT_EQ(result.servedBy[3], 8563u);
+    EXPECT_DOUBLE_EQ(result.amat(), 2732358.0 / 40000.0);
+
+    eval::HierarchyOptions interp;
+    interp.forceInterpreted = true;
+    const auto ref = evaluateHierarchy(spec, t, interp);
+    EXPECT_EQ(ref.totalCycles, result.totalCycles);
+}
+
+TEST(HierarchyEval, PinnedSkylakeDrripAmatAndServedBy)
+{
+    // The modern-catalog DRRIP machine: an adaptive set-dueling LLC
+    // with stores in the trace, so the pin also covers PSEL training
+    // and writeback accounting.
+    const auto spec = hw::reducedSpec(
+        hw::catalogMachine("skylake-drrip"), 256);
+    const auto refs = trace::withWrites(
+        trace::zipf(512 * 1024, 40000, 0.9, 3), 0.25, 9);
+    const auto result = evaluateHierarchy(spec, refs);
+    EXPECT_EQ(result.totalCycles, 2842244u);
+    ASSERT_EQ(result.servedBy.size(), 4u);
+    EXPECT_EQ(result.servedBy[0], 3976u);
+    EXPECT_EQ(result.servedBy[1], 7565u);
+    EXPECT_EQ(result.servedBy[2], 20473u);
+    EXPECT_EQ(result.servedBy[3], 7986u);
+    EXPECT_DOUBLE_EQ(result.amat(), 2842244.0 / 40000.0);
+}
+
 TEST(HierarchyEval, MatchesMachineCounters)
 {
     // buildHierarchy must wire exactly like Machine: the same trace

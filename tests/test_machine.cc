@@ -170,9 +170,9 @@ TEST(Machine, DisturbanceIsSeedDeterministic)
 TEST(Machine, LevelCacheInspection)
 {
     Machine m(catalogMachine("ivybridge-i5"));
-    EXPECT_TRUE(m.levelCache(2).isAdaptive());
-    EXPECT_EQ(m.levelCache(0).geometry().ways, 8u);
-    EXPECT_THROW(m.levelCache(3), UsageError);
+    EXPECT_TRUE(m.levelAdaptive(2));
+    EXPECT_EQ(m.levelGeometry(0).ways, 8u);
+    EXPECT_THROW(m.levelGeometry(3), UsageError);
 }
 
 } // namespace

@@ -18,6 +18,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <cstring>
 #include <future>
 #include <set>
 #include <sstream>
@@ -167,6 +168,74 @@ TEST(ChaosService, HealthAnswersShardBreakerAndOutcomeState)
         << health.json;
     EXPECT_TRUE(contains(health.json, "\"answered\":1"))
         << health.json;
+}
+
+TEST(ChaosService, HealthReportsPerShardLatencyHistogram)
+{
+    PolicyOracle oracle("lru", 4, 1);
+    ChaosClock clock(1);
+    ServiceConfig cfg;
+    cfg.session.clock = clock.fn();
+    ServerCore core({&oracle}, cfg);
+
+    for (int i = 0; i < 3; ++i)
+        EXPECT_EQ(core.handle(0, "a b c d a?").outcome,
+                  Outcome::kAnswered);
+
+    const auto health = core.handle(0, ":health");
+    // Three admitted requests landed in the histogram; :health
+    // itself is served before admission and must not count.
+    EXPECT_TRUE(contains(health.json, "\"latency\":{\"count\":3"))
+        << health.json;
+    EXPECT_TRUE(contains(health.json, "\"p50_ms\":")) << health.json;
+    EXPECT_TRUE(contains(health.json, "\"p99_ms\":")) << health.json;
+    EXPECT_TRUE(contains(health.json, "\"buckets\":["))
+        << health.json;
+    // With a 1 ms/reading scripted clock every request takes a few
+    // ms, so the quantiles are small but non-trivial to compute —
+    // p99 can never undercut p50.
+    const auto at = [&](const char* key) {
+        const std::size_t pos = health.json.find(key);
+        EXPECT_NE(pos, std::string::npos) << key;
+        return std::strtoull(
+            health.json.c_str() + pos + std::strlen(key), nullptr,
+            10);
+    };
+    EXPECT_GE(at("\"p99_ms\":"), at("\"p50_ms\":"));
+}
+
+TEST(ChaosService, HealthExposesBreakerTransitionLog)
+{
+    PolicyOracle inner("lru", 4, 1);
+    FlakyOracle flaky(inner, 0);
+    ChaosClock clock(1);
+    ServiceConfig cfg;
+    cfg.session.clock = clock.fn();
+    cfg.breaker.failureThreshold = 3;
+    cfg.breaker.openMillis = 50;
+    cfg.breaker.halfOpenSuccesses = 2;
+    ServerCore core({&flaky}, cfg);
+
+    // A fresh breaker has an empty transition log.
+    const auto before = core.handle(0, ":health");
+    EXPECT_TRUE(contains(before.json, "\"transitions\":[]"))
+        << before.json;
+
+    // Trip it: three consecutive oracle failures.
+    flaky.arm(3);
+    for (int i = 0; i < 3; ++i)
+        EXPECT_EQ(core.handle(0, "a b c d a?").outcome,
+                  Outcome::kAborted);
+    ASSERT_EQ(core.breaker(0).state(), CircuitBreaker::State::kOpen);
+
+    const auto after = core.handle(0, ":health");
+    EXPECT_TRUE(contains(after.json, "\"breaker\":\"open\""))
+        << after.json;
+    EXPECT_TRUE(contains(
+        after.json,
+        "\"transitions\":[{\"from\":\"closed\",\"to\":\"open\","
+        "\"at\":"))
+        << after.json;
 }
 
 TEST(ChaosAdmission, ShedsWithStructuredAnswerWhenSaturated)
