@@ -20,8 +20,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <iostream>
 
+#include "bench_json.hh"
 #include "recap/common/table.hh"
 #include "recap/eval/simulate.hh"
 #include "recap/eval/sweep.hh"
@@ -72,9 +74,12 @@ printFigure4()
     eval::SweepOptions opts;
     opts.seed = kSweepSeed;
     opts.numThreads = 0; // all hardware threads; grid is identical
+    const auto sweepStart = std::chrono::steady_clock::now();
     const auto result =
         eval::sizeSweep(policySpecs(), workload, 8 * 1024,
                         1024 * 1024, 8, 64, opts);
+    const std::chrono::duration<double> sweepElapsed =
+        std::chrono::steady_clock::now() - sweepStart;
 
     std::vector<std::string> headers{"cache size"};
     for (const auto& s : policySpecs())
@@ -93,6 +98,29 @@ printFigure4()
         table.addRow(std::move(row));
     }
     table.print(std::cout);
+
+    // Versioned sweep record: one row per grid cell, so the perf
+    // trajectory covers the workload the lockstep batch kernel
+    // accelerates.
+    benchjson::Writer json(
+        "fig4", "miss ratio vs cache size sweep (batched grid)");
+    json.field("seed", kSweepSeed);
+    json.field("workload_accesses", uint64_t{workload.size()});
+    uint64_t simulatedAccesses = 0;
+    for (const auto& cell : result.cells) {
+        json.row({{"policy", cell.rowLabel},
+                  {"cache_bytes", cell.columnLabel},
+                  {"miss_ratio", cell.missRatio},
+                  {"misses", cell.misses},
+                  {"accesses", cell.accesses}});
+        simulatedAccesses += cell.accesses;
+    }
+    json.field("simulated_accesses", simulatedAccesses);
+    json.field("seconds", sweepElapsed.count());
+    json.field("accesses_per_sec",
+               simulatedAccesses / sweepElapsed.count());
+    if (const std::string path = json.write(); !path.empty())
+        std::cout << "Wrote " << path << "\n";
     std::cout << "\n";
 }
 

@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Experiment K2 — Multi-policy lockstep kernel vs per-policy
+ * compiled simulation.
+ *
+ * The per-policy K1 kernel re-decodes the trace and re-runs the tag
+ * scan once per policy; the K2 lockstep kernel
+ * (eval::simulateMultiPolicy) decodes once and steps N transition
+ * tables per pass. This bench measures that amortization: for lane
+ * counts {1, 4, 16, 64} over the compile-tractable catalog policies,
+ * it times N per-policy eval::simulateCompiled passes against one
+ * N-lane lockstep pass on the same trace and reports the speedup.
+ *
+ * Before timing, every catalog policy (fallback lanes included) is
+ * checked bit-exact against per-policy simulateTraceKernel — the
+ * lockstep layout must never change a statistic.
+ *
+ * Writes BENCH_multi_kernel.json. When RECAP_MULTI_SPEEDUP_FLOOR is
+ * set (the CI perf-smoke job sets it), exits non-zero if the
+ * geometric-mean speedup at 16+ lanes drops below it.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_json.hh"
+#include "recap/common/table.hh"
+#include "recap/eval/kernel.hh"
+#include "recap/eval/multi_kernel.hh"
+#include "recap/policy/compiled.hh"
+#include "recap/policy/factory.hh"
+#include "recap/trace/generators.hh"
+
+namespace
+{
+
+using namespace recap;
+
+const cache::Geometry kGeom = cache::Geometry{64, 64, 8}; // 32 KiB
+constexpr uint64_t kAccesses = 200000;
+constexpr unsigned kReps = 5;
+
+/** Wall-clock seconds of one measurement. */
+template <typename Fn>
+double
+timeOnce(Fn&& fn)
+{
+    const auto start = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(fn());
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    return elapsed.count();
+}
+
+std::string
+formatRate(double accPerSec)
+{
+    return formatDouble(accPerSec / 1e6, 1) + " M/s";
+}
+
+/** Catalog specs that compile at the reference geometry. */
+std::vector<std::string>
+compilableSpecs()
+{
+    std::vector<std::string> specs;
+    for (const auto& spec : policy::catalogSpecs()) {
+        if (!policy::specSupportsWays(spec, kGeom.ways))
+            continue;
+        if (policy::compiledTableFor(spec, kGeom.ways, {}))
+            specs.push_back(spec);
+    }
+    return specs;
+}
+
+/** Whole-catalog bit-exactness: lockstep vs per-policy kernel. */
+bool
+checkBitExact(const trace::Trace& t)
+{
+    std::vector<std::string> specs;
+    for (const auto& spec : policy::catalogSpecs())
+        if (policy::specSupportsWays(spec, kGeom.ways))
+            specs.push_back(spec);
+
+    eval::MultiPolicyOptions mopts;
+    mopts.numThreads = 1;
+    const auto lanes =
+        eval::simulateMultiPolicy(kGeom, specs, t, mopts);
+
+    bool ok = true;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        eval::KernelOptions kopts;
+        kopts.seed = mopts.seed;
+        const auto ref =
+            eval::simulateTraceKernel(kGeom, specs[i], t, kopts);
+        const auto& got = lanes[i].stats;
+        if (got.hits != ref.hits || got.misses != ref.misses ||
+            got.evictions != ref.evictions) {
+            std::cerr << "MISMATCH: " << specs[i]
+                      << " lockstep/per-policy stats differ\n";
+            ok = false;
+        }
+    }
+    return ok;
+}
+
+int
+runComparison()
+{
+    std::cout << "====================================================\n";
+    std::cout << " K2: multi-policy lockstep kernel vs per-policy\n";
+    std::cout << "     compiled passes (" << kGeom.describe() << ",\n";
+    std::cout << "     " << kAccesses
+              << "-access zipf trace, 1 thread)\n";
+    std::cout << "====================================================\n\n";
+
+    const auto t = trace::zipf(128 * 1024, kAccesses, 0.9, 1);
+
+    if (!checkBitExact(t))
+        return 1;
+    std::cout << "Bit-exactness vs per-policy kernel: OK "
+              << "(whole catalog)\n\n";
+
+    const auto basis = compilableSpecs();
+    if (basis.empty()) {
+        std::cerr << "no compilable catalog policies\n";
+        return 1;
+    }
+
+    TextTable table({"lanes", "per-policy", "lockstep", "speedup"});
+    benchjson::Writer json(
+        "multi_kernel",
+        "N-lane lockstep simulation vs N per-policy compiled passes");
+    json.field("geometry", kGeom.describe());
+    json.field("accesses", kAccesses);
+    json.field("catalog_lanes", uint64_t{basis.size()});
+
+    double logSum = 0.0;
+    unsigned counted = 0;
+
+    for (const unsigned laneCount : {1u, 4u, 16u, 64u}) {
+        // Cycle the compilable catalog to fill the lane set, the
+        // candidate-grid shape (duplicated specs share one table).
+        std::vector<std::string> specs;
+        std::vector<policy::CompiledTablePtr> tables;
+        for (unsigned i = 0; i < laneCount; ++i) {
+            specs.push_back(basis[i % basis.size()]);
+            tables.push_back(
+                policy::compiledTableFor(specs.back(), kGeom.ways,
+                                         {}));
+        }
+
+        eval::MultiPolicyOptions mopts;
+        mopts.numThreads = 1;
+        // Interleave the two sides per rep (best-of each): adjacent
+        // measurements keep the ratio honest when the machine's
+        // throughput drifts across the run.
+        double perPolicySecs = 1e300;
+        double lockstepSecs = 1e300;
+        for (unsigned rep = 0; rep < kReps; ++rep) {
+            perPolicySecs = std::min(perPolicySecs, timeOnce([&] {
+                uint64_t misses = 0;
+                for (const auto& table : tables)
+                    misses +=
+                        eval::simulateCompiled(kGeom, *table, t)
+                            .misses;
+                return misses;
+            }));
+            lockstepSecs = std::min(lockstepSecs, timeOnce([&] {
+                uint64_t misses = 0;
+                for (const auto& stats : eval::simulatePoliciesBatch(
+                         kGeom, specs, t, mopts))
+                    misses += stats.misses;
+                return misses;
+            }));
+        }
+
+        const double totalAccesses =
+            static_cast<double>(kAccesses) * laneCount;
+        const double perPolicyRate = totalAccesses / perPolicySecs;
+        const double lockstepRate = totalAccesses / lockstepSecs;
+        const double speedup = lockstepRate / perPolicyRate;
+        if (laneCount >= 16) {
+            logSum += std::log(speedup);
+            ++counted;
+        }
+
+        table.addRow({std::to_string(laneCount),
+                      formatRate(perPolicyRate),
+                      formatRate(lockstepRate),
+                      formatDouble(speedup, 2) + "x"});
+        json.row({{"lanes", uint64_t{laneCount}},
+                  {"per_policy_acc_per_sec", perPolicyRate},
+                  {"lockstep_acc_per_sec", lockstepRate},
+                  {"speedup", speedup}});
+    }
+
+    const double geomean = counted ? std::exp(logSum / counted) : 0.0;
+    table.print(std::cout);
+    std::cout << "\nGeomean speedup at 16+ lanes: "
+              << formatDouble(geomean, 2) << "x\n";
+    json.field("geomean_speedup_16plus", geomean);
+    const std::string path = json.write();
+    if (!path.empty())
+        std::cout << "Wrote " << path << "\n";
+    std::cout << "\n";
+
+    if (const char* env =
+            std::getenv("RECAP_MULTI_SPEEDUP_FLOOR")) {
+        const double floor = std::strtod(env, nullptr);
+        if (geomean < floor) {
+            std::cerr << "FAIL: geomean speedup "
+                      << formatDouble(geomean, 2)
+                      << "x below the configured floor of "
+                      << formatDouble(floor, 2) << "x\n";
+            return 1;
+        }
+        std::cout << "Speedup floor of " << formatDouble(floor, 2)
+                  << "x satisfied.\n\n";
+    }
+    return 0;
+}
+
+void
+BM_LockstepCatalog(benchmark::State& state)
+{
+    const auto t = trace::zipf(128 * 1024, kAccesses, 0.9, 1);
+    const auto specs = compilableSpecs();
+    eval::MultiPolicyOptions mopts;
+    mopts.numThreads = 1;
+    for (auto unused : state) {
+        benchmark::DoNotOptimize(
+            eval::simulatePoliciesBatch(kGeom, specs, t, mopts)
+                .size());
+        (void)unused;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(
+        state.iterations() * t.size() * specs.size()));
+}
+BENCHMARK(BM_LockstepCatalog)->Unit(benchmark::kMillisecond);
+
+void
+BM_DecodeTrace(benchmark::State& state)
+{
+    const auto t = trace::zipf(128 * 1024, kAccesses, 0.9, 1);
+    for (auto unused : state) {
+        benchmark::DoNotOptimize(
+            eval::DecodedTrace(kGeom, t).size());
+        (void)unused;
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * t.size()));
+}
+BENCHMARK(BM_DecodeTrace)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const int status = runComparison();
+    if (status != 0)
+        return status;
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

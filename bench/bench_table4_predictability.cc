@@ -18,8 +18,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <iostream>
 
+#include "bench_json.hh"
 #include "recap/common/table.hh"
 #include "recap/eval/predictability.hh"
 #include "recap/policy/factory.hh"
@@ -49,10 +51,13 @@ printTable4()
     narrow.maxStates = 500'000;
     eval::PredictabilityConfig wide;
     wide.maxStates = 200'000;
+    const auto sweepStart = std::chrono::steady_clock::now();
     const auto narrow_rows =
         eval::predictabilitySweep(specs, {2u, 4u}, narrow);
     const auto wide_rows =
         eval::predictabilitySweep(specs, {8u}, wide);
+    const std::chrono::duration<double> sweepElapsed =
+        std::chrono::steady_clock::now() - sweepStart;
 
     auto find_row = [&](const std::string& spec,
                         unsigned k) -> const eval::PredictabilityRow* {
@@ -80,6 +85,33 @@ printTable4()
         }
     }
     table.print(std::cout);
+
+    // Versioned predictability record: one row per (policy, k) cell.
+    benchjson::Writer json(
+        "table4",
+        "predictability metrics (missTurnover/evictBound) per "
+        "policy and associativity");
+    uint64_t statesExplored = 0;
+    for (const auto& spec : specs) {
+        for (unsigned k : {2u, 4u, 8u}) {
+            const auto* row = find_row(spec, k);
+            if (!row)
+                continue;
+            json.row({{"policy", spec},
+                      {"ways", uint64_t{k}},
+                      {"miss_turnover", row->turnover.render()},
+                      {"evict_bound", row->evictBound.render()},
+                      {"states_explored",
+                       row->evictBound.statesExplored}});
+            statesExplored += row->evictBound.statesExplored +
+                              row->turnover.statesExplored;
+        }
+    }
+    json.field("states_explored", statesExplored);
+    json.field("seconds", sweepElapsed.count());
+    if (const std::string path = json.write(); !path.empty())
+        std::cout << "\nWrote " << path << "\n";
+
     std::cout << "\nReading: evictBound 'unbounded' means a WCET "
                  "analysis cannot bound\nthe survival of a line "
                  "against adversarial interference (tree-PLRU's\n"

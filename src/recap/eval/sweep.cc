@@ -2,6 +2,7 @@
 
 #include "recap/common/error.hh"
 #include "recap/common/parallel.hh"
+#include "recap/eval/multi_kernel.hh"
 #include "recap/eval/opt.hh"
 #include "recap/eval/simulate.hh"
 #include "recap/policy/factory.hh"
@@ -23,11 +24,8 @@ struct CellJob
 };
 
 SweepCell
-measure(const CellJob& job, uint64_t seed)
+makeCell(const CellJob& job, const cache::LevelStats& stats)
 {
-    const cache::LevelStats stats = job.spec == "OPT"
-        ? simulateOpt(job.geom, *job.trace)
-        : simulateTrace(job.geom, job.spec, *job.trace, seed);
     SweepCell cell;
     cell.rowLabel = job.rowLabel;
     cell.columnLabel = job.columnLabel;
@@ -38,16 +36,69 @@ measure(const CellJob& job, uint64_t seed)
 }
 
 /**
- * Measures every job into its own cell slot. Cell i uses the stream
- * deriveTaskSeed(opts.seed, i), so the grid is a pure function of
- * (jobs, opts.seed) regardless of opts.numThreads.
+ * Measures every job into its own cell slot. Policy cells sharing a
+ * (geometry, trace) pair — every row of one sweep column — run as one
+ * multi-policy lockstep pass (eval/multi_kernel.hh): the trace is
+ * decoded once and the compiled rows step in lane groups, instead of
+ * one full simulateTrace per cell. Cell i keeps the stream
+ * deriveTaskSeed(opts.seed, i) whichever lane runs it, so the grid
+ * stays the same pure function of (jobs, opts.seed) as the per-cell
+ * path, regardless of opts.numThreads. OPT cells are not policy
+ * automata and keep the per-cell path.
  */
 std::vector<SweepCell>
 measureAll(const std::vector<CellJob>& jobs, const SweepOptions& opts)
 {
     std::vector<SweepCell> cells(jobs.size());
-    parallelFor(jobs.size(), opts.numThreads, [&](std::size_t i) {
-        cells[i] = measure(jobs[i], deriveTaskSeed(opts.seed, i));
+
+    struct Batch
+    {
+        std::vector<std::size_t> jobIdx;
+    };
+    std::vector<Batch> batches;
+    std::vector<std::size_t> optIdx;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (jobs[i].spec == "OPT") {
+            optIdx.push_back(i);
+            continue;
+        }
+        bool placed = false;
+        for (auto& batch : batches) {
+            const CellJob& head = jobs[batch.jobIdx.front()];
+            if (head.geom == jobs[i].geom &&
+                head.trace == jobs[i].trace) {
+                batch.jobIdx.push_back(i);
+                placed = true;
+                break;
+            }
+        }
+        if (!placed)
+            batches.push_back({{i}});
+    }
+
+    for (const auto& batch : batches) {
+        const CellJob& head = jobs[batch.jobIdx.front()];
+        MultiPolicyOptions mopts;
+        mopts.numThreads = opts.numThreads;
+        std::vector<std::string> specs;
+        specs.reserve(batch.jobIdx.size());
+        for (const std::size_t i : batch.jobIdx) {
+            specs.push_back(jobs[i].spec);
+            mopts.laneSeeds.push_back(deriveTaskSeed(opts.seed, i));
+        }
+        const std::vector<cache::LevelStats> stats =
+            simulatePoliciesBatch(head.geom, specs, *head.trace,
+                                  mopts);
+        for (std::size_t n = 0; n < batch.jobIdx.size(); ++n) {
+            const std::size_t i = batch.jobIdx[n];
+            cells[i] = makeCell(jobs[i], stats[n]);
+        }
+    }
+
+    parallelFor(optIdx.size(), opts.numThreads, [&](std::size_t n) {
+        const std::size_t i = optIdx[n];
+        cells[i] = makeCell(jobs[i], simulateOpt(jobs[i].geom,
+                                                 *jobs[i].trace));
     });
     return cells;
 }
